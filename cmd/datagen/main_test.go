@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/freegap/freegap/internal/dataset"
+)
+
+func TestRunWritesFIMIFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bmspos.dat")
+	if err := run([]string{"-dataset", "bmspos", "-scale", "500", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataset.ReadFIMIFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.BMSPOSConfig().ScaledDown(500)
+	if db.NumRecords() != want.Records {
+		t.Fatalf("records = %d, want %d", db.NumRecords(), want.Records)
+	}
+}
+
+func TestRunAllGenerators(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"bmspos", "kosarak", "quest"} {
+		out := filepath.Join(dir, name+".dat")
+		if err := run([]string{"-dataset", name, "-scale", "1000", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		info, err := os.Stat(out)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s: empty output (%v)", name, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "bmspos", "-scale", "0"}); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	f, err := os.Create(filepath.Join(t.TempDir(), "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunAdaptiveSynthetic(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-synthetic", "bmspos", "-scale", "500", "-k", "5", "-eps", "50", "-adaptive"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gap above threshold", "above-threshold answers:", "privacy budget:", "threshold:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlainSVTWithExplicitThreshold(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-synthetic", "kosarak", "-scale", "2000", "-k", "3", "-eps", "60",
+			"-adaptive=false", "-threshold", "50"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "threshold: 50.00") {
+		t.Fatalf("explicit threshold not honoured:\n%s", out)
+	}
+	// Plain SVT-with-Gap never uses the top branch.
+	if strings.Contains(out, "\ttop\t") {
+		t.Fatalf("plain SVT reported a top-branch answer:\n%s", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing data source accepted")
+	}
+	if err := run([]string{"-synthetic", "bmspos", "-k", "0"}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := run([]string{"-synthetic", "unknown"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-data", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-data", "a", "-synthetic", "bmspos"}); err == nil {
+		t.Fatal("both sources accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Package freegap is a Go implementation of the differentially private
+// selection mechanisms from "Free Gap Information from the Differentially
+// Private Sparse Vector and Noisy Max Mechanisms" (Ding, Wang, Zhang, Kifer —
+// VLDB 2019), together with the classical mechanisms they improve on and the
+// post-processing estimators that exploit the released gap information.
+//
+// The headline results reproduced by this library:
+//
+//   - Noisy-Top-K-with-Gap: select the (approximate) top-k queries and also
+//     learn, for free, the noisy gap between each selected query and the next
+//     best one. Combining those gaps with fresh measurements cuts the mean
+//     squared error of the measurements by up to 50% for counting queries.
+//
+//   - Adaptive-Sparse-Vector-with-Gap: answer "which queries exceed this
+//     threshold?" while paying less privacy budget for queries that clear the
+//     threshold by a wide margin, so many more above-threshold queries fit in
+//     the same budget — and every positive answer also carries a free noisy
+//     gap above the threshold with a Lemma 5 confidence bound.
+//
+// The top-level package is a facade over the implementation packages under
+// internal/: mechanisms (internal/core, internal/baseline), noise and datasets
+// (internal/rng, internal/dataset), estimators (internal/postprocess), the
+// empirical privacy audit (internal/validate) and the experiment harness that
+// regenerates every figure in the paper (internal/experiment, driven by
+// cmd/dpbench and the benchmarks in bench_test.go).
+//
+// # Quick start
+//
+//	src := freegap.NewSource(42)
+//	counts := []float64{812, 641, 633, 601, 425, 124, 77, 8}
+//	topk, _ := freegap.NewTopKWithGap(3, 1.0, true) // k=3, ε=1, counting queries
+//	res, _ := topk.Run(src, counts)
+//	for _, s := range res.Selections {
+//	    fmt.Printf("query %d beats the runner-up by ≈%.1f\n", s.Index, s.Gap)
+//	}
+//
+// See the examples/ directory for complete programs.
+package freegap

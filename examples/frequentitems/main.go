@@ -1,0 +1,86 @@
+// Frequent items: the Section 5.2 select-then-measure workflow on a synthetic
+// retail log. Half the budget selects the top-k items with
+// Noisy-Top-K-with-Gap; the other half measures their counts with the Laplace
+// mechanism; the free gaps then refine the measurements with the Theorem 3
+// BLUE, cutting the error of the published counts by up to 50%.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	freegap "github.com/freegap/freegap"
+)
+
+func main() {
+	const (
+		k     = 10
+		eps   = 1.0
+		scale = 50 // 1/50th of the published BMS-POS size to keep the example quick
+	)
+
+	db := freegap.NewSyntheticBMSPOS(7, scale)
+	counts := db.ItemCounts()
+	fmt.Printf("dataset: %d transactions over %d items\n\n", db.NumRecords(), db.NumItems())
+
+	src := freegap.NewSource(2024)
+	acct, err := freegap.NewAccountant(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: spend eps/2 selecting the top-k items (and their gaps, free).
+	selectionBudget, err := acct.Split(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topk, err := freegap.NewTopKWithGap(k, selectionBudget, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selection, err := topk.Run(src, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := acct.Spend("top-k selection", selectionBudget); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 2: spend the remaining eps/2 measuring the selected counts.
+	measureBudget := acct.Remaining()
+	meas, err := freegap.NewLaplaceMechanism(measureBudget, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measurements, err := meas.MeasureSelected(src, counts, selection.Indices())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := acct.Spend("measurements", measureBudget); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 3 (free): refine the measurements with the gaps via the BLUE.
+	refined, err := freegap.BLUEFromVariances(measurements, selection.Gaps()[:k-1],
+		meas.MeasurementVariance(k), selection.PerQueryNoiseVariance())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-12s %-12s %-12s %-10s\n", "item", "true count", "measured", "refined", "|err| drop")
+	var measSE, refinedSE float64
+	for i, idx := range selection.Indices() {
+		truth := counts[idx]
+		em := math.Abs(measurements[i] - truth)
+		er := math.Abs(refined[i] - truth)
+		measSE += em * em
+		refinedSE += er * er
+		fmt.Printf("%-6d %-12.0f %-12.1f %-12.1f %+.1f\n", idx, truth, measurements[i], refined[i], em-er)
+	}
+	fmt.Printf("\nempirical MSE: measured-only %.1f, gap-refined %.1f (%.0f%% lower)\n",
+		measSE/float64(k), refinedSE/float64(k), 100*(1-refinedSE/measSE))
+	fmt.Printf("Corollary 1 predicts a %.0f%% reduction at k=%d\n",
+		freegap.TopKExpectedImprovementPercent(k, 1), k)
+	fmt.Printf("privacy budget: spent %.3g of %.3g\n", acct.Spent(), acct.Budget())
+}

@@ -1,0 +1,195 @@
+package freegap_test
+
+import (
+	"math"
+	"testing"
+
+	freegap "github.com/freegap/freegap"
+)
+
+// TestFacadeTopKEndToEnd exercises the public API the way the quickstart does:
+// select the top queries with gaps, measure them, and refine with BLUE.
+func TestFacadeTopKEndToEnd(t *testing.T) {
+	src := freegap.NewSource(7)
+	counts := []float64{812, 641, 633, 601, 425, 124, 77, 8}
+	const k, eps = 3, 4.0
+
+	topk, err := freegap.NewTopKWithGap(k, eps/2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topk.Run(src, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selections) != k {
+		t.Fatalf("selected %d queries, want %d", len(res.Selections), k)
+	}
+	for _, s := range res.Selections {
+		if s.Gap <= 0 {
+			t.Fatalf("non-positive gap %v", s.Gap)
+		}
+	}
+
+	meas, err := freegap.NewLaplaceMechanism(eps/2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measurements, err := meas.MeasureSelected(src, counts, res.Indices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimates, err := freegap.BLUEFromVariances(measurements, res.Gaps()[:k-1],
+		meas.MeasurementVariance(k), res.PerQueryNoiseVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(estimates) != k {
+		t.Fatalf("BLUE returned %d estimates", len(estimates))
+	}
+	// With eps=4 on well-separated counts the estimates should land close to
+	// the truth for the selected queries.
+	for i, idx := range res.Indices() {
+		if math.Abs(estimates[i]-counts[idx]) > 50 {
+			t.Fatalf("estimate %v for query %d (true %v) too far off", estimates[i], idx, counts[idx])
+		}
+	}
+}
+
+func TestFacadeAdaptiveSVTAndConfidence(t *testing.T) {
+	src := freegap.NewSource(9)
+	counts := []float64{900, 870, 860, 500, 100, 80, 60, 40, 20}
+	threshold := freegap.RandomThreshold(src, counts, 2)
+	if threshold <= 0 {
+		t.Fatalf("threshold %v", threshold)
+	}
+
+	svt, err := freegap.NewAdaptiveSVTWithGap(2, 2.0, 600, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svt.Run(src, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetSpent > 2.0+1e-9 {
+		t.Fatalf("budget overspent: %v", res.BudgetSpent)
+	}
+	for _, it := range res.AboveItems() {
+		lower, err := freegap.GapLowerConfidenceBound(it.Gap, 600, 0.95, 1, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lower >= it.Gap+600 {
+			t.Fatal("lower bound must sit below the point estimate")
+		}
+	}
+}
+
+func TestFacadeBaselinesAndTheory(t *testing.T) {
+	src := freegap.NewSource(11)
+	counts := []float64{100, 90, 10, 5}
+
+	nm, err := freegap.NewNoisyTopK(1, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := nm.Select(src, counts); err != nil || len(idx) != 1 {
+		t.Fatalf("NoisyTopK: %v %v", idx, err)
+	}
+	sv, err := freegap.NewSparseVector(1, 1, 50, freegap.ThetaLyu(1, true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Run(src, counts); err != nil {
+		t.Fatal(err)
+	}
+	em, err := freegap.NewExponentialMechanism(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.Select(src, counts); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := freegap.TopKExpectedImprovementPercent(25, 1); got < 40 {
+		t.Fatalf("Top-K theoretical improvement at k=25 is %v%%, want ≈ 48%%", got)
+	}
+	if got := freegap.SVTExpectedImprovementPercent(25, true); got < 40 {
+		t.Fatalf("SVT theoretical improvement at k=25 is %v%%, want > 40%%", got)
+	}
+	if got := freegap.ErrorReductionRatio(10, 1); math.Abs(got-0.55) > 1e-9 {
+		t.Fatalf("ErrorReductionRatio(10,1) = %v", got)
+	}
+	if got := freegap.TieProbabilityBound(1, 1e-9, 100); got <= 0 || got > 1 {
+		t.Fatalf("tie bound %v", got)
+	}
+}
+
+func TestFacadeAccountantAndDatasets(t *testing.T) {
+	acct, err := freegap.NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend("selection", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Remaining() <= 0 {
+		t.Fatal("remaining budget should be positive")
+	}
+
+	db := freegap.NewSyntheticBMSPOS(3, 1000)
+	if db.NumRecords() == 0 || db.NumItems() == 0 {
+		t.Fatal("empty synthetic dataset")
+	}
+	counts := db.ItemCounts()
+	if len(counts) != db.NumItems() {
+		t.Fatal("count vector length mismatch")
+	}
+	kos := freegap.NewSyntheticKosarak(3, 2000)
+	quest := freegap.NewSyntheticT40I10D100K(3, 100)
+	if kos.NumRecords() == 0 || quest.NumRecords() == 0 {
+		t.Fatal("empty synthetic datasets")
+	}
+}
+
+func TestFacadePrivacyAudit(t *testing.T) {
+	d := []float64{10, 9, 3}
+	dPrime := []float64{9, 8, 3}
+	res, err := freegap.EstimateEpsilon(freegap.AuditTopK(1, 0.5, false), d, dPrime,
+		freegap.AuditConfig{Trials: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonHat > 0.5+0.3 {
+		t.Fatalf("audit reports epsilon-hat %v for a 0.5-DP mechanism", res.EpsilonHat)
+	}
+	res2, err := freegap.EstimateEpsilon(freegap.AuditAdaptiveSVT(1, 0.5, 8, true), d, dPrime,
+		freegap.AuditConfig{Trials: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EpsilonHat > 0.5+0.3 {
+		t.Fatalf("audit reports epsilon-hat %v for a 0.5-DP mechanism", res2.EpsilonHat)
+	}
+}
+
+func TestFacadeMaxWithGapAndLaplace(t *testing.T) {
+	src := freegap.NewSource(21)
+	res, err := freegap.MaxWithGap(src, []float64{5, 500, 3}, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 || res.Gap <= 0 {
+		t.Fatalf("unexpected MaxWithGap result %+v", res)
+	}
+	if v := freegap.Laplace(src, 2); math.IsNaN(v) {
+		t.Fatal("Laplace returned NaN")
+	}
+	if freegap.NoiseLaplace.String() != "laplace" {
+		t.Fatal("noise kind constants not wired through")
+	}
+	if freegap.BranchTop.String() != "top" {
+		t.Fatal("branch constants not wired through")
+	}
+}

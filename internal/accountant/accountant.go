@@ -1,0 +1,152 @@
+// Package accountant tracks privacy-loss budget under sequential composition
+// (Section 3.1 of the paper): running mechanisms with budgets ε₁, …, ε_k on
+// the same data costs Σεᵢ. The adaptive Sparse Vector experiments (Figure 4)
+// report the fraction of budget an analyst has left after the mechanism
+// stops, which is exactly the accountant's Remaining value.
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExceeded is returned by Spend when a charge would push total
+// spending above the configured budget.
+var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
+
+// ErrInvalidCharge is returned when a non-positive or NaN charge is requested.
+var ErrInvalidCharge = errors.New("accountant: charge must be a positive finite value")
+
+// tolerance absorbs floating-point drift when many small charges should sum
+// exactly to the budget (e.g. ε₀ + Σεᵢ = ε in Algorithm 2).
+const tolerance = 1e-9
+
+// Accountant is a thread-safe sequential-composition budget tracker.
+type Accountant struct {
+	mu     sync.Mutex
+	budget float64
+	spent  float64
+	log    []Charge
+}
+
+// Charge records one budget expenditure for auditability.
+type Charge struct {
+	Label   string
+	Epsilon float64
+}
+
+// New creates an accountant with the given total ε budget.
+func New(budget float64) (*Accountant, error) {
+	if !(budget > 0) {
+		return nil, fmt.Errorf("accountant: budget %v must be positive", budget)
+	}
+	return &Accountant{budget: budget}, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error.
+func MustNew(budget float64) *Accountant {
+	a, err := New(budget)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Budget returns the configured total budget.
+func (a *Accountant) Budget() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// Spent returns the total ε charged so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.budget - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// RemainingFraction returns Remaining()/Budget(), the quantity plotted in
+// Figure 4.
+func (a *Accountant) RemainingFraction() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.budget - a.spent
+	if r < 0 {
+		r = 0
+	}
+	return r / a.budget
+}
+
+// CanSpend reports whether a charge of eps would be admissible.
+func (a *Accountant) CanSpend(eps float64) bool {
+	if !(eps > 0) {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent+eps <= a.budget+tolerance
+}
+
+// Spend charges eps against the budget under the given label. It returns
+// ErrBudgetExceeded (and charges nothing) if the budget would be exceeded.
+func (a *Accountant) Spend(label string, eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("%w: %v", ErrInvalidCharge, eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.budget+tolerance {
+		return fmt.Errorf("%w: spent %.6g + charge %.6g > budget %.6g",
+			ErrBudgetExceeded, a.spent, eps, a.budget)
+	}
+	a.spent += eps
+	a.log = append(a.log, Charge{Label: label, Epsilon: eps})
+	return nil
+}
+
+// Charges returns a copy of the expenditure log in order.
+func (a *Accountant) Charges() []Charge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Charge, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// Reset clears all spending, keeping the budget.
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = 0
+	a.log = a.log[:0]
+}
+
+// Split divides the remaining budget into n equal shares and returns the
+// per-share ε without charging anything. It is how the "half for selection,
+// half for measurement" protocols of Sections 5.2 and 6.2 are expressed.
+func (a *Accountant) Split(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("accountant: cannot split into %d shares", n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.budget - a.spent
+	if r <= 0 {
+		return 0, ErrBudgetExceeded
+	}
+	return r / float64(n), nil
+}

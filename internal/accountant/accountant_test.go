@@ -1,0 +1,175 @@
+package accountant
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+	a, err := New(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Budget() != 1.5 {
+		t.Fatalf("budget %v", a.Budget())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(-1)
+}
+
+func TestSpendAndRemaining(t *testing.T) {
+	a := MustNew(1.0)
+	if err := a.Spend("threshold", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("query", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("spent %v", got)
+	}
+	if got := a.Remaining(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("remaining %v", got)
+	}
+	if got := a.RemainingFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("remaining fraction %v", got)
+	}
+	if err := a.Spend("too much", 0.5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+	// Failed spends must not change state.
+	if got := a.Spent(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("failed spend altered state: %v", got)
+	}
+}
+
+func TestSpendInvalidCharge(t *testing.T) {
+	a := MustNew(1)
+	for _, eps := range []float64{0, -0.1, math.NaN()} {
+		if err := a.Spend("bad", eps); !errors.Is(err, ErrInvalidCharge) {
+			t.Errorf("charge %v: expected ErrInvalidCharge, got %v", eps, err)
+		}
+	}
+}
+
+func TestSpendExactBudgetWithTolerance(t *testing.T) {
+	a := MustNew(0.7)
+	// Charge in 7 slices of 0.1 whose float sum is not exactly 0.7.
+	for i := 0; i < 7; i++ {
+		if err := a.Spend("slice", 0.1); err != nil {
+			t.Fatalf("slice %d rejected: %v", i, err)
+		}
+	}
+	if a.CanSpend(0.05) {
+		t.Fatal("budget exhausted yet CanSpend accepted a real charge")
+	}
+}
+
+func TestCanSpend(t *testing.T) {
+	a := MustNew(1)
+	if !a.CanSpend(1) {
+		t.Fatal("full budget should be spendable")
+	}
+	if a.CanSpend(1.5) {
+		t.Fatal("over-budget charge admitted")
+	}
+	if a.CanSpend(0) || a.CanSpend(-1) {
+		t.Fatal("non-positive charge admitted")
+	}
+}
+
+func TestChargesLogAndReset(t *testing.T) {
+	a := MustNew(2)
+	_ = a.Spend("a", 0.5)
+	_ = a.Spend("b", 0.25)
+	log := a.Charges()
+	if len(log) != 2 || log[0].Label != "a" || log[1].Epsilon != 0.25 {
+		t.Fatalf("unexpected log %+v", log)
+	}
+	// Mutating the returned slice must not affect the accountant.
+	log[0].Epsilon = 99
+	if a.Charges()[0].Epsilon != 0.5 {
+		t.Fatal("Charges returned internal slice")
+	}
+	a.Reset()
+	if a.Spent() != 0 || len(a.Charges()) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if a.Budget() != 2 {
+		t.Fatal("reset changed the budget")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	a := MustNew(1)
+	share, err := a.Split(4)
+	if err != nil || math.Abs(share-0.25) > 1e-12 {
+		t.Fatalf("share %v err %v", share, err)
+	}
+	_ = a.Spend("half", 0.5)
+	share, err = a.Split(2)
+	if err != nil || math.Abs(share-0.25) > 1e-12 {
+		t.Fatalf("share after spend %v err %v", share, err)
+	}
+	if _, err := a.Split(0); err == nil {
+		t.Fatal("split into zero shares accepted")
+	}
+	_ = a.Spend("rest", 0.5)
+	if _, err := a.Split(2); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestConcurrentSpendNeverExceedsBudget(t *testing.T) {
+	a := MustNew(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.Spend("w", 0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Spent() > a.Budget()+1e-6 {
+		t.Fatalf("spent %v exceeds budget %v", a.Spent(), a.Budget())
+	}
+}
+
+func TestSpendNeverExceedsBudgetProperty(t *testing.T) {
+	f := func(charges []float64) bool {
+		a := MustNew(1)
+		for _, c := range charges {
+			c = math.Abs(math.Mod(c, 0.3))
+			if c == 0 {
+				continue
+			}
+			_ = a.Spend("p", c)
+		}
+		return a.Spent() <= a.Budget()+1e-6 && a.Remaining() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

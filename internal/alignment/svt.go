@@ -1,0 +1,200 @@
+package alignment
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// SVTNoise is the explicit randomness of one Adaptive-Sparse-Vector-with-Gap
+// execution: the threshold noise and, for every query position, the
+// top-branch noise ξᵢ and the middle-branch noise ηᵢ (the shadow execution
+// pre-draws both even though the real algorithm only consumes the second when
+// the first branch fails — the distribution of the output is identical and
+// the alignment of Equation (3) is expressed over exactly this vector).
+type SVTNoise struct {
+	Threshold float64
+	Top       []float64 // ξᵢ
+	Middle    []float64 // ηᵢ
+}
+
+// clone returns a deep copy.
+func (n SVTNoise) clone() SVTNoise {
+	cp := SVTNoise{Threshold: n.Threshold, Top: make([]float64, len(n.Top)), Middle: make([]float64, len(n.Middle))}
+	copy(cp.Top, n.Top)
+	copy(cp.Middle, n.Middle)
+	return cp
+}
+
+// SVTStep is one per-query record of a shadow execution: which branch fired
+// and the gap it released (meaningful for the two positive branches).
+type SVTStep struct {
+	Branch core.Branch
+	Gap    float64
+}
+
+// SVTOutput is the full output of a shadow execution.
+type SVTOutput struct {
+	Steps []SVTStep
+}
+
+// Equal compares two outputs: identical branch patterns and gaps within tol.
+func (o SVTOutput) Equal(other SVTOutput, tol float64) bool {
+	if len(o.Steps) != len(other.Steps) {
+		return false
+	}
+	for i := range o.Steps {
+		if o.Steps[i].Branch != other.Steps[i].Branch {
+			return false
+		}
+		if o.Steps[i].Branch != core.BranchBelow &&
+			math.Abs(o.Steps[i].Gap-other.Steps[i].Gap) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SVTShadowRun executes Adaptive-Sparse-Vector-with-Gap (Algorithm 2) on an
+// explicit noise assignment, mirroring the decision and stopping logic of the
+// production implementation in internal/core.
+func SVTShadowRun(m *core.AdaptiveSVTWithGap, answers []float64, noise SVTNoise) (SVTOutput, error) {
+	n := len(answers)
+	if n == 0 {
+		return SVTOutput{}, core.ErrNoQueries
+	}
+	if len(noise.Top) < n || len(noise.Middle) < n {
+		return SVTOutput{}, fmt.Errorf("alignment: need %d noise pairs, got %d/%d", n, len(noise.Top), len(noise.Middle))
+	}
+	eps0, eps1, eps2 := m.Budgets()
+	sigma := m.Sigma()
+	noisyThreshold := m.Threshold + noise.Threshold
+
+	var out SVTOutput
+	cost := eps0
+	above := 0
+	for i := 0; i < n; i++ {
+		if m.MaxAnswers > 0 && above >= m.MaxAnswers {
+			break
+		}
+		topGap := answers[i] + noise.Top[i] - noisyThreshold
+		if !math.IsInf(sigma, 1) && topGap >= sigma {
+			out.Steps = append(out.Steps, SVTStep{Branch: core.BranchTop, Gap: topGap})
+			above++
+			cost += eps2
+		} else {
+			middleGap := answers[i] + noise.Middle[i] - noisyThreshold
+			if middleGap >= 0 {
+				out.Steps = append(out.Steps, SVTStep{Branch: core.BranchMiddle, Gap: middleGap})
+				above++
+				cost += eps1
+			} else {
+				out.Steps = append(out.Steps, SVTStep{Branch: core.BranchBelow})
+			}
+		}
+		if cost > m.Epsilon-eps1 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SVTAlign computes the Equation (3) local alignment. In the general case the
+// threshold noise is raised by 1 and, for every query answered positively, the
+// noise of the branch that fired is shifted by 1 + qᵢ − q'ᵢ; all other noise
+// is kept. When monotonic is set, the footnote-6 refinement applies: if every
+// qᵢ ≥ q'ᵢ the threshold noise stays put and winners shift by qᵢ − q'ᵢ only;
+// if every qᵢ ≤ q'ᵢ the general alignment already has shifts of at most 1.
+// That refinement is what lets the monotonic mechanism run with half the
+// noise at the same ε. The steps argument is the output of the run on
+// answersD with the original noise.
+func SVTAlign(answersD, answersDPrime []float64, noise SVTNoise, steps []SVTStep, monotonic bool) (SVTNoise, error) {
+	if len(answersD) != len(answersDPrime) {
+		return SVTNoise{}, fmt.Errorf("alignment: mismatched answer lengths %d and %d", len(answersD), len(answersDPrime))
+	}
+	// Detect the direction for the monotone refinement: D' never above D.
+	dNeverBelow := true
+	for i := range answersD {
+		if answersD[i] < answersDPrime[i] {
+			dNeverBelow = false
+			break
+		}
+	}
+	useNoThresholdShift := monotonic && dNeverBelow
+
+	aligned := noise.clone()
+	if !useNoThresholdShift {
+		aligned.Threshold = noise.Threshold + 1
+	}
+	for i, step := range steps {
+		shift := 1 + answersD[i] - answersDPrime[i]
+		if useNoThresholdShift {
+			shift = answersD[i] - answersDPrime[i]
+		}
+		switch step.Branch {
+		case core.BranchTop:
+			aligned.Top[i] = noise.Top[i] + shift
+		case core.BranchMiddle:
+			aligned.Middle[i] = noise.Middle[i] + shift
+		}
+	}
+	return aligned, nil
+}
+
+// SVTAlignmentCost evaluates the Theorem 4 cost of moving from noise to
+// aligned: ε₀·|Δthreshold| + Σ (ε₂/2·|Δξᵢ| + ε₁/2·|Δηᵢ|), which must be at
+// most ε. (The division by 2 is the 1/scale factor of Definition 6: the query
+// noises have scale 2/ε₂ and 2/ε₁ respectively.)
+func SVTAlignmentCost(m *core.AdaptiveSVTWithGap, noise, aligned SVTNoise) float64 {
+	thresholdScale, topScale, middleScale := m.NoiseScales()
+	cost := math.Abs(aligned.Threshold-noise.Threshold) / thresholdScale
+	for i := range noise.Top {
+		cost += math.Abs(aligned.Top[i]-noise.Top[i]) / topScale
+		cost += math.Abs(aligned.Middle[i]-noise.Middle[i]) / middleScale
+	}
+	return cost
+}
+
+// VerifyAdaptiveSVT samples `trials` noise assignments for the mechanism on
+// answersD, aligns each per Equation (3) (with the footnote-6 refinement when
+// the mechanism declares monotonic queries), and checks that the aligned run
+// on answersDPrime reproduces the same output with cost at most ε
+// (Theorem 4). The answer vectors must be sensitivity-1 adjacent, and must
+// move in one direction when the mechanism is monotonic.
+func VerifyAdaptiveSVT(m *core.AdaptiveSVTWithGap, answersD, answersDPrime []float64, trials int, seed uint64) (Report, error) {
+	if err := checkAdjacent(answersD, answersDPrime, m.Monotonic); err != nil {
+		return Report{}, err
+	}
+	thresholdScale, topScale, middleScale := m.NoiseScales()
+	src := rng.NewXoshiro(seed)
+	report := Report{Trials: trials, CostBound: m.Epsilon}
+	n := len(answersD)
+	for t := 0; t < trials; t++ {
+		noise := SVTNoise{
+			Threshold: rng.Laplace(src, thresholdScale),
+			Top:       rng.LaplaceVec(src, topScale, n, nil),
+			Middle:    rng.LaplaceVec(src, middleScale, n, nil),
+		}
+		outD, err := SVTShadowRun(m, answersD, noise)
+		if err != nil {
+			return Report{}, err
+		}
+		aligned, err := SVTAlign(answersD, answersDPrime, noise, outD.Steps, m.Monotonic)
+		if err != nil {
+			return Report{}, err
+		}
+		outDPrime, err := SVTShadowRun(m, answersDPrime, aligned)
+		if err != nil {
+			return Report{}, err
+		}
+		if outD.Equal(outDPrime, 1e-9) {
+			report.OutputPreserved++
+		}
+		if cost := SVTAlignmentCost(m, noise, aligned); cost > report.MaxCost {
+			report.MaxCost = cost
+		}
+	}
+	return report, nil
+}

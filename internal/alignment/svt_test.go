@@ -1,0 +1,163 @@
+package alignment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestSVTShadowRunMatchesBranchSemantics(t *testing.T) {
+	// k=3 leaves enough budget after the two positive answers for the third
+	// (below-threshold) query to be processed before the stopping rule fires.
+	m, err := core.NewAdaptiveSVTWithGap(3, 1, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := m.Sigma()
+	answers := []float64{100 + sigma + 10, 100 + 1, 100 - 1e6}
+	noise := SVTNoise{
+		Threshold: 0,
+		Top:       []float64{0, 0, 0},
+		Middle:    []float64{0, 0, 0},
+	}
+	out, err := SVTShadowRun(m, answers, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 3 {
+		t.Fatalf("steps %d, want 3", len(out.Steps))
+	}
+	if out.Steps[0].Branch != core.BranchTop {
+		t.Fatalf("first query should take the top branch, got %v", out.Steps[0].Branch)
+	}
+	if out.Steps[1].Branch != core.BranchMiddle {
+		t.Fatalf("second query should take the middle branch, got %v", out.Steps[1].Branch)
+	}
+	if out.Steps[2].Branch != core.BranchBelow {
+		t.Fatalf("third query should be below, got %v", out.Steps[2].Branch)
+	}
+}
+
+func TestSVTShadowRunErrors(t *testing.T) {
+	m, _ := core.NewAdaptiveSVTWithGap(1, 1, 0, true)
+	if _, err := SVTShadowRun(m, nil, SVTNoise{}); err == nil {
+		t.Fatal("empty answers accepted")
+	}
+	if _, err := SVTShadowRun(m, []float64{1, 2}, SVTNoise{Top: []float64{0}, Middle: []float64{0, 0}}); err == nil {
+		t.Fatal("short noise accepted")
+	}
+}
+
+func TestSVTAlignPreservesOutputAndCost(t *testing.T) {
+	// The executable version of Theorem 4: on random adjacent pairs, the
+	// Equation (3) alignment reproduces the branch pattern and gaps exactly
+	// and its cost never exceeds epsilon.
+	src := rng.NewXoshiro(3)
+	for trial := 0; trial < 30; trial++ {
+		d, dPrime := adjacentPair(src, 20, false)
+		threshold := float64(rng.Intn(src, 150))
+		k := 1 + rng.Intn(src, 5)
+		m, err := core.NewAdaptiveSVTWithGap(k, 0.9, threshold, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := VerifyAdaptiveSVT(m, d, dPrime, 200, uint64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.OK() {
+			t.Fatalf("trial %d (k=%d, T=%v): %v", trial, k, threshold, report)
+		}
+	}
+}
+
+func TestSVTAlignWithSigmaDisabled(t *testing.T) {
+	// sigma = inf recovers Sparse-Vector-with-Gap; the same alignment must
+	// still verify (it is the Wang et al. result).
+	src := rng.NewXoshiro(7)
+	d, dPrime := adjacentPair(src, 15, true)
+	m := &core.AdaptiveSVTWithGap{K: 3, Epsilon: 0.7, Threshold: 60, Monotonic: true, SigmaMultiplier: math.Inf(1)}
+	report, err := VerifyAdaptiveSVT(m, d, dPrime, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("SVT-with-Gap alignment failed: %v", report)
+	}
+}
+
+func TestSVTAlignmentCostComponents(t *testing.T) {
+	m, _ := core.NewAdaptiveSVTWithGap(2, 1, 10, false)
+	eps0, eps1, eps2 := m.Budgets()
+	noise := SVTNoise{Threshold: 0, Top: []float64{0, 0}, Middle: []float64{0, 0}}
+	aligned := SVTNoise{Threshold: 1, Top: []float64{2, 0}, Middle: []float64{0, 2}}
+	got := SVTAlignmentCost(m, noise, aligned)
+	// Threshold moved by 1 (scale 1/eps0), one top noise by 2 (scale 2/eps2),
+	// one middle noise by 2 (scale 2/eps1).
+	want := eps0 + 2*eps2/2 + 2*eps1/2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost %v, want %v", got, want)
+	}
+	// The worst case the proof allows: threshold + one answer per branch with
+	// the maximal shift of 2 costs exactly eps0 + eps2 + eps1 ≤ eps.
+	if want > m.Epsilon {
+		t.Fatalf("worst-case single-answer cost %v already exceeds epsilon %v", want, m.Epsilon)
+	}
+}
+
+func TestSVTAlignErrors(t *testing.T) {
+	if _, err := SVTAlign([]float64{1}, []float64{1, 2}, SVTNoise{}, nil, false); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestSVTAlignMonotoneDirections(t *testing.T) {
+	// Footnote 6: both monotone directions must verify at the factor-1 noise
+	// scales of the monotonic mechanism.
+	src := rng.NewXoshiro(41)
+	m, _ := core.NewAdaptiveSVTWithGap(3, 0.7, 80, true)
+
+	// Direction 1: D' obtained by removing a record (qᵢ ≥ q'ᵢ).
+	d, dPrime := adjacentPair(src, 15, true)
+	report, err := VerifyAdaptiveSVT(m, d, dPrime, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("remove-record direction: %v", report)
+	}
+
+	// Direction 2: D' obtained by adding a record (qᵢ ≤ q'ᵢ): swap the roles.
+	report, err = VerifyAdaptiveSVT(m, dPrime, d, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("add-record direction: %v", report)
+	}
+}
+
+func TestVerifyAdaptiveSVTRejectsNonAdjacent(t *testing.T) {
+	m, _ := core.NewAdaptiveSVTWithGap(1, 1, 10, true)
+	if _, err := VerifyAdaptiveSVT(m, []float64{1, 2}, []float64{1, 10}, 10, 1); err == nil {
+		t.Fatal("non-adjacent pair accepted")
+	}
+}
+
+func TestSVTOutputEqual(t *testing.T) {
+	a := SVTOutput{Steps: []SVTStep{{Branch: core.BranchTop, Gap: 5}, {Branch: core.BranchBelow}}}
+	b := SVTOutput{Steps: []SVTStep{{Branch: core.BranchTop, Gap: 5 + 1e-12}, {Branch: core.BranchBelow, Gap: 99}}}
+	if !a.Equal(b, 1e-9) {
+		t.Fatal("outputs differing only by below-branch gap or tolerance should be equal")
+	}
+	c := SVTOutput{Steps: []SVTStep{{Branch: core.BranchMiddle, Gap: 5}, {Branch: core.BranchBelow}}}
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different branches must not compare equal")
+	}
+	d := SVTOutput{Steps: []SVTStep{{Branch: core.BranchTop, Gap: 5}}}
+	if a.Equal(d, 1e-9) {
+		t.Fatal("different lengths must not compare equal")
+	}
+}

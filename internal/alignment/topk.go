@@ -1,0 +1,231 @@
+package alignment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// TopKOutput is the deterministic output of a Noisy-Top-K-with-Gap shadow
+// execution: the selected indices in descending noisy order and the adjacent
+// gaps.
+type TopKOutput struct {
+	Indices []int
+	Gaps    []float64
+}
+
+// Equal reports whether two outputs coincide, comparing gaps up to tol.
+func (o TopKOutput) Equal(other TopKOutput, tol float64) bool {
+	if len(o.Indices) != len(other.Indices) || len(o.Gaps) != len(other.Gaps) {
+		return false
+	}
+	for i := range o.Indices {
+		if o.Indices[i] != other.Indices[i] {
+			return false
+		}
+	}
+	for i := range o.Gaps {
+		if math.Abs(o.Gaps[i]-other.Gaps[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TopKShadowRun executes the Noisy-Top-K-with-Gap selection rule on an
+// explicit noise vector (one noise value per query). It mirrors Algorithm 1
+// exactly but with the randomness supplied by the caller, which is what the
+// alignment argument needs.
+func TopKShadowRun(answers, noise []float64, k int) (TopKOutput, error) {
+	n := len(answers)
+	if n == 0 {
+		return TopKOutput{}, core.ErrNoQueries
+	}
+	if len(noise) != n {
+		return TopKOutput{}, fmt.Errorf("alignment: need %d noise values, got %d", n, len(noise))
+	}
+	if k <= 0 || k >= n {
+		return TopKOutput{}, fmt.Errorf("%w: k = %d with %d queries", core.ErrInvalidK, k, n)
+	}
+	noisy := make([]float64, n)
+	for i := range answers {
+		noisy[i] = answers[i] + noise[i]
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return noisy[idx[a]] > noisy[idx[b]] })
+	out := TopKOutput{Indices: make([]int, k), Gaps: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		out.Indices[i] = idx[i]
+		out.Gaps[i] = noisy[idx[i]] - noisy[idx[i+1]]
+	}
+	return out, nil
+}
+
+// TopKAlign computes the Equation (2) local alignment: given the noise H used
+// on answersD and the output it produced, it returns the noise H' that makes
+// the run on answersDPrime produce the identical output. Noise of unselected
+// queries is kept; noise of each selected query is shifted by
+// qᵢ − q'ᵢ + max over unselected of (q'_l + η_l) − max over unselected of
+// (q_l + η_l).
+func TopKAlign(answersD, answersDPrime, noise []float64, selected []int) ([]float64, error) {
+	n := len(answersD)
+	if len(answersDPrime) != n || len(noise) != n {
+		return nil, fmt.Errorf("alignment: mismatched lengths %d, %d, %d", n, len(answersDPrime), len(noise))
+	}
+	isSelected := make([]bool, n)
+	for _, idx := range selected {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("alignment: selected index %d out of range", idx)
+		}
+		isSelected[idx] = true
+	}
+	maxD := math.Inf(-1)
+	maxDPrime := math.Inf(-1)
+	for l := 0; l < n; l++ {
+		if isSelected[l] {
+			continue
+		}
+		if v := answersD[l] + noise[l]; v > maxD {
+			maxD = v
+		}
+		if v := answersDPrime[l] + noise[l]; v > maxDPrime {
+			maxDPrime = v
+		}
+	}
+	if math.IsInf(maxD, -1) {
+		return nil, fmt.Errorf("alignment: no unselected queries to align against")
+	}
+	aligned := make([]float64, n)
+	copy(aligned, noise)
+	for i := 0; i < n; i++ {
+		if isSelected[i] {
+			aligned[i] = noise[i] + answersD[i] - answersDPrime[i] + maxDPrime - maxD
+		}
+	}
+	return aligned, nil
+}
+
+// AlignmentCost evaluates Definition 6 for Laplace-style noise of the given
+// scale: Σ|ηᵢ − η'ᵢ| / scale.
+func AlignmentCost(noise, aligned []float64, scale float64) float64 {
+	if scale <= 0 {
+		panic("alignment: scale must be positive")
+	}
+	cost := 0.0
+	for i := range noise {
+		cost += math.Abs(noise[i]-aligned[i]) / scale
+	}
+	return cost
+}
+
+// MaxStability checks Lemma 3 numerically: if every coordinate of two vectors
+// differs by at most bound, their maxima differ by at most bound.
+func MaxStability(xs, ys []float64) (maxCoordinateDiff, maxDiff float64) {
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range xs {
+		if d := math.Abs(xs[i] - ys[i]); d > maxCoordinateDiff {
+			maxCoordinateDiff = d
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	return maxCoordinateDiff, math.Abs(maxX - maxY)
+}
+
+// Report summarises a Monte-Carlo alignment verification.
+type Report struct {
+	// Trials is the number of sampled noise vectors.
+	Trials int
+	// OutputPreserved counts trials where the aligned run reproduced the
+	// original output exactly.
+	OutputPreserved int
+	// MaxCost is the largest alignment cost observed.
+	MaxCost float64
+	// CostBound is the bound the costs must respect (ε, or ε/2 when the
+	// mechanism exploits monotonicity at the general noise scale).
+	CostBound float64
+}
+
+// OK reports whether every trial preserved the output within cost bound
+// (allowing a hair of floating-point slack on the cost).
+func (r Report) OK() bool {
+	return r.OutputPreserved == r.Trials && r.MaxCost <= r.CostBound*(1+1e-9)+1e-12
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("alignment: %d/%d outputs preserved, max cost %.6f ≤ bound %.6f: %v",
+		r.OutputPreserved, r.Trials, r.MaxCost, r.CostBound, r.OK())
+}
+
+// VerifyTopK samples `trials` noise vectors for the Noisy-Top-K-with-Gap
+// mechanism on answersD, aligns each per Equation (2), and checks that the
+// aligned run on answersDPrime reproduces the output with cost at most ε
+// (Theorem 2). The two answer vectors must differ by at most 1 per coordinate
+// (sensitivity-1 adjacency); when monotonic is set they must also move in the
+// same direction, and the noise scale k/ε of the monotonic mechanism is used.
+func VerifyTopK(m *core.TopKWithGap, answersD, answersDPrime []float64, trials int, seed uint64) (Report, error) {
+	if err := checkAdjacent(answersD, answersDPrime, m.Monotonic); err != nil {
+		return Report{}, err
+	}
+	scale := m.NoiseScale()
+	src := rng.NewXoshiro(seed)
+	report := Report{Trials: trials, CostBound: m.Epsilon}
+	for t := 0; t < trials; t++ {
+		noise := rng.LaplaceVec(src, scale, len(answersD), nil)
+		outD, err := TopKShadowRun(answersD, noise, m.K)
+		if err != nil {
+			return Report{}, err
+		}
+		aligned, err := TopKAlign(answersD, answersDPrime, noise, outD.Indices)
+		if err != nil {
+			return Report{}, err
+		}
+		outDPrime, err := TopKShadowRun(answersDPrime, aligned, m.K)
+		if err != nil {
+			return Report{}, err
+		}
+		if outD.Equal(outDPrime, 1e-9) {
+			report.OutputPreserved++
+		}
+		if cost := AlignmentCost(noise, aligned, scale); cost > report.MaxCost {
+			report.MaxCost = cost
+		}
+	}
+	return report, nil
+}
+
+// checkAdjacent validates the sensitivity-1 adjacency assumption (and the
+// common direction when monotonicity is claimed).
+func checkAdjacent(answersD, answersDPrime []float64, monotonic bool) error {
+	if len(answersD) != len(answersDPrime) || len(answersD) == 0 {
+		return fmt.Errorf("alignment: answer vectors must have equal non-zero length")
+	}
+	sawUp, sawDown := false, false
+	for i := range answersD {
+		d := answersD[i] - answersDPrime[i]
+		if math.Abs(d) > 1+1e-12 {
+			return fmt.Errorf("alignment: coordinate %d differs by %v > 1 (not sensitivity-1 adjacent)", i, d)
+		}
+		if d > 0 {
+			sawDown = true // D' is smaller at i
+		}
+		if d < 0 {
+			sawUp = true
+		}
+	}
+	if monotonic && sawUp && sawDown {
+		return fmt.Errorf("alignment: query list declared monotonic but the pair moves in both directions")
+	}
+	return nil
+}

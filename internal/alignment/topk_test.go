@@ -1,0 +1,196 @@
+package alignment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// adjacentPair builds a random sensitivity-1 adjacent pair of counting-query
+// vectors. When monotone is true, D' is obtained by removing one record, so
+// every count either stays or drops by exactly 1.
+func adjacentPair(src *rng.Xoshiro, n int, monotone bool) (d, dPrime []float64) {
+	d = make([]float64, n)
+	dPrime = make([]float64, n)
+	for i := range d {
+		d[i] = float64(rng.Intn(src, 200))
+		delta := float64(rng.Intn(src, 2)) // 0 or 1
+		if monotone {
+			dPrime[i] = d[i] - delta
+		} else {
+			if rng.Float64(src) < 0.5 {
+				dPrime[i] = d[i] - delta
+			} else {
+				dPrime[i] = d[i] + delta
+			}
+		}
+	}
+	return d, dPrime
+}
+
+func TestTopKShadowRunMatchesTrueRanking(t *testing.T) {
+	answers := []float64{10, 50, 30, 40, 20}
+	noise := make([]float64, 5) // zero noise
+	out, err := TopKShadowRun(answers, noise, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{1, 3, 2}
+	wantGap := []float64{10, 10, 10}
+	for i := range wantIdx {
+		if out.Indices[i] != wantIdx[i] || math.Abs(out.Gaps[i]-wantGap[i]) > 1e-12 {
+			t.Fatalf("shadow run output %+v", out)
+		}
+	}
+}
+
+func TestTopKShadowRunErrors(t *testing.T) {
+	if _, err := TopKShadowRun(nil, nil, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := TopKShadowRun([]float64{1, 2}, []float64{0}, 1); err == nil {
+		t.Fatal("mismatched noise accepted")
+	}
+	if _, err := TopKShadowRun([]float64{1, 2}, []float64{0, 0}, 2); err == nil {
+		t.Fatal("k = n accepted")
+	}
+}
+
+func TestTopKAlignPreservesOutputAndCost(t *testing.T) {
+	// The executable version of Theorem 2: on random adjacent pairs, the
+	// Equation (2) alignment reproduces the output exactly and its cost stays
+	// within epsilon.
+	src := rng.NewXoshiro(5)
+	for _, monotonic := range []bool{false, true} {
+		m, err := core.NewTopKWithGap(3, 0.8, monotonic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			d, dPrime := adjacentPair(src, 12, monotonic)
+			report, err := VerifyTopK(m, d, dPrime, 200, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() {
+				t.Fatalf("monotonic=%v trial %d: %v", monotonic, trial, report)
+			}
+		}
+	}
+}
+
+func TestTopKAlignRejectsNonAdjacentPairs(t *testing.T) {
+	m, _ := core.NewTopKWithGap(2, 1, false)
+	d := []float64{10, 20, 30}
+	far := []float64{10, 20, 35} // differs by 5
+	if _, err := VerifyTopK(m, d, far, 10, 1); err == nil {
+		t.Fatal("non-adjacent pair accepted")
+	}
+	both := []float64{9, 21, 30} // moves both directions
+	if _, err := VerifyTopK(&core.TopKWithGap{K: 2, Epsilon: 1, Monotonic: true}, d, both, 10, 1); err == nil {
+		t.Fatal("non-monotone pair accepted for a monotonic mechanism")
+	}
+}
+
+func TestTopKAlignCostCanExceedHalfEpsilonOnlyWithoutMonotonicity(t *testing.T) {
+	// With the monotonic noise scale but a genuinely monotone pair, the cost
+	// bound epsilon holds (that is exactly the epsilon/2 saving of Theorem 2).
+	src := rng.NewXoshiro(9)
+	m, _ := core.NewTopKWithGap(4, 0.6, true)
+	d, dPrime := adjacentPair(src, 15, true)
+	report, err := VerifyTopK(m, d, dPrime, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("monotone alignment violated the budget: %v", report)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestTopKAlignBrokenScaleIsDetected(t *testing.T) {
+	// If a mechanism adds noise at half the scale Theorem 2 requires (a
+	// privacy bug), the alignment cost exceeds epsilon on a worst-case
+	// adjacent pair, so the executable check has power to detect it. The pair
+	// below maximises the shift |qᵢ−q'ᵢ + Δmax| = 2 for every selected query.
+	d := []float64{30, 29, 28, 0, 0, 0}
+	dPrime := []float64{29, 28, 27, 1, 1, 1}
+	m := &core.TopKWithGap{K: 3, Epsilon: 1.0, Monotonic: false}
+
+	// Correctly scaled noise: never exceeds the bound.
+	report, err := VerifyTopK(m, d, dPrime, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("correctly-scaled mechanism flagged: %v", report)
+	}
+
+	// Under-scaled noise (half of 2k/epsilon): the same alignment shifts now
+	// cost twice as much relative to the scale, exceeding epsilon.
+	src := rng.NewXoshiro(11)
+	scale := m.NoiseScale() / 2
+	violations := 0
+	for trial := 0; trial < 300; trial++ {
+		noise := rng.LaplaceVec(src, scale, len(d), nil)
+		out, err := TopKShadowRun(d, noise, m.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aligned, err := TopKAlign(d, dPrime, noise, out.Indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if AlignmentCost(noise, aligned, scale) > m.Epsilon*(1+1e-9) {
+			violations++
+		}
+	}
+	if violations < 100 {
+		t.Fatalf("under-scaled noise exceeded the cost bound in only %d/300 trials; the check has no power", violations)
+	}
+}
+
+func TestAlignmentCostPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AlignmentCost([]float64{1}, []float64{2}, 0)
+}
+
+func TestMaxStabilityLemma3(t *testing.T) {
+	// Lemma 3: coordinate-wise closeness bounds the difference of maxima.
+	f := func(seed uint64) bool {
+		local := rng.NewXoshiro(seed)
+		n := 1 + rng.Intn(local, 20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = 100 * rng.Float64(local)
+			ys[i] = xs[i] + (rng.Float64(local)*2 - 1) // differ by at most 1
+		}
+		coordDiff, maxDiff := MaxStability(xs, ys)
+		return maxDiff <= coordDiff+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKAlignErrors(t *testing.T) {
+	if _, err := TopKAlign([]float64{1}, []float64{1, 2}, []float64{0}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := TopKAlign([]float64{1, 2}, []float64{1, 2}, []float64{0, 0}, []int{5}); err == nil {
+		t.Fatal("out-of-range selection accepted")
+	}
+	if _, err := TopKAlign([]float64{1, 2}, []float64{1, 2}, []float64{0, 0}, []int{0, 1}); err == nil {
+		t.Fatal("alignment with no unselected queries accepted")
+	}
+}

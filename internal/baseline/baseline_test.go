@@ -1,0 +1,286 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestNewLaplaceMechanismValidation(t *testing.T) {
+	if _, err := NewLaplaceMechanism(0, 1); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := NewLaplaceMechanism(1, 0); err == nil {
+		t.Fatal("sensitivity 0 accepted")
+	}
+	m, err := NewLaplaceMechanism(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scale() != 4 {
+		t.Fatalf("scale %v, want 4", m.Scale())
+	}
+	if m.Variance() != 32 {
+		t.Fatalf("variance %v, want 32", m.Variance())
+	}
+}
+
+func TestLaplaceMechanismAnswerUnbiased(t *testing.T) {
+	m, _ := NewLaplaceMechanism(1, 1)
+	src := rng.NewXoshiro(1)
+	answers := []float64{10, -5, 0}
+	const trials = 20000
+	sums := make([]float64, len(answers))
+	for i := 0; i < trials; i++ {
+		noisy := m.Answer(src, answers)
+		for j, v := range noisy {
+			sums[j] += v
+		}
+	}
+	for j, want := range answers {
+		got := sums[j] / trials
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("coordinate %d mean %v, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestMeasureSelected(t *testing.T) {
+	m, _ := NewLaplaceMechanism(1, 1)
+	src := rng.NewXoshiro(2)
+	answers := []float64{10, 20, 30, 40}
+	got, err := m.MeasureSelected(src, answers, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("length %d", len(got))
+	}
+	if _, err := m.MeasureSelected(src, answers, []int{9}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	empty, err := m.MeasureSelected(src, answers, nil)
+	if err != nil || empty != nil {
+		t.Fatalf("empty selection: %v, %v", empty, err)
+	}
+	if v := m.MeasurementVariance(2); v != rng.LaplaceVariance(2) {
+		t.Fatalf("measurement variance %v", v)
+	}
+}
+
+func TestMeasureSelectedVarianceEmpirical(t *testing.T) {
+	m, _ := NewLaplaceMechanism(0.5, 1)
+	src := rng.NewXoshiro(3)
+	answers := []float64{100}
+	const trials = 30000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v, err := m.MeasureSelected(src, answers, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v[0]
+		sumSq += v[0] * v[0]
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	want := m.MeasurementVariance(1)
+	if math.Abs(variance-want) > 0.1*want {
+		t.Fatalf("empirical variance %v, want ≈ %v", variance, want)
+	}
+}
+
+func TestNoisyTopKValidation(t *testing.T) {
+	if _, err := NewNoisyTopK(0, 1, true); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewNoisyTopK(2, 0, true); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	m, _ := NewNoisyTopK(4, 2, false)
+	if m.NoiseScale() != 4 {
+		t.Fatalf("scale %v, want 2k/eps = 4", m.NoiseScale())
+	}
+	mono, _ := NewNoisyTopK(4, 2, true)
+	if mono.NoiseScale() != 2 {
+		t.Fatalf("monotonic scale %v, want k/eps = 2", mono.NoiseScale())
+	}
+}
+
+func TestNoisyTopKSelect(t *testing.T) {
+	m, _ := NewNoisyTopK(2, 100, true)
+	src := rng.NewXoshiro(4)
+	answers := []float64{5, 1000, 3, 900, 1}
+	idx, err := m.Select(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("selected %v, want [1 3]", idx)
+	}
+	if _, err := m.Select(src, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	big, _ := NewNoisyTopK(10, 1, true)
+	if _, err := big.Select(src, answers); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestNoisyMax(t *testing.T) {
+	src := rng.NewXoshiro(5)
+	idx, err := NoisyMax(src, []float64{1, 2, 500}, 50, true)
+	if err != nil || idx != 2 {
+		t.Fatalf("NoisyMax = %d, %v", idx, err)
+	}
+	if _, err := NoisyMax(src, []float64{1}, 0, true); err == nil {
+		t.Fatal("invalid epsilon accepted")
+	}
+}
+
+func TestThetaLyu(t *testing.T) {
+	if got, want := ThetaLyu(1, true), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ThetaLyu(1, mono) = %v, want %v", got, want)
+	}
+	want := 1 / (1 + math.Pow(20, 2.0/3.0))
+	if got := ThetaLyu(10, false); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ThetaLyu(10) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	ThetaLyu(0, true)
+}
+
+func TestSparseVectorValidation(t *testing.T) {
+	if _, err := NewSparseVector(0, 1, 10, 0.3, true); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSparseVector(2, 0, 10, 0.3, true); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewSparseVector(2, 1, 10, 0, true); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+	if _, err := NewSparseVector(2, 1, 10, 1, true); err == nil {
+		t.Fatal("theta=1 accepted")
+	}
+}
+
+func TestSparseVectorRun(t *testing.T) {
+	m, err := NewSparseVector(3, 1, 100, ThetaLyu(3, true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXoshiro(6)
+	answers := []float64{1e6, -1e6, 1e6, 1e6, 1e6}
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 3 {
+		t.Fatalf("above count %d, want 3", res.AboveCount)
+	}
+	above := res.AboveIndices()
+	if len(above) != 3 {
+		t.Fatalf("above indices %v", above)
+	}
+	for _, idx := range above {
+		if idx == 1 {
+			t.Fatal("hopelessly below-threshold query reported above")
+		}
+	}
+	if res.BudgetSpent > m.Epsilon+1e-9 {
+		t.Fatalf("budget spent %v exceeds %v", res.BudgetSpent, m.Epsilon)
+	}
+	if _, err := m.Run(src, nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestSparseVectorStopsAtK(t *testing.T) {
+	m, _ := NewSparseVector(2, 1, 0, ThetaLyu(2, true), true)
+	src := rng.NewXoshiro(7)
+	answers := make([]float64, 50)
+	for i := range answers {
+		answers[i] = 1e6
+	}
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 2 {
+		t.Fatalf("above count %d, want 2", res.AboveCount)
+	}
+	if len(res.Answers) > len(answers) {
+		t.Fatal("processed more queries than exist")
+	}
+	// The stream must stop right after the second positive answer.
+	last := res.Answers[len(res.Answers)-1]
+	if !last.Above {
+		t.Fatal("final processed query should be the k-th positive")
+	}
+}
+
+func TestExponentialMechanism(t *testing.T) {
+	if _, err := NewExponentialMechanism(0, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewExponentialMechanism(1, 0); err == nil {
+		t.Fatal("sensitivity=0 accepted")
+	}
+	m, _ := NewExponentialMechanism(20, 1)
+	src := rng.NewXoshiro(8)
+	utilities := []float64{1, 50, 2}
+	wins := 0
+	for i := 0; i < 500; i++ {
+		idx, err := m.Select(src, utilities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 1 {
+			wins++
+		}
+	}
+	if wins < 490 {
+		t.Fatalf("high-utility item won only %d of 500 at eps=20", wins)
+	}
+	if _, err := m.Select(src, nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+}
+
+func TestExponentialSelectTopK(t *testing.T) {
+	m, _ := NewExponentialMechanism(60, 1)
+	src := rng.NewXoshiro(9)
+	utilities := []float64{1, 100, 2, 90, 3, 80}
+	chosen, err := m.SelectTopK(src, utilities, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("chose %d items", len(chosen))
+	}
+	seen := map[int]bool{}
+	for _, c := range chosen {
+		if seen[c] {
+			t.Fatalf("item %d chosen twice", c)
+		}
+		seen[c] = true
+	}
+	// With a huge budget the three high-utility items must win.
+	for _, want := range []int{1, 3, 5} {
+		if !seen[want] {
+			t.Fatalf("expected item %d among %v", want, chosen)
+		}
+	}
+	if _, err := m.SelectTopK(src, utilities, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := m.SelectTopK(src, utilities, 10); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package baseline implements the classical differentially private mechanisms
+// that the paper's new mechanisms are measured against and built from:
+//
+//   - the Laplace mechanism (Theorem 1), used for the "measurement" half of the
+//     select-then-measure protocols of Sections 5.2 and 6.2;
+//   - classic Noisy Max / Noisy Top-K (Dwork & Roth), which report indices only
+//     and throw the gaps away;
+//   - the classic Sparse Vector Technique in the formulation recommended by
+//     Lyu, Su and Li (VLDB 2017), the gap-free baseline of Figures 3 and 4;
+//   - the exponential mechanism (McSherry & Talwar), implemented with the
+//     Gumbel-max trick, as an additional selection baseline from related work.
+//
+// Everything here reports exactly what the original algorithms report, so the
+// experiment harness can quantify what the free gap information adds.
+package baseline

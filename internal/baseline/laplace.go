@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// LaplaceMechanism answers a vector-valued query by adding independent
+// Laplace(sensitivity/ε) noise to every coordinate (Theorem 1 of the paper).
+type LaplaceMechanism struct {
+	Epsilon     float64 // total privacy budget for the whole vector
+	Sensitivity float64 // L1 sensitivity of the whole vector answer
+}
+
+// NewLaplaceMechanism validates the parameters and returns the mechanism.
+func NewLaplaceMechanism(epsilon, sensitivity float64) (*LaplaceMechanism, error) {
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("baseline: epsilon %v must be positive", epsilon)
+	}
+	if !(sensitivity > 0) {
+		return nil, fmt.Errorf("baseline: sensitivity %v must be positive", sensitivity)
+	}
+	return &LaplaceMechanism{Epsilon: epsilon, Sensitivity: sensitivity}, nil
+}
+
+// Scale returns the Laplace scale parameter sensitivity/ε used per coordinate.
+func (m *LaplaceMechanism) Scale() float64 { return m.Sensitivity / m.Epsilon }
+
+// Variance returns the per-coordinate noise variance 2·(sensitivity/ε)².
+func (m *LaplaceMechanism) Variance() float64 { return rng.LaplaceVariance(m.Scale()) }
+
+// Answer returns answers + Laplace(Scale()) noise, coordinate-wise.
+func (m *LaplaceMechanism) Answer(src rng.Source, answers []float64) []float64 {
+	out := make([]float64, len(answers))
+	for i, a := range answers {
+		out[i] = a + rng.Laplace(src, m.Scale())
+	}
+	return out
+}
+
+// MeasureSelected answers only the queries at the given indices, splitting the
+// mechanism's budget evenly across them: each selected query receives
+// Laplace(k·sensitivity/ε) noise, which is the measurement stage used in
+// Sections 5.2 and 6.2 (add Laplace(2k/ε) noise when ε here is half the total
+// budget).
+func (m *LaplaceMechanism) MeasureSelected(src rng.Source, answers []float64, indices []int) ([]float64, error) {
+	k := len(indices)
+	if k == 0 {
+		return nil, nil
+	}
+	scale := float64(k) * m.Sensitivity / m.Epsilon
+	out := make([]float64, k)
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(answers) {
+			return nil, fmt.Errorf("baseline: selected index %d out of range [0,%d)", idx, len(answers))
+		}
+		out[i] = answers[idx] + rng.Laplace(src, scale)
+	}
+	return out, nil
+}
+
+// MeasurementVariance returns the per-query variance of MeasureSelected when k
+// queries share the budget: 2·(k·sensitivity/ε)².
+func (m *LaplaceMechanism) MeasurementVariance(k int) float64 {
+	scale := float64(k) * m.Sensitivity / m.Epsilon
+	return rng.LaplaceVariance(scale)
+}

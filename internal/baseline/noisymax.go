@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// NoisyTopK is the classical Noisy Top-K mechanism (Dwork & Roth; the paper's
+// Algorithm 1 with the boxed gap outputs removed): add Laplace(2k/ε) noise to
+// every query answer and return the indices of the k largest noisy answers in
+// descending order. For monotonic query lists (Definition 7, e.g. counting
+// queries) Laplace(k/ε) noise suffices for the same ε.
+type NoisyTopK struct {
+	K         int
+	Epsilon   float64
+	Monotonic bool
+}
+
+// NewNoisyTopK validates parameters and returns the mechanism.
+func NewNoisyTopK(k int, epsilon float64, monotonic bool) (*NoisyTopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k = %d must be positive", k)
+	}
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("baseline: epsilon %v must be positive", epsilon)
+	}
+	return &NoisyTopK{K: k, Epsilon: epsilon, Monotonic: monotonic}, nil
+}
+
+// NoiseScale returns the per-query Laplace scale: 2k/ε in general, k/ε for
+// monotonic query lists.
+func (m *NoisyTopK) NoiseScale() float64 {
+	scale := 2 * float64(m.K) / m.Epsilon
+	if m.Monotonic {
+		scale = float64(m.K) / m.Epsilon
+	}
+	return scale
+}
+
+// Select returns the indices of the (approximately) k largest queries in
+// descending noisy order. Unlike the gap variant in internal/core it reveals
+// nothing about how close the race was.
+func (m *NoisyTopK) Select(src rng.Source, answers []float64) ([]int, error) {
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("baseline: no queries")
+	}
+	k := m.K
+	if k > len(answers) {
+		return nil, fmt.Errorf("baseline: k = %d larger than number of queries %d", k, len(answers))
+	}
+	scale := m.NoiseScale()
+	noisy := make([]float64, len(answers))
+	for i, a := range answers {
+		noisy[i] = a + rng.Laplace(src, scale)
+	}
+	idx := make([]int, len(answers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return noisy[idx[a]] > noisy[idx[b]] })
+	return idx[:k], nil
+}
+
+// NoisyMax is the k = 1 special case: it returns the index of the
+// approximately largest query.
+func NoisyMax(src rng.Source, answers []float64, epsilon float64, monotonic bool) (int, error) {
+	m, err := NewNoisyTopK(1, epsilon, monotonic)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := m.Select(src, answers)
+	if err != nil {
+		return 0, err
+	}
+	return idx[0], nil
+}

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// SparseVector is the classical Sparse Vector Technique in the corrected
+// formulation of Lyu, Su and Li (SVT "Algorithm 1"), the gap-free baseline of
+// the paper's Figures 3 and 4. Given a public threshold T and a stream of
+// sensitivity-1 queries, it reports, for each query, whether its noisy answer
+// exceeds a noisy threshold, stopping after K positive reports.
+//
+// The total budget ε is split as ε₀ = θ·ε for the threshold and
+// ε₁ = (1−θ)·ε/K per positive answer. Lyu et al. recommend
+// θ = 1/(1+(2K)^{2/3}) in general and θ = 1/(1+K^{2/3}) for monotonic queries,
+// which ThetaLyu computes.
+type SparseVector struct {
+	K         int
+	Epsilon   float64
+	Threshold float64
+	Theta     float64
+	Monotonic bool
+}
+
+// ThetaLyu returns the Lyu et al. budget-split parameter θ for k positive
+// answers: 1/(1+(2k)^{2/3}), or 1/(1+k^{2/3}) when the query list is
+// monotonic.
+func ThetaLyu(k int, monotonic bool) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("baseline: k = %d must be positive", k))
+	}
+	c := float64(2 * k)
+	if monotonic {
+		c = float64(k)
+	}
+	return 1 / (1 + math.Pow(c, 2.0/3.0))
+}
+
+// NewSparseVector validates parameters and returns the mechanism. theta must
+// lie strictly between 0 and 1; use ThetaLyu for the recommended setting.
+func NewSparseVector(k int, epsilon, threshold, theta float64, monotonic bool) (*SparseVector, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k = %d must be positive", k)
+	}
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("baseline: epsilon %v must be positive", epsilon)
+	}
+	if !(theta > 0 && theta < 1) {
+		return nil, fmt.Errorf("baseline: theta %v must be in (0,1)", theta)
+	}
+	return &SparseVector{K: k, Epsilon: epsilon, Threshold: threshold, Theta: theta, Monotonic: monotonic}, nil
+}
+
+// SVTAnswer is one per-query report of the classic SVT.
+type SVTAnswer struct {
+	Index int  // position in the query stream
+	Above bool // true = ">", false = "⊥"
+}
+
+// SVTResult is the full output of one SVT run.
+type SVTResult struct {
+	Answers     []SVTAnswer // one entry per processed query, in stream order
+	AboveCount  int         // number of ">" answers (≤ K)
+	BudgetSpent float64     // ε consumed: ε₀ plus ε₁ per positive answer
+}
+
+// AboveIndices returns the stream positions reported as above-threshold.
+func (r *SVTResult) AboveIndices() []int {
+	out := make([]int, 0, r.AboveCount)
+	for _, a := range r.Answers {
+		if a.Above {
+			out = append(out, a.Index)
+		}
+	}
+	return out
+}
+
+// Run processes the query stream until K positive answers have been produced
+// or the stream is exhausted.
+//
+// Noise scales follow Lyu et al.: threshold noise Laplace(1/ε₀) and per-query
+// noise Laplace(2K/ε₁′) where ε₁′ = (1−θ)·ε is the total query budget — i.e.
+// each query gets Laplace(2K/((1−θ)ε)); for monotonic queries the factor 2
+// drops.
+func (m *SparseVector) Run(src rng.Source, answers []float64) (*SVTResult, error) {
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("baseline: no queries")
+	}
+	eps0 := m.Theta * m.Epsilon
+	epsQueries := (1 - m.Theta) * m.Epsilon
+	perQueryFactor := 2.0
+	if m.Monotonic {
+		perQueryFactor = 1.0
+	}
+	queryScale := perQueryFactor * float64(m.K) / epsQueries
+
+	noisyThreshold := m.Threshold + rng.Laplace(src, 1/eps0)
+	result := &SVTResult{BudgetSpent: eps0}
+	for i, q := range answers {
+		if result.AboveCount >= m.K {
+			break
+		}
+		noisy := q + rng.Laplace(src, queryScale)
+		above := noisy >= noisyThreshold
+		result.Answers = append(result.Answers, SVTAnswer{Index: i, Above: above})
+		if above {
+			result.AboveCount++
+			result.BudgetSpent += epsQueries / float64(m.K)
+		}
+	}
+	return result, nil
+}

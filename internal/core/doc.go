@@ -1,0 +1,21 @@
+// Package core implements the paper's two contributions:
+//
+//   - Noisy-Max-with-Gap and Noisy-Top-K-with-Gap (Algorithm 1, Section 5):
+//     the classical Noisy Max / Top-K selection mechanism extended to also
+//     release, at no additional privacy cost, the noisy gap between each
+//     selected query and the next-best query.
+//
+//   - Sparse-Vector-with-Gap (Wang et al., recovered as the σ → ∞ special
+//     case) and Adaptive-Sparse-Vector-with-Gap (Algorithm 2, Section 6): the
+//     Sparse Vector Technique extended to release the noisy gap above the
+//     threshold for every positive answer and, in the adaptive variant, to
+//     charge less privacy budget for queries that clear the threshold by a
+//     wide margin, so more above-threshold queries fit in the same budget.
+//
+// The privacy arguments in the paper (Theorems 2 and 4, proved via the
+// randomness-alignment framework of Section 4) fix the exact noise scales used
+// here; the doc comment of every exported mechanism states them. The
+// mechanisms report only what the proofs allow: selected indices, gaps, and
+// per-answer budget charges. Raw noisy query values and the noisy threshold
+// stay private.
+package core

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// NoiseKind selects the additive noise distribution used by the mechanisms.
+// The privacy analysis (Definition 6 in the paper) only requires
+// log(f(x)/f(y)) ≤ |x−y|/α, which Laplace, Discrete Laplace and Staircase all
+// satisfy, so they are interchangeable from a privacy standpoint; they differ
+// in utility and in tie behaviour on finite-precision machines.
+type NoiseKind int
+
+const (
+	// NoiseLaplace is the continuous Laplace distribution used throughout the
+	// paper's analysis (the default).
+	NoiseLaplace NoiseKind = iota
+	// NoiseDiscreteLaplace is the Discrete Laplace distribution over multiples
+	// of a base γ, discussed in the paper's "implementation issues" and
+	// Appendix A.1.
+	NoiseDiscreteLaplace
+	// NoiseStaircase is the staircase distribution of Geng and Viswanath.
+	NoiseStaircase
+)
+
+// String implements fmt.Stringer.
+func (k NoiseKind) String() string {
+	switch k {
+	case NoiseLaplace:
+		return "laplace"
+	case NoiseDiscreteLaplace:
+		return "discrete-laplace"
+	case NoiseStaircase:
+		return "staircase"
+	default:
+		return fmt.Sprintf("NoiseKind(%d)", int(k))
+	}
+}
+
+// noiser draws zero-mean noise with a given Laplace-equivalent scale b (the
+// distribution satisfies log(f(x)/f(y)) ≤ |x−y|/b).
+type noiser struct {
+	kind NoiseKind
+	base float64 // discretization base for NoiseDiscreteLaplace
+}
+
+// defaultDiscreteBase approximates machine epsilon for float64, the
+// granularity the paper assumes when bounding tie probabilities.
+const defaultDiscreteBase = 1.0 / (1 << 52)
+
+func (n noiser) sample(src rng.Source, scale float64) float64 {
+	switch n.kind {
+	case NoiseDiscreteLaplace:
+		base := n.base
+		if base <= 0 {
+			base = defaultDiscreteBase
+		}
+		return rng.DiscreteLaplace(src, 1/scale, base)
+	case NoiseStaircase:
+		eps := 1 / scale
+		return rng.Staircase(src, eps, 1, rng.StaircaseOptimalGamma(eps))
+	default:
+		return rng.Laplace(src, scale)
+	}
+}

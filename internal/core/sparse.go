@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// Branch identifies which branch of Adaptive-Sparse-Vector-with-Gap
+// (Algorithm 2) produced an answer, which also determines the privacy charge
+// for that answer.
+type Branch int
+
+const (
+	// BranchBelow is the "⊥" branch: the query did not clear the noisy
+	// threshold. It costs no privacy budget.
+	BranchBelow Branch = iota
+	// BranchTop is the first "if" branch: the heavily-noised query cleared the
+	// noisy threshold by at least σ. It costs ε₂ (the small charge).
+	BranchTop
+	// BranchMiddle is the second "if" branch: the moderately-noised query
+	// cleared the noisy threshold. It costs ε₁ (the baseline charge).
+	BranchMiddle
+)
+
+// String implements fmt.Stringer.
+func (b Branch) String() string {
+	switch b {
+	case BranchBelow:
+		return "below"
+	case BranchTop:
+		return "top"
+	case BranchMiddle:
+		return "middle"
+	default:
+		return fmt.Sprintf("Branch(%d)", int(b))
+	}
+}
+
+// SVTItem is one per-query output of the Sparse Vector variants.
+type SVTItem struct {
+	// Index is the query's position in the stream.
+	Index int
+	// Above reports whether the query was declared above the threshold.
+	Above bool
+	// Gap is the released noisy gap between the query and the threshold; it is
+	// only meaningful (and non-negative... strictly, ≥ 0 for the middle branch
+	// and ≥ σ for the top branch) when Above is true.
+	Gap float64
+	// Branch identifies which branch produced the answer.
+	Branch Branch
+	// BudgetUsed is the privacy charge for this answer (0, ε₁ or ε₂).
+	BudgetUsed float64
+}
+
+// SVTGapResult is the output of one run of Sparse-Vector-with-Gap or
+// Adaptive-Sparse-Vector-with-Gap.
+type SVTGapResult struct {
+	// Items holds one entry per processed query, in stream order. Queries
+	// after the stopping point are not represented.
+	Items []SVTItem
+	// AboveCount is the number of above-threshold answers.
+	AboveCount int
+	// BudgetSpent is the total privacy budget consumed, including the
+	// threshold charge ε₀.
+	BudgetSpent float64
+	// Budget is the total budget ε the mechanism was configured with.
+	Budget float64
+	// Threshold is the public threshold the gaps are measured against.
+	Threshold float64
+	// GapVariancesByBranch maps each answering branch to the variance of its
+	// released gap (threshold noise plus query noise), consumed by the
+	// confidence-interval and combination estimators.
+	GapVariancesByBranch map[Branch]float64
+}
+
+// Remaining returns the unspent budget ε − BudgetSpent (never negative).
+func (r *SVTGapResult) Remaining() float64 {
+	rem := r.Budget - r.BudgetSpent
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// RemainingFraction returns Remaining()/Budget, the quantity plotted in
+// Figure 4.
+func (r *SVTGapResult) RemainingFraction() float64 { return r.Remaining() / r.Budget }
+
+// AboveIndices returns the stream positions declared above-threshold, in
+// stream order.
+func (r *SVTGapResult) AboveIndices() []int {
+	out := make([]int, 0, r.AboveCount)
+	for _, it := range r.Items {
+		if it.Above {
+			out = append(out, it.Index)
+		}
+	}
+	return out
+}
+
+// AboveItems returns only the above-threshold items, in stream order.
+func (r *SVTGapResult) AboveItems() []SVTItem {
+	out := make([]SVTItem, 0, r.AboveCount)
+	for _, it := range r.Items {
+		if it.Above {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// CountByBranch returns how many answers came from the given branch.
+func (r *SVTGapResult) CountByBranch(b Branch) int {
+	n := 0
+	for _, it := range r.Items {
+		if it.Branch == b {
+			n++
+		}
+	}
+	return n
+}
+
+// GapEstimates returns, for each above-threshold item, the estimate
+// gap + threshold of the query's true value, along with the matching
+// variances. This is the "γᵢ + T" estimator of Section 6.2.
+func (r *SVTGapResult) GapEstimates() (estimates, variances []float64, indices []int) {
+	for _, it := range r.Items {
+		if !it.Above {
+			continue
+		}
+		estimates = append(estimates, it.Gap+r.Threshold)
+		variances = append(variances, r.GapVariancesByBranch[it.Branch])
+		indices = append(indices, it.Index)
+	}
+	return estimates, variances, indices
+}
+
+// AdaptiveSVTWithGap is Adaptive-Sparse-Vector-with-Gap (Algorithm 2).
+//
+// Budget layout for a target budget ε, hyper-parameter θ ∈ (0,1) and minimum
+// answer count k:
+//
+//	ε₀ = θ·ε          threshold noise Laplace(1/ε₀)
+//	ε₁ = (1−θ)·ε/k    middle-branch charge, query noise Laplace(2/ε₁)
+//	ε₂ = ε₁/2         top-branch charge, query noise Laplace(2/ε₂)
+//	σ  = 2·stddev of the top-branch noise = 4√2/ε₂
+//
+// For monotonic query lists the query noise scales drop to 1/ε₁ and 1/ε₂ and
+// σ to 2√2/ε₂ (footnote 6 of the paper). Each query is first tested with the
+// heavy top-branch noise; clearing the noisy threshold by at least σ costs
+// only ε₂. Otherwise the moderate-noise test runs, costing ε₁ on success and
+// nothing on failure. The mechanism stops when the spent budget exceeds ε
+// minus one worst-case charge, so by Theorem 4 the whole interaction satisfies
+// ε-differential privacy.
+type AdaptiveSVTWithGap struct {
+	// K is the minimum number of above-threshold answers the mechanism can
+	// always deliver (the budget is provisioned for k middle-branch answers).
+	K int
+	// Epsilon is the total privacy budget.
+	Epsilon float64
+	// Threshold is the public threshold T.
+	Threshold float64
+	// Theta controls the budget split between threshold and queries. If zero,
+	// the Lyu et al. recommendation 1/(1+(2k)^{2/3}) (or 1/(1+k^{2/3}) for
+	// monotonic lists) is used.
+	Theta float64
+	// Monotonic declares a monotonic query list (Definition 7).
+	Monotonic bool
+	// SigmaMultiplier scales the top-branch margin σ in units of the
+	// top-branch noise standard deviation. Zero means the paper's choice of 2.
+	// math.Inf(1) disables the top branch, recovering Sparse-Vector-with-Gap.
+	SigmaMultiplier float64
+	// MaxAnswers optionally stops the run after this many above-threshold
+	// answers even if budget remains (0 = no cap). Figure 4 stops after K.
+	MaxAnswers int
+	// Noise selects the noise distribution; the zero value is Laplace.
+	Noise NoiseKind
+	// DiscreteBase is the granularity for NoiseDiscreteLaplace (0 = machine
+	// epsilon).
+	DiscreteBase float64
+}
+
+// NewAdaptiveSVTWithGap returns an adaptive mechanism with the paper's default
+// θ and σ settings.
+func NewAdaptiveSVTWithGap(k int, epsilon, threshold float64, monotonic bool) (*AdaptiveSVTWithGap, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidK, k)
+	}
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, epsilon)
+	}
+	return &AdaptiveSVTWithGap{K: k, Epsilon: epsilon, Threshold: threshold, Monotonic: monotonic}, nil
+}
+
+// theta returns the configured or recommended budget-split parameter.
+func (m *AdaptiveSVTWithGap) theta() float64 {
+	if m.Theta > 0 && m.Theta < 1 {
+		return m.Theta
+	}
+	c := float64(2 * m.K)
+	if m.Monotonic {
+		c = float64(m.K)
+	}
+	return 1 / (1 + math.Pow(c, 2.0/3.0))
+}
+
+// budgets returns (ε₀, ε₁, ε₂).
+func (m *AdaptiveSVTWithGap) budgets() (eps0, eps1, eps2 float64) {
+	eps0 = m.theta() * m.Epsilon
+	eps1 = (1 - m.theta()) * m.Epsilon / float64(m.K)
+	eps2 = eps1 / 2
+	return eps0, eps1, eps2
+}
+
+// noiseScales returns the threshold scale and the per-branch query noise
+// scales (top, middle).
+func (m *AdaptiveSVTWithGap) noiseScales() (threshold, top, middle float64) {
+	eps0, eps1, eps2 := m.budgets()
+	factor := 2.0
+	if m.Monotonic {
+		factor = 1.0
+	}
+	return 1 / eps0, factor / eps2, factor / eps1
+}
+
+// sigma returns the top-branch margin: SigmaMultiplier (default 2) times the
+// standard deviation of the top-branch query noise.
+func (m *AdaptiveSVTWithGap) sigma() float64 {
+	mult := m.SigmaMultiplier
+	if mult == 0 {
+		mult = 2
+	}
+	if math.IsInf(mult, 1) {
+		return math.Inf(1)
+	}
+	_, topScale, _ := m.noiseScales()
+	return mult * math.Sqrt(rng.LaplaceVariance(topScale))
+}
+
+// Budgets returns the three budget components (ε₀, ε₁, ε₂) derived from the
+// mechanism's configuration: the threshold charge, the middle-branch charge
+// and the top-branch charge.
+func (m *AdaptiveSVTWithGap) Budgets() (eps0, eps1, eps2 float64) { return m.budgets() }
+
+// NoiseScales returns the Laplace scales actually used: the threshold noise
+// scale and the top- and middle-branch query noise scales.
+func (m *AdaptiveSVTWithGap) NoiseScales() (threshold, top, middle float64) {
+	return m.noiseScales()
+}
+
+// Sigma returns the top-branch margin σ (the paper's choice is two standard
+// deviations of the top-branch noise).
+func (m *AdaptiveSVTWithGap) Sigma() float64 { return m.sigma() }
+
+// BudgetSplit returns the θ actually used (the configured value, or the Lyu et
+// al. recommendation when Theta is zero).
+func (m *AdaptiveSVTWithGap) BudgetSplit() float64 { return m.theta() }
+
+// Run processes the query stream. It stops when the remaining budget can no
+// longer cover a worst-case (middle-branch) answer, when MaxAnswers
+// above-threshold answers have been produced, or when the stream ends.
+func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResult, error) {
+	if len(answers) == 0 {
+		return nil, ErrNoQueries
+	}
+	if m.K <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidK, m.K)
+	}
+	if !(m.Epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, m.Epsilon)
+	}
+	eps0, eps1, eps2 := m.budgets()
+	thresholdScale, topScale, middleScale := m.noiseScales()
+	sigma := m.sigma()
+	nz := noiser{kind: m.Noise, base: m.DiscreteBase}
+
+	noisyThreshold := m.Threshold + nz.sample(src, thresholdScale)
+
+	result := &SVTGapResult{
+		Budget:    m.Epsilon,
+		Threshold: m.Threshold,
+		GapVariancesByBranch: map[Branch]float64{
+			BranchTop:    rng.LaplaceVariance(thresholdScale) + rng.LaplaceVariance(topScale),
+			BranchMiddle: rng.LaplaceVariance(thresholdScale) + rng.LaplaceVariance(middleScale),
+		},
+	}
+	// The threshold charge ε₀ is paid up front; the loop then charges ε₂ or ε₁
+	// per positive answer. Stopping while cost ≤ ε − ε₁ guarantees the total
+	// never exceeds ε (Theorem 4).
+	cost := eps0
+
+	for i, q := range answers {
+		if m.MaxAnswers > 0 && result.AboveCount >= m.MaxAnswers {
+			break
+		}
+		xi := nz.sample(src, topScale)
+		topGap := q + xi - noisyThreshold
+		if !math.IsInf(sigma, 1) && topGap >= sigma {
+			result.Items = append(result.Items, SVTItem{
+				Index: i, Above: true, Gap: topGap, Branch: BranchTop, BudgetUsed: eps2,
+			})
+			result.AboveCount++
+			cost += eps2
+		} else {
+			eta := nz.sample(src, middleScale)
+			middleGap := q + eta - noisyThreshold
+			if middleGap >= 0 {
+				result.Items = append(result.Items, SVTItem{
+					Index: i, Above: true, Gap: middleGap, Branch: BranchMiddle, BudgetUsed: eps1,
+				})
+				result.AboveCount++
+				cost += eps1
+			} else {
+				result.Items = append(result.Items, SVTItem{
+					Index: i, Above: false, Branch: BranchBelow, BudgetUsed: 0,
+				})
+			}
+		}
+		if cost > m.Epsilon-eps1 {
+			break
+		}
+	}
+	result.BudgetSpent = cost
+	return result, nil
+}
+
+// SVTWithGap is Sparse-Vector-with-Gap (Wang et al. [41]): the classic Sparse
+// Vector Technique that additionally releases the noisy gap above the noisy
+// threshold for every positive answer, at no extra privacy cost. It is exactly
+// Algorithm 2 with the top branch disabled (σ = ∞): every positive answer
+// costs ε₁ and the mechanism stops after K positives.
+type SVTWithGap struct {
+	K         int
+	Epsilon   float64
+	Threshold float64
+	// Theta is the threshold/query budget split; zero selects the Lyu et al.
+	// recommendation.
+	Theta     float64
+	Monotonic bool
+	Noise     NoiseKind
+	// DiscreteBase is the granularity for NoiseDiscreteLaplace (0 = machine
+	// epsilon).
+	DiscreteBase float64
+}
+
+// NewSVTWithGap returns a Sparse-Vector-with-Gap mechanism with the
+// recommended budget split.
+func NewSVTWithGap(k int, epsilon, threshold float64, monotonic bool) (*SVTWithGap, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidK, k)
+	}
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, epsilon)
+	}
+	return &SVTWithGap{K: k, Epsilon: epsilon, Threshold: threshold, Monotonic: monotonic}, nil
+}
+
+// GapVariance returns the variance of each released gap: threshold noise
+// variance plus query noise variance. With the 1:c^{2/3} split of Lyu et al.
+// (c = 2k, or k for monotonic lists) this equals 2(1+c^{2/3})³/ε² in terms of
+// this mechanism's own budget ε; when the mechanism is run on half of a total
+// budget (ε = ε_total/2, the Section 6.2 protocol) this is the
+// 8(1+c^{2/3})³/ε_total² quoted in the paper.
+func (m *SVTWithGap) GapVariance() float64 {
+	a := m.adaptive()
+	_, eps1, _ := a.budgets()
+	eps0 := a.theta() * m.Epsilon
+	factor := 2.0
+	if m.Monotonic {
+		factor = 1.0
+	}
+	return rng.LaplaceVariance(1/eps0) + rng.LaplaceVariance(factor/eps1)
+}
+
+// adaptive builds the equivalent Adaptive mechanism with the top branch
+// disabled.
+func (m *SVTWithGap) adaptive() *AdaptiveSVTWithGap {
+	return &AdaptiveSVTWithGap{
+		K:               m.K,
+		Epsilon:         m.Epsilon,
+		Threshold:       m.Threshold,
+		Theta:           m.Theta,
+		Monotonic:       m.Monotonic,
+		SigmaMultiplier: math.Inf(1),
+		MaxAnswers:      m.K,
+		Noise:           m.Noise,
+		DiscreteBase:    m.DiscreteBase,
+	}
+}
+
+// Run processes the stream until K above-threshold answers have been released
+// or the stream/budget is exhausted.
+func (m *SVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResult, error) {
+	return m.adaptive().Run(src, answers)
+}

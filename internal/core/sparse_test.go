@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestNewAdaptiveSVTValidation(t *testing.T) {
+	if _, err := NewAdaptiveSVTWithGap(0, 1, 10, true); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if _, err := NewAdaptiveSVTWithGap(3, -1, 10, true); !errors.Is(err, ErrInvalidEpsilon) {
+		t.Fatalf("eps<0: %v", err)
+	}
+	if _, err := NewAdaptiveSVTWithGap(3, 0.7, 10, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSVTWithGapValidation(t *testing.T) {
+	if _, err := NewSVTWithGap(0, 1, 10, true); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if _, err := NewSVTWithGap(2, 0, 10, true); !errors.Is(err, ErrInvalidEpsilon) {
+		t.Fatalf("eps=0: %v", err)
+	}
+}
+
+func TestAdaptiveBudgetLayout(t *testing.T) {
+	m, _ := NewAdaptiveSVTWithGap(10, 0.7, 100, true)
+	eps0, eps1, eps2 := m.budgets()
+	theta := m.theta()
+	wantTheta := 1 / (1 + math.Pow(10, 2.0/3.0))
+	if math.Abs(theta-wantTheta) > 1e-12 {
+		t.Fatalf("theta %v, want %v", theta, wantTheta)
+	}
+	if math.Abs(eps0-theta*0.7) > 1e-12 {
+		t.Fatalf("eps0 %v", eps0)
+	}
+	if math.Abs(eps1-(1-theta)*0.7/10) > 1e-12 {
+		t.Fatalf("eps1 %v", eps1)
+	}
+	if math.Abs(eps2-eps1/2) > 1e-12 {
+		t.Fatalf("eps2 %v, want eps1/2", eps2)
+	}
+	// Explicit theta overrides the recommendation.
+	m.Theta = 0.5
+	if m.theta() != 0.5 {
+		t.Fatalf("explicit theta ignored")
+	}
+	// Non-monotonic recommendation uses 2k.
+	g, _ := NewAdaptiveSVTWithGap(10, 0.7, 100, false)
+	if math.Abs(g.theta()-1/(1+math.Pow(20, 2.0/3.0))) > 1e-12 {
+		t.Fatalf("general theta %v", g.theta())
+	}
+}
+
+func TestAdaptiveSigma(t *testing.T) {
+	m, _ := NewAdaptiveSVTWithGap(5, 1, 10, false)
+	_, topScale, _ := m.noiseScales()
+	want := 2 * math.Sqrt(2) * topScale // 2 standard deviations of Laplace(topScale)
+	if got := m.sigma(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sigma %v, want %v", got, want)
+	}
+	m.SigmaMultiplier = 3
+	if got := m.sigma(); math.Abs(got-1.5*want) > 1e-9 {
+		t.Fatalf("sigma with multiplier 3: %v", got)
+	}
+	m.SigmaMultiplier = math.Inf(1)
+	if !math.IsInf(m.sigma(), 1) {
+		t.Fatal("infinite multiplier must disable the top branch")
+	}
+}
+
+func TestAdaptiveRunErrors(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	m, _ := NewAdaptiveSVTWithGap(2, 1, 10, true)
+	if _, err := m.Run(src, nil); !errors.Is(err, ErrNoQueries) {
+		t.Fatalf("empty: %v", err)
+	}
+	bad := &AdaptiveSVTWithGap{K: 2, Epsilon: 0, Threshold: 1}
+	if _, err := bad.Run(src, []float64{1}); !errors.Is(err, ErrInvalidEpsilon) {
+		t.Fatalf("eps=0: %v", err)
+	}
+	bad2 := &AdaptiveSVTWithGap{K: 0, Epsilon: 1}
+	if _, err := bad2.Run(src, []float64{1}); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k=0: %v", err)
+	}
+}
+
+func TestAdaptiveNeverExceedsBudget(t *testing.T) {
+	src := rng.NewXoshiro(5)
+	answers := make([]float64, 500)
+	for i := range answers {
+		answers[i] = 1000 // everything far above the threshold
+	}
+	m, _ := NewAdaptiveSVTWithGap(5, 0.7, 100, true)
+	for trial := 0; trial < 200; trial++ {
+		res, err := m.Run(src, answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BudgetSpent > m.Epsilon+1e-9 {
+			t.Fatalf("budget spent %v exceeds epsilon %v", res.BudgetSpent, m.Epsilon)
+		}
+		if res.Remaining() < 0 {
+			t.Fatal("negative remaining budget")
+		}
+	}
+}
+
+func TestAdaptiveAnswersMoreThanK(t *testing.T) {
+	// When every above-threshold query is far above the threshold, the top
+	// branch (cost ε₂ = ε₁/2) should fire, so the mechanism answers roughly 2k
+	// above-threshold queries instead of k.
+	src := rng.NewXoshiro(11)
+	answers := make([]float64, 400)
+	for i := range answers {
+		answers[i] = 1e6 // enormous margin
+	}
+	const k = 10
+	m, _ := NewAdaptiveSVTWithGap(k, 0.7, 100, true)
+	total := 0
+	top := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		res, err := m.Run(src, answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.AboveCount
+		top += res.CountByBranch(BranchTop)
+	}
+	avg := float64(total) / trials
+	if avg < 1.5*k {
+		t.Fatalf("adaptive SVT answered only %.1f queries on average, want > %v", avg, 1.5*k)
+	}
+	if top < total*8/10 {
+		t.Fatalf("expected most answers from the top branch, got %d of %d", top, total)
+	}
+}
+
+func TestAdaptiveStopsAfterMaxAnswers(t *testing.T) {
+	src := rng.NewXoshiro(13)
+	answers := make([]float64, 100)
+	for i := range answers {
+		answers[i] = 1e6
+	}
+	m, _ := NewAdaptiveSVTWithGap(10, 0.7, 10, true)
+	m.MaxAnswers = 10
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 10 {
+		t.Fatalf("above count %d, want exactly 10", res.AboveCount)
+	}
+	// Stopping after k answers that mostly used the cheap branch must leave a
+	// sizeable fraction of the budget (≈40% per Figure 4).
+	if res.RemainingFraction() < 0.25 {
+		t.Fatalf("remaining fraction %v, expected ≥ 0.25", res.RemainingFraction())
+	}
+}
+
+func TestAdaptiveBelowThresholdCostsNothing(t *testing.T) {
+	src := rng.NewXoshiro(17)
+	answers := make([]float64, 1000)
+	for i := range answers {
+		answers[i] = -1e6 // hopelessly below the threshold
+	}
+	m, _ := NewAdaptiveSVTWithGap(3, 0.7, 100, true)
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 0 {
+		t.Fatalf("above count %d, want 0", res.AboveCount)
+	}
+	eps0, _, _ := m.budgets()
+	if math.Abs(res.BudgetSpent-eps0) > 1e-12 {
+		t.Fatalf("budget spent %v, want only the threshold charge %v", res.BudgetSpent, eps0)
+	}
+	if len(res.Items) != len(answers) {
+		t.Fatalf("processed %d queries, want all %d", len(res.Items), len(answers))
+	}
+	for _, it := range res.Items {
+		if it.Above || it.Branch != BranchBelow || it.BudgetUsed != 0 {
+			t.Fatalf("below-threshold item misreported: %+v", it)
+		}
+	}
+}
+
+func TestAdaptiveGapSemantics(t *testing.T) {
+	src := rng.NewXoshiro(19)
+	answers := []float64{1e6, 500, -1e6}
+	m, _ := NewAdaptiveSVTWithGap(2, 2, 400, true)
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := m.sigma()
+	for _, it := range res.Items {
+		switch it.Branch {
+		case BranchTop:
+			if it.Gap < sigma {
+				t.Fatalf("top-branch gap %v below sigma %v", it.Gap, sigma)
+			}
+		case BranchMiddle:
+			if it.Gap < 0 {
+				t.Fatalf("middle-branch gap %v negative", it.Gap)
+			}
+		case BranchBelow:
+			if it.Above {
+				t.Fatal("below branch marked above")
+			}
+		}
+	}
+	if res.Threshold != 400 {
+		t.Fatalf("threshold %v not propagated", res.Threshold)
+	}
+	if len(res.GapVariancesByBranch) != 2 {
+		t.Fatalf("gap variances missing: %+v", res.GapVariancesByBranch)
+	}
+	ests, vars, idx := res.GapEstimates()
+	if len(ests) != res.AboveCount || len(vars) != res.AboveCount || len(idx) != res.AboveCount {
+		t.Fatal("GapEstimates length mismatch")
+	}
+	for i := range ests {
+		if vars[i] <= 0 {
+			t.Fatalf("non-positive variance %v", vars[i])
+		}
+		_ = ests[i]
+	}
+}
+
+func TestAdaptiveGapEstimateUnbiased(t *testing.T) {
+	// For a query far enough above the threshold that it is always answered,
+	// gap + T is an unbiased estimate of the true query value.
+	trueVal := 1000.0
+	threshold := 900.0
+	answers := []float64{trueVal}
+	m, _ := NewAdaptiveSVTWithGap(1, 5, threshold, true)
+	src := rng.NewXoshiro(29)
+	const trials = 20000
+	sum := 0.0
+	count := 0
+	for i := 0; i < trials; i++ {
+		res, err := m.Run(src, answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range res.AboveItems() {
+			sum += it.Gap + threshold
+			count++
+		}
+	}
+	if count < trials/2 {
+		t.Fatalf("query answered only %d of %d times", count, trials)
+	}
+	mean := sum / float64(count)
+	// Conditioning on "above" biases the estimate upward slightly; with eps=5
+	// and a 100-unit margin the bias is small.
+	if math.Abs(mean-trueVal) > 20 {
+		t.Fatalf("mean gap+T estimate %v, want ≈ %v", mean, trueVal)
+	}
+}
+
+func TestSVTWithGapStopsAtK(t *testing.T) {
+	src := rng.NewXoshiro(31)
+	answers := make([]float64, 300)
+	for i := range answers {
+		answers[i] = 1e6
+	}
+	m, _ := NewSVTWithGap(7, 0.7, 10, true)
+	res, err := m.Run(src, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 7 {
+		t.Fatalf("above count %d, want 7", res.AboveCount)
+	}
+	if got := res.CountByBranch(BranchTop); got != 0 {
+		t.Fatalf("SVT-with-Gap must never use the top branch, got %d", got)
+	}
+	// All positives consume eps1, so the whole budget is (nearly) gone.
+	if res.RemainingFraction() > 0.05 {
+		t.Fatalf("plain SVT-with-Gap should exhaust its budget, remaining %v", res.RemainingFraction())
+	}
+}
+
+func TestSVTWithGapGapVariance(t *testing.T) {
+	m, _ := NewSVTWithGap(10, 0.35, 100, true)
+	// Section 6.2 formula in terms of the mechanism's own epsilon:
+	// 2(1+k^{2/3})³/ε² for monotonic queries.
+	want := 2 * math.Pow(1+math.Pow(10, 2.0/3.0), 3) / (0.35 * 0.35)
+	if got := m.GapVariance(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("gap variance %v, want %v", got, want)
+	}
+	g, _ := NewSVTWithGap(10, 0.35, 100, false)
+	wantGeneral := 2 * math.Pow(1+math.Pow(20, 2.0/3.0), 3) / (0.35 * 0.35)
+	if got := g.GapVariance(); math.Abs(got-wantGeneral)/wantGeneral > 1e-9 {
+		t.Fatalf("general gap variance %v, want %v", got, wantGeneral)
+	}
+}
+
+func TestSVTWithGapAgreesWithAdaptiveWhenSigmaInfinite(t *testing.T) {
+	answers := []float64{50, 200, 10, 300, 250, 5, 400}
+	svt, _ := NewSVTWithGap(3, 1, 150, true)
+	adaptive := &AdaptiveSVTWithGap{
+		K: 3, Epsilon: 1, Threshold: 150, Monotonic: true,
+		SigmaMultiplier: math.Inf(1), MaxAnswers: 3,
+	}
+	resA, errA := svt.Run(rng.NewXoshiro(99), answers)
+	resB, errB := adaptive.Run(rng.NewXoshiro(99), answers)
+	if errA != nil || errB != nil {
+		t.Fatalf("unexpected errors: %v, %v", errA, errB)
+	}
+	if len(resA.Items) != len(resB.Items) {
+		t.Fatalf("item count differs: %d vs %d", len(resA.Items), len(resB.Items))
+	}
+	for i := range resA.Items {
+		if resA.Items[i] != resB.Items[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, resA.Items[i], resB.Items[i])
+		}
+	}
+}
+
+func TestSVTPropertyBudgetAndOrder(t *testing.T) {
+	src := rng.NewXoshiro(123)
+	f := func(seed uint64) bool {
+		local := rng.NewXoshiro(seed)
+		n := 5 + rng.Intn(local, 60)
+		answers := make([]float64, n)
+		for i := range answers {
+			answers[i] = float64(rng.Intn(local, 500)) - 100
+		}
+		k := 1 + rng.Intn(local, 8)
+		eps := 0.2 + rng.Float64(local)*2
+		threshold := float64(rng.Intn(local, 300))
+		m, err := NewAdaptiveSVTWithGap(k, eps, threshold, rng.Float64(local) < 0.5)
+		if err != nil {
+			return false
+		}
+		res, err := m.Run(src, answers)
+		if err != nil {
+			return false
+		}
+		if res.BudgetSpent > eps+1e-9 || res.Remaining() < 0 {
+			return false
+		}
+		// Items must be in stream order with contiguous indices from 0.
+		for i, it := range res.Items {
+			if it.Index != i {
+				return false
+			}
+			if it.Above && it.BudgetUsed <= 0 {
+				return false
+			}
+			if !it.Above && it.BudgetUsed != 0 {
+				return false
+			}
+		}
+		return res.AboveCount == len(res.AboveIndices())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchString(t *testing.T) {
+	if BranchTop.String() != "top" || BranchMiddle.String() != "middle" || BranchBelow.String() != "below" {
+		t.Fatal("branch names drifted")
+	}
+	if Branch(42).String() == "" {
+		t.Fatal("unknown branch must stringify")
+	}
+}

@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// Transactions is a transaction database: each element is one record, the set
+// of item identifiers that appear in that record. Item identifiers are small
+// non-negative integers; duplicates within a record are ignored by the
+// counting logic.
+type Transactions struct {
+	name    string
+	records [][]int32
+	items   int // number of distinct item ids, i.e. max id + 1
+}
+
+// New builds a Transactions database from raw records. The number of distinct
+// items is inferred from the largest item id present. The name is carried
+// through to reports and tables.
+func New(name string, records [][]int32) *Transactions {
+	maxItem := int32(-1)
+	for _, r := range records {
+		for _, it := range r {
+			if it < 0 {
+				panic(fmt.Sprintf("dataset: negative item id %d", it))
+			}
+			if it > maxItem {
+				maxItem = it
+			}
+		}
+	}
+	return &Transactions{name: name, records: records, items: int(maxItem) + 1}
+}
+
+// Name returns the dataset's display name.
+func (t *Transactions) Name() string { return t.name }
+
+// NumRecords returns the number of transactions.
+func (t *Transactions) NumRecords() int { return len(t.records) }
+
+// NumItems returns the number of distinct item identifiers (max id + 1).
+func (t *Transactions) NumItems() int { return t.items }
+
+// Record returns the i-th transaction. The returned slice must not be
+// modified.
+func (t *Transactions) Record(i int) []int32 { return t.records[i] }
+
+// MeanLength returns the average number of (possibly repeated) items per
+// transaction.
+func (t *Transactions) MeanLength() float64 {
+	if len(t.records) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range t.records {
+		total += len(r)
+	}
+	return float64(total) / float64(len(t.records))
+}
+
+// ItemCounts returns, for each item id, the number of transactions that
+// contain it at least once. These are exactly the sensitivity-1 monotonic
+// counting queries used throughout Section 7: adding or removing one
+// transaction changes each count by at most 1.
+func (t *Transactions) ItemCounts() []float64 {
+	counts := make([]float64, t.items)
+	seen := make([]int, t.items) // record index+1 of last sighting, avoids clearing a bool slice per record
+	for ri, r := range t.records {
+		stamp := ri + 1
+		for _, it := range r {
+			if seen[it] != stamp {
+				seen[it] = stamp
+				counts[it]++
+			}
+		}
+	}
+	return counts
+}
+
+// Stats summarises a dataset the way the table in Section 7.1 does.
+type Stats struct {
+	Name       string
+	Records    int
+	Items      int
+	MeanLength float64
+}
+
+// Stats returns the dataset's summary statistics.
+func (t *Transactions) Stats() Stats {
+	return Stats{
+		Name:       t.name,
+		Records:    t.NumRecords(),
+		Items:      t.NumItems(),
+		MeanLength: t.MeanLength(),
+	}
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d records, %d unique items, mean length %.2f",
+		s.Name, s.Records, s.Items, s.MeanLength)
+}
+
+// RemoveRecord returns a copy of the database with record i removed. Together
+// with the original it forms an adjacent pair D ∼ D' under the add/remove-one
+// notion of adjacency used by the paper's privacy proofs and by the empirical
+// privacy audit in internal/validate.
+func (t *Transactions) RemoveRecord(i int) *Transactions {
+	if i < 0 || i >= len(t.records) {
+		panic(fmt.Sprintf("dataset: record index %d out of range [0,%d)", i, len(t.records)))
+	}
+	records := make([][]int32, 0, len(t.records)-1)
+	records = append(records, t.records[:i]...)
+	records = append(records, t.records[i+1:]...)
+	cp := &Transactions{name: t.name, records: records, items: t.items}
+	return cp
+}
+
+// AddRecord returns a copy of the database with one extra transaction.
+// Item ids beyond the current universe grow the universe.
+func (t *Transactions) AddRecord(record []int32) *Transactions {
+	records := make([][]int32, len(t.records), len(t.records)+1)
+	copy(records, t.records)
+	records = append(records, record)
+	items := t.items
+	for _, it := range record {
+		if int(it)+1 > items {
+			items = int(it) + 1
+		}
+	}
+	return &Transactions{name: t.name, records: records, items: items}
+}
+
+// TopKItems returns the indices of the k items with the largest true counts,
+// in descending count order. Ties are broken by smaller item id so the result
+// is deterministic. It is the ground truth against which precision, recall
+// and F-measure are computed.
+func TopKItems(counts []float64, k int) []int {
+	if k < 0 {
+		panic("dataset: negative k")
+	}
+	if k > len(counts) {
+		k = len(counts)
+	}
+	idx := make([]int, len(counts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if counts[idx[a]] != counts[idx[b]] {
+			return counts[idx[a]] > counts[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// KthLargest returns the k-th largest value of counts (1-based: k=1 is the
+// maximum). It is used to pick thresholds "from the top 2k to top 8k" the way
+// Section 7.2 describes.
+func KthLargest(counts []float64, k int) float64 {
+	if k < 1 || k > len(counts) {
+		panic(fmt.Sprintf("dataset: k=%d out of range for %d counts", k, len(counts)))
+	}
+	cp := append([]float64(nil), counts...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	return cp[k-1]
+}
+
+// RandomThreshold draws a threshold uniformly between the top-2k-th and the
+// top-8k-th largest counts, replicating the threshold selection protocol of
+// Section 7.2 ("randomly picked from the top 2k to top 8k in each dataset").
+func RandomThreshold(src rng.Source, counts []float64, k int) float64 {
+	lo, hi := 2*k, 8*k
+	if hi > len(counts) {
+		hi = len(counts)
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	rank := lo + rng.Intn(src, hi-lo+1)
+	return KthLargest(counts, rank)
+}
+
+// CountAbove returns how many entries of counts are strictly greater than or
+// equal to the threshold. It is the recall denominator for the SVT quality
+// experiments (Figures 3d–3f).
+func CountAbove(counts []float64, threshold float64) int {
+	n := 0
+	for _, c := range counts {
+		if c >= threshold {
+			n++
+		}
+	}
+	return n
+}

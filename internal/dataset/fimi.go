@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadFIMI parses a transaction database in the FIMI workshop text format:
+// one transaction per line, item identifiers separated by single spaces.
+// Blank lines are skipped. This is the format the original BMS-POS, Kosarak
+// and T40I10D100K files are distributed in, so real data can be substituted
+// for the synthetic stand-ins without code changes.
+func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var records [][]int32
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		record := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: invalid item %q: %w", line, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+			}
+			record = append(record, int32(v))
+		}
+		records = append(records, record)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+	}
+	return New(name, records), nil
+}
+
+// ReadFIMIFile opens path and parses it with ReadFIMI, naming the dataset
+// after the file.
+func ReadFIMIFile(path string) (*Transactions, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadFIMI(f, path)
+}
+
+// WriteFIMI writes the database in the FIMI text format.
+func WriteFIMI(w io.Writer, t *Transactions) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < t.NumRecords(); i++ {
+		record := t.Record(i)
+		for j, item := range record {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("dataset: writing FIMI output: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(item))); err != nil {
+				return fmt.Errorf("dataset: writing FIMI output: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: writing FIMI output: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFIMIFile writes the database to path in the FIMI text format.
+func WriteFIMIFile(path string, t *Transactions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteFIMI(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFIMIBasic(t *testing.T) {
+	input := "1 2 3\n\n4 5\n7\n"
+	db, err := ReadFIMI(strings.NewReader(input), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRecords() != 3 {
+		t.Fatalf("records = %d, want 3 (blank line skipped)", db.NumRecords())
+	}
+	if db.NumItems() != 8 {
+		t.Fatalf("items = %d, want 8", db.NumItems())
+	}
+}
+
+func TestReadFIMIErrors(t *testing.T) {
+	cases := []string{"1 2 x\n", "1 -2\n"}
+	for _, input := range cases {
+		if _, err := ReadFIMI(strings.NewReader(input), "bad"); err == nil {
+			t.Errorf("expected error for input %q", input)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db := smallDB()
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFIMI(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != db.NumRecords() {
+		t.Fatalf("records %d != %d", back.NumRecords(), db.NumRecords())
+	}
+	for i := 0; i < db.NumRecords(); i++ {
+		a, b := db.Record(i), back.Record(i)
+		if len(a) != len(b) {
+			t.Fatalf("record %d length mismatch", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("record %d item %d: %d != %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.dat")
+	db := smallDB()
+	if err := WriteFIMIFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFIMIFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCounts := back.ItemCounts()
+	wantCounts := db.ItemCounts()
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("counts differ after file round trip at item %d", i)
+		}
+	}
+}
+
+func TestReadFIMIFileMissing(t *testing.T) {
+	if _, err := ReadFIMIFile("/nonexistent/path/x.dat"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

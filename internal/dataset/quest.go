@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// QuestConfig parameterises the IBM Almaden Quest synthetic transaction
+// generator, re-implemented from the description in Agrawal & Srikant,
+// "Fast Algorithms for Mining Association Rules" (VLDB 1994). The paper's
+// third dataset, T40I10D100K, is the Quest output with average transaction
+// size T=40, average maximal-potential-itemset size I=10 and D=100,000
+// transactions over 1,000 items (942 of which end up appearing).
+type QuestConfig struct {
+	Name                string
+	Transactions        int     // D: number of transactions
+	AvgTransactionLen   float64 // T: mean items per transaction (Poisson)
+	AvgPatternLen       float64 // I: mean size of maximal potential itemsets (Poisson)
+	NumPatterns         int     // L: number of maximal potential itemsets
+	Items               int     // N: item universe size
+	CorruptionMean      float64 // mean of the per-pattern corruption level
+	CorruptionDeviation float64 // stddev of the corruption level (normal, clamped)
+}
+
+// T40I10D100KConfig returns the configuration that reproduces the paper's
+// T40I10D100K dataset (the defaults of the original generator: 1,000 items,
+// 2,000 potential patterns, corruption level N(0.5, 0.1)).
+func T40I10D100KConfig() QuestConfig {
+	return QuestConfig{
+		Name:                "T40I10D100K (synthetic)",
+		Transactions:        100000,
+		AvgTransactionLen:   40,
+		AvgPatternLen:       10,
+		NumPatterns:         2000,
+		Items:               1000,
+		CorruptionMean:      0.5,
+		CorruptionDeviation: 0.1,
+	}
+}
+
+// ScaledDown divides the transaction count by factor (minimum 1,000), for
+// fast test and benchmark runs.
+func (c QuestConfig) ScaledDown(factor int) QuestConfig {
+	if factor <= 1 {
+		return c
+	}
+	c.Transactions /= factor
+	if c.Transactions < 1000 {
+		c.Transactions = 1000
+	}
+	return c
+}
+
+// questPattern is one maximal potential itemset with its weight and
+// corruption level.
+type questPattern struct {
+	items      []int32
+	weight     float64
+	corruption float64
+}
+
+// Generate runs the Quest generative process:
+//
+//  1. Draw NumPatterns maximal potential itemsets. Each pattern's size is
+//     Poisson(AvgPatternLen); a fraction of its items is borrowed from the
+//     previous pattern so that patterns share items, the rest are drawn
+//     uniformly. Each pattern gets an exponential weight (normalised to a
+//     probability) and a corruption level drawn from a clamped normal.
+//  2. For each transaction draw a Poisson(AvgTransactionLen) size, then fill
+//     the transaction by repeatedly picking a pattern by weight and inserting
+//     the non-corrupted subset of its items until the size is reached.
+//
+// The output is deterministic in the seed.
+func (c QuestConfig) Generate(seed uint64) *Transactions {
+	if c.Transactions <= 0 || c.Items <= 0 || c.NumPatterns <= 0 {
+		panic(fmt.Sprintf("dataset: invalid Quest config %+v", c))
+	}
+	src := rng.NewXoshiro(seed)
+
+	patterns := make([]questPattern, c.NumPatterns)
+	totalWeight := 0.0
+	var prev []int32
+	for i := range patterns {
+		size := rng.Poisson(src, c.AvgPatternLen)
+		if size < 1 {
+			size = 1
+		}
+		items := make([]int32, 0, size)
+		used := map[int32]bool{}
+		// Borrow roughly half the items from the previous pattern, as in the
+		// original generator's "correlation" step.
+		if len(prev) > 0 {
+			borrow := size / 2
+			if borrow > len(prev) {
+				borrow = len(prev)
+			}
+			perm := rng.Perm(src, len(prev))
+			for _, pi := range perm[:borrow] {
+				it := prev[pi]
+				if !used[it] {
+					used[it] = true
+					items = append(items, it)
+				}
+			}
+		}
+		for len(items) < size {
+			it := int32(rng.Intn(src, c.Items))
+			if used[it] {
+				continue
+			}
+			used[it] = true
+			items = append(items, it)
+		}
+		corruption := c.CorruptionMean + c.CorruptionDeviation*rng.Normal(src)
+		if corruption < 0 {
+			corruption = 0
+		}
+		if corruption > 1 {
+			corruption = 1
+		}
+		w := rng.Exponential(src, 1)
+		patterns[i] = questPattern{items: items, weight: w, corruption: corruption}
+		totalWeight += w
+		prev = items
+	}
+	// Build the pattern-selection CDF.
+	cdf := make([]float64, len(patterns))
+	acc := 0.0
+	for i, p := range patterns {
+		acc += p.weight / totalWeight
+		cdf[i] = acc
+	}
+	pickPattern := func() *questPattern {
+		u := rng.Float64(src)
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &patterns[lo]
+	}
+
+	records := make([][]int32, c.Transactions)
+	for ti := range records {
+		size := rng.Poisson(src, c.AvgTransactionLen)
+		if size < 1 {
+			size = 1
+		}
+		record := make([]int32, 0, size)
+		used := map[int32]bool{}
+		// Guard against degenerate configurations where patterns cannot fill
+		// the requested size (e.g. tiny item universes).
+		for attempts := 0; len(record) < size && attempts < 50; attempts++ {
+			p := pickPattern()
+			for _, it := range p.items {
+				if len(record) >= size {
+					break
+				}
+				// Corrupt (drop) each item of the pattern with the pattern's
+				// corruption probability.
+				if rng.Float64(src) < p.corruption {
+					continue
+				}
+				if used[it] {
+					continue
+				}
+				used[it] = true
+				record = append(record, it)
+			}
+		}
+		if len(record) == 0 {
+			record = append(record, int32(rng.Intn(src, c.Items)))
+		}
+		records[ti] = record
+	}
+	t := New(c.Name, records)
+	if t.items < c.Items {
+		t.items = c.Items
+	}
+	return t
+}
+
+// SyntheticT40I10D100K generates the Quest dataset at the paper's scale.
+func SyntheticT40I10D100K(seed uint64) *Transactions {
+	return T40I10D100KConfig().Generate(seed)
+}

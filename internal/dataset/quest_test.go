@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuestGenerate(t *testing.T) {
+	cfg := T40I10D100KConfig().ScaledDown(50)
+	db := cfg.Generate(5)
+	if db.NumRecords() != cfg.Transactions {
+		t.Fatalf("records = %d, want %d", db.NumRecords(), cfg.Transactions)
+	}
+	if db.NumItems() != cfg.Items {
+		t.Fatalf("items = %d, want %d", db.NumItems(), cfg.Items)
+	}
+	mean := db.MeanLength()
+	// The corruption step drops items so the realised mean is below T, but it
+	// must be in the right ballpark (tens of items, not units).
+	if mean < 10 || mean > 60 {
+		t.Fatalf("mean transaction length %v implausible for T=40", mean)
+	}
+	for i := 0; i < db.NumRecords(); i++ {
+		rec := db.Record(i)
+		if len(rec) == 0 {
+			t.Fatalf("record %d empty", i)
+		}
+		seen := map[int32]bool{}
+		for _, it := range rec {
+			if it < 0 || int(it) >= cfg.Items {
+				t.Fatalf("record %d contains out-of-universe item %d", i, it)
+			}
+			if seen[it] {
+				t.Fatalf("record %d has duplicate item %d", i, it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := T40I10D100KConfig().ScaledDown(100)
+	a := cfg.Generate(9).ItemCounts()
+	b := cfg.Generate(9).ItemCounts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different Quest datasets")
+		}
+	}
+}
+
+func TestQuestPatternsInduceCorrelation(t *testing.T) {
+	// With only a handful of patterns, items from the same pattern should
+	// co-occur far more often than independent items would.
+	cfg := QuestConfig{
+		Name:                "tiny-quest",
+		Transactions:        5000,
+		AvgTransactionLen:   8,
+		AvgPatternLen:       4,
+		NumPatterns:         10,
+		Items:               200,
+		CorruptionMean:      0.2,
+		CorruptionDeviation: 0.05,
+	}
+	db := cfg.Generate(21)
+	counts := db.ItemCounts()
+	sum := 0.0
+	maxC := 0.0
+	for _, c := range counts {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	meanC := sum / float64(len(counts))
+	if maxC < 3*meanC {
+		t.Fatalf("expected pattern items to dominate: max %v mean %v", maxC, meanC)
+	}
+}
+
+func TestQuestPanicsOnInvalidConfig(t *testing.T) {
+	bad := QuestConfig{Transactions: 0, Items: 10, NumPatterns: 5}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad.Generate(1)
+}
+
+func TestQuestScaledDown(t *testing.T) {
+	cfg := T40I10D100KConfig()
+	if got := cfg.ScaledDown(4).Transactions; got != 25000 {
+		t.Fatalf("ScaledDown(4) transactions = %d", got)
+	}
+	if got := cfg.ScaledDown(1).Transactions; got != cfg.Transactions {
+		t.Fatal("factor 1 must be identity")
+	}
+	if got := cfg.ScaledDown(1 << 20).Transactions; got != 1000 {
+		t.Fatalf("floor should be 1000, got %d", got)
+	}
+	if math.Abs(cfg.AvgTransactionLen-40) > 0 {
+		t.Fatal("scaling must not alter T")
+	}
+}

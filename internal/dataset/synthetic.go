@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"math"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// ZipfSampler draws item identifiers from a Zipf(s) distribution over
+// {0, …, n−1}: P(item = i) ∝ 1/(i+1)^s. Transaction-log item popularities are
+// famously heavy tailed, which is the property that matters for the paper's
+// experiments: the top-k / threshold region of the count histogram has large,
+// well-separated counts while the tail is dense and small.
+//
+// The sampler precomputes the CDF once and draws by binary search, so a
+// million-transaction synthetic dataset generates in well under a second.
+type ZipfSampler struct {
+	cdf []float64
+}
+
+// NewZipfSampler builds a sampler over n items with exponent s > 0.
+func NewZipfSampler(n int, s float64) *ZipfSampler {
+	if n <= 0 {
+		panic("dataset: Zipf over empty universe")
+	}
+	if s <= 0 {
+		panic("dataset: Zipf exponent must be positive")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &ZipfSampler{cdf: cdf}
+}
+
+// Sample draws one item id.
+func (z *ZipfSampler) Sample(src rng.Source) int32 {
+	u := rng.Float64(src)
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// SyntheticConfig describes a Zipf-popularity transaction generator calibrated
+// to a real dataset's published statistics.
+type SyntheticConfig struct {
+	Name         string  // display name
+	Records      int     // number of transactions
+	Items        int     // item universe size
+	MeanLength   float64 // mean items per transaction (Poisson-distributed lengths)
+	ZipfExponent float64 // skew of item popularity
+}
+
+// Generate materialises the synthetic dataset described by the configuration,
+// deterministically from the seed.
+func (c SyntheticConfig) Generate(seed uint64) *Transactions {
+	src := rng.NewXoshiro(seed)
+	zipf := NewZipfSampler(c.Items, c.ZipfExponent)
+	records := make([][]int32, c.Records)
+	for i := range records {
+		length := rng.Poisson(src, c.MeanLength)
+		if length < 1 {
+			length = 1
+		}
+		record := make([]int32, 0, length)
+		seen := map[int32]bool{}
+		for len(record) < length {
+			item := zipf.Sample(src)
+			if seen[item] {
+				// Transactions are sets; resample duplicates, but cap the
+				// retries so pathological configurations cannot spin.
+				if len(seen) >= c.Items {
+					break
+				}
+				continue
+			}
+			seen[item] = true
+			record = append(record, item)
+		}
+		records[i] = record
+	}
+	// Force the advertised universe size even if the tail items never appear.
+	t := New(c.Name, records)
+	if t.items < c.Items {
+		t.items = c.Items
+	}
+	return t
+}
+
+// BMSPOSConfig mirrors the published statistics of the BMS-POS point-of-sale
+// log used in Section 7.1: 515,597 transactions over 1,657 distinct items with
+// a mean basket of about 6.5 items.
+func BMSPOSConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Name:         "BMS-POS (synthetic)",
+		Records:      515597,
+		Items:        1657,
+		MeanLength:   6.5,
+		ZipfExponent: 1.05,
+	}
+}
+
+// KosarakConfig mirrors the published statistics of the Kosarak click-stream
+// log: 990,002 transactions over 41,270 items, mean length about 8.1.
+func KosarakConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Name:         "Kosarak (synthetic)",
+		Records:      990002,
+		Items:        41270,
+		MeanLength:   8.1,
+		ZipfExponent: 1.15,
+	}
+}
+
+// ScaledDown returns a copy of the configuration with the record count divided
+// by factor (but at least 1,000 records). The experiment harness uses scaled
+// configurations for unit tests and quick benchmark runs; cmd/dpbench uses the
+// full-size configurations.
+func (c SyntheticConfig) ScaledDown(factor int) SyntheticConfig {
+	if factor <= 1 {
+		return c
+	}
+	c.Records /= factor
+	if c.Records < 1000 {
+		c.Records = 1000
+	}
+	return c
+}
+
+// SyntheticBMSPOS generates the BMS-POS stand-in at full published scale.
+func SyntheticBMSPOS(seed uint64) *Transactions { return BMSPOSConfig().Generate(seed) }
+
+// SyntheticKosarak generates the Kosarak stand-in at full published scale.
+func SyntheticKosarak(seed uint64) *Transactions { return KosarakConfig().Generate(seed) }

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestZipfSamplerSkew(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	z := NewZipfSampler(100, 1.1)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(src)]++
+	}
+	// Item 0 must dominate item 50 by a large margin under Zipf(1.1).
+	if counts[0] < 10*counts[50] {
+		t.Fatalf("expected heavy skew, got counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// The empirical head probability should be near the analytic one.
+	h := 0.0
+	for i := 1; i <= 100; i++ {
+		h += 1 / math.Pow(float64(i), 1.1)
+	}
+	want := 1 / h
+	got := float64(counts[0]) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(item 0) = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestZipfSamplerPanics(t *testing.T) {
+	cases := []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {-3, 1.2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for n=%d s=%v", c.n, c.s)
+				}
+			}()
+			NewZipfSampler(c.n, c.s)
+		}()
+	}
+}
+
+func TestSyntheticConfigGenerate(t *testing.T) {
+	cfg := BMSPOSConfig().ScaledDown(100)
+	db := cfg.Generate(7)
+	if db.NumRecords() != cfg.Records {
+		t.Fatalf("records = %d want %d", db.NumRecords(), cfg.Records)
+	}
+	if db.NumItems() != cfg.Items {
+		t.Fatalf("items = %d want %d", db.NumItems(), cfg.Items)
+	}
+	mean := db.MeanLength()
+	if math.Abs(mean-cfg.MeanLength) > 0.5 {
+		t.Fatalf("mean length %v far from configured %v", mean, cfg.MeanLength)
+	}
+	// Transactions must be item sets (no duplicates).
+	for i := 0; i < db.NumRecords(); i++ {
+		rec := db.Record(i)
+		seen := map[int32]bool{}
+		for _, it := range rec {
+			if seen[it] {
+				t.Fatalf("record %d has duplicate item %d", i, it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestSyntheticDeterministicInSeed(t *testing.T) {
+	cfg := KosarakConfig().ScaledDown(500)
+	a := cfg.Generate(11)
+	b := cfg.Generate(11)
+	ca, cb := a.ItemCounts(), b.ItemCounts()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := cfg.Generate(12)
+	cc := c.ItemCounts()
+	same := true
+	for i := range ca {
+		if ca[i] != cc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSyntheticCountHistogramHeavyTailed(t *testing.T) {
+	db := BMSPOSConfig().ScaledDown(50).Generate(3)
+	counts := db.ItemCounts()
+	sorted := append([]float64(nil), counts...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	// The top item should appear in far more transactions than the median
+	// item — the property that makes thresholds and top-k selection
+	// meaningful in the paper's experiments.
+	if sorted[0] < 10*sorted[len(sorted)/2]+1 {
+		t.Fatalf("histogram not heavy tailed: max %v median %v", sorted[0], sorted[len(sorted)/2])
+	}
+}
+
+func TestScaledDown(t *testing.T) {
+	cfg := BMSPOSConfig()
+	if cfg.ScaledDown(0).Records != cfg.Records {
+		t.Fatal("factor <= 1 must be identity")
+	}
+	small := cfg.ScaledDown(1000000)
+	if small.Records != 1000 {
+		t.Fatalf("records = %d, want floor of 1000", small.Records)
+	}
+}
+
+func TestPublishedScaleConfigs(t *testing.T) {
+	b := BMSPOSConfig()
+	if b.Records != 515597 || b.Items != 1657 {
+		t.Fatalf("BMS-POS config drifted from published statistics: %+v", b)
+	}
+	k := KosarakConfig()
+	if k.Records != 990002 || k.Items != 41270 {
+		t.Fatalf("Kosarak config drifted from published statistics: %+v", k)
+	}
+	q := T40I10D100KConfig()
+	if q.Transactions != 100000 || q.AvgTransactionLen != 40 || q.AvgPatternLen != 10 {
+		t.Fatalf("Quest config drifted from published statistics: %+v", q)
+	}
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/baseline"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/metrics"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// Fig3Counts regenerates Figures 3a–3c: the average number of above-threshold
+// answers produced by the classic Sparse Vector Technique versus
+// Adaptive-Sparse-Vector-with-Gap (broken down into top-branch and
+// middle-branch answers) on each dataset, as a function of k, at
+// ε = Config.Epsilon.
+//
+// For each dataset the returned figure has three series: "Sparse Vector",
+// "Adaptive SVT w/ Gap (Middle)" and "Adaptive SVT w/ Gap (Top)". The adaptive
+// total is the sum of the last two.
+func (c Config) Fig3Counts() ([]Figure, error) {
+	c = c.withDefaults()
+	workloads, err := c.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	figures := make([]Figure, 0, len(workloads))
+	for wi, w := range workloads {
+		svtSeries := Series{Name: "Sparse Vector"}
+		midSeries := Series{Name: "Adaptive SVT w/ Gap (Middle)"}
+		topSeries := Series{Name: "Adaptive SVT w/ Gap (Top)"}
+		for ki, k := range c.Ks {
+			k := k
+			counts := w.Counts
+			sums := runTrials(c.Trials, c.Seed+uint64(11000*(wi+1)+13*(ki+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+				threshold := dataset.RandomThreshold(src, counts, k)
+				out := map[string]float64{}
+
+				svt, err := baseline.NewSparseVector(k, c.effectiveEpsilon(c.Epsilon), threshold, baseline.ThetaLyu(k, true), true)
+				if err == nil {
+					if res, err := svt.Run(src, counts); err == nil {
+						out["svt"] = float64(res.AboveCount)
+					}
+				}
+				adaptive, err := core.NewAdaptiveSVTWithGap(k, c.effectiveEpsilon(c.Epsilon), threshold, true)
+				if err == nil {
+					if res, err := adaptive.Run(src, counts); err == nil {
+						out["top"] = float64(res.CountByBranch(core.BranchTop))
+						out["middle"] = float64(res.CountByBranch(core.BranchMiddle))
+					}
+				}
+				return out
+			})
+			n := float64(c.Trials)
+			svtSeries.Points = append(svtSeries.Points, Point{X: float64(k), Y: sums["svt"] / n})
+			midSeries.Points = append(midSeries.Points, Point{X: float64(k), Y: sums["middle"] / n})
+			topSeries.Points = append(topSeries.Points, Point{X: float64(k), Y: sums["top"] / n})
+		}
+		figures = append(figures, Figure{
+			ID:     fmt.Sprintf("fig3-counts-%s", w.Name),
+			Title:  fmt.Sprintf("Above-threshold answers, %s, eps=%.2g", w.Name, c.Epsilon),
+			XLabel: "k",
+			YLabel: "# of above-threshold answers",
+			Series: []Series{svtSeries, midSeries, topSeries},
+		})
+	}
+	return figures, nil
+}
+
+// Fig3Quality regenerates Figures 3d–3f: precision and F-measure of the
+// classic Sparse Vector Technique versus Adaptive-Sparse-Vector-with-Gap on
+// each dataset, as a function of k, at ε = Config.Epsilon. Ground truth for a
+// trial is the set of queries whose true count is at least the trial's
+// threshold.
+func (c Config) Fig3Quality() ([]Figure, error) {
+	c = c.withDefaults()
+	workloads, err := c.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	figures := make([]Figure, 0, len(workloads))
+	for wi, w := range workloads {
+		svtPrec := Series{Name: "Sparse Vector - Precision"}
+		adaPrec := Series{Name: "Adaptive SVT w/ Gap - Precision"}
+		svtF := Series{Name: "Sparse Vector - F-Measure"}
+		adaF := Series{Name: "Adaptive SVT w/ Gap - F-Measure"}
+		for ki, k := range c.Ks {
+			k := k
+			counts := w.Counts
+			sums := runTrials(c.Trials, c.Seed+uint64(17000*(wi+1)+29*(ki+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+				threshold := dataset.RandomThreshold(src, counts, k)
+				relevant := make([]int, 0)
+				for i, v := range counts {
+					if v >= threshold {
+						relevant = append(relevant, i)
+					}
+				}
+				out := map[string]float64{"n": 1}
+
+				svt, err := baseline.NewSparseVector(k, c.effectiveEpsilon(c.Epsilon), threshold, baseline.ThetaLyu(k, true), true)
+				if err == nil {
+					if res, err := svt.Run(src, counts); err == nil {
+						returned := res.AboveIndices()
+						p := metrics.Precision(returned, relevant)
+						out["svtPrecision"] = p
+						out["svtF"] = metrics.FMeasure(p, metrics.Recall(returned, relevant))
+					}
+				}
+				adaptive, err := core.NewAdaptiveSVTWithGap(k, c.effectiveEpsilon(c.Epsilon), threshold, true)
+				if err == nil {
+					if res, err := adaptive.Run(src, counts); err == nil {
+						returned := res.AboveIndices()
+						p := metrics.Precision(returned, relevant)
+						out["adaPrecision"] = p
+						out["adaF"] = metrics.FMeasure(p, metrics.Recall(returned, relevant))
+					}
+				}
+				return out
+			})
+			n := sums["n"]
+			if n == 0 {
+				n = 1
+			}
+			x := float64(k)
+			svtPrec.Points = append(svtPrec.Points, Point{X: x, Y: sums["svtPrecision"] / n})
+			adaPrec.Points = append(adaPrec.Points, Point{X: x, Y: sums["adaPrecision"] / n})
+			svtF.Points = append(svtF.Points, Point{X: x, Y: sums["svtF"] / n})
+			adaF.Points = append(adaF.Points, Point{X: x, Y: sums["adaF"] / n})
+		}
+		figures = append(figures, Figure{
+			ID:     fmt.Sprintf("fig3-quality-%s", w.Name),
+			Title:  fmt.Sprintf("Precision and F-measure, %s, eps=%.2g", w.Name, c.Epsilon),
+			XLabel: "k",
+			YLabel: "precision / F-measure",
+			Series: []Series{svtPrec, adaPrec, svtF, adaF},
+		})
+	}
+	return figures, nil
+}
+
+// Fig4 regenerates Figure 4: the percentage of the privacy budget left when
+// Adaptive-Sparse-Vector-with-Gap is stopped after k above-threshold answers,
+// for each dataset, as a function of k, at ε = Config.Epsilon.
+func (c Config) Fig4() (Figure, error) {
+	c = c.withDefaults()
+	workloads, err := c.Workloads()
+	if err != nil {
+		return Figure{}, err
+	}
+	series := make([]Series, 0, len(workloads))
+	for wi, w := range workloads {
+		s := Series{Name: w.Name}
+		for ki, k := range c.Ks {
+			k := k
+			counts := w.Counts
+			sums := runTrials(c.Trials, c.Seed+uint64(23000*(wi+1)+31*(ki+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+				threshold := dataset.RandomThreshold(src, counts, k)
+				adaptive, err := core.NewAdaptiveSVTWithGap(k, c.effectiveEpsilon(c.Epsilon), threshold, true)
+				if err != nil {
+					return nil
+				}
+				adaptive.MaxAnswers = k
+				res, err := adaptive.Run(src, counts)
+				if err != nil {
+					return nil
+				}
+				return map[string]float64{"remaining": res.RemainingFraction(), "n": 1}
+			})
+			n := sums["n"]
+			if n == 0 {
+				n = 1
+			}
+			s.Points = append(s.Points, Point{X: float64(k), Y: 100 * sums["remaining"] / n})
+		}
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Remaining privacy budget after k answers, eps=%.2g", c.Epsilon),
+		XLabel: "k",
+		YLabel: "% remaining privacy budget",
+		Series: series,
+	}, nil
+}

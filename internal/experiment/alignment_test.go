@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAlignmentVerificationRows(t *testing.T) {
+	c := quickConfig()
+	c.Trials = 100
+	rows, err := c.AlignmentVerification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Fatalf("%s: alignment verification failed: %+v", r.Mechanism, r)
+		}
+		if r.OutputPreserved != r.Trials {
+			t.Fatalf("%s: only %d/%d outputs preserved", r.Mechanism, r.OutputPreserved, r.Trials)
+		}
+		if r.MaxCost > r.Epsilon*(1+1e-9) {
+			t.Fatalf("%s: max cost %v exceeds epsilon %v", r.Mechanism, r.MaxCost, r.Epsilon)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAlignment(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max alignment cost") {
+		t.Fatalf("rendered table missing header:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,398 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// quickConfig keeps the experiment tests fast: tiny datasets, few trials.
+func quickConfig() Config {
+	return Config{
+		Seed:            3,
+		Trials:          60,
+		Scale:           500,
+		Epsilon:         0.7,
+		Ks:              []int{2, 5, 10},
+		Epsilons:        []float64{0.3, 0.7, 1.1},
+		FixedK:          5,
+		CompensateScale: true,
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c.Trials != d.Trials || c.Scale != d.Scale || c.Epsilon != d.Epsilon || c.FixedK != d.FixedK {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if len(c.Ks) == 0 || len(c.Epsilons) == 0 {
+		t.Fatal("default grids empty")
+	}
+	p := PaperConfig()
+	if p.Scale != 1 || p.Trials != 10000 {
+		t.Fatalf("paper config drifted: %+v", p)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	c := quickConfig()
+	for _, name := range []string{workloadBMSPOS, workloadKosarak, workloadQuest} {
+		w, err := c.BuildWorkload(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Counts) == 0 {
+			t.Fatalf("%s: empty counts", name)
+		}
+	}
+	if _, err := c.BuildWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	ws, err := c.Workloads()
+	if err != nil || len(ws) != 3 {
+		t.Fatalf("Workloads: %v, %d", err, len(ws))
+	}
+}
+
+func TestRunTrialsDeterministicAndComplete(t *testing.T) {
+	sums1 := runTrials(200, 9, 1, func(src *rng.Xoshiro) map[string]float64 {
+		return map[string]float64{"v": float64(src.Uint64() % 1000), "n": 1}
+	})
+	sums2 := runTrials(200, 9, 7, func(src *rng.Xoshiro) map[string]float64 {
+		return map[string]float64{"v": float64(src.Uint64() % 1000), "n": 1}
+	})
+	if sums1["n"] != 200 || sums2["n"] != 200 {
+		t.Fatalf("trials dropped: %v vs %v", sums1["n"], sums2["n"])
+	}
+	if sums1["v"] != sums2["v"] {
+		t.Fatalf("parallelism changed results: %v vs %v", sums1["v"], sums2["v"])
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkImprovementFigure(t, fig, c.Ks, 45)
+}
+
+func TestFig1bShape(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkImprovementFigure(t, fig, c.Ks, 50)
+	// For Top-K the k=10 improvement should already be substantial (theory:
+	// 45%); allow wide Monte-Carlo slack but demand a clear win.
+	last := fig.Series[0].Points[len(fig.Series[0].Points)-1]
+	if last.Y < 20 {
+		t.Fatalf("k=%v Top-K improvement %.1f%%, expected a clear gain", last.X, last.Y)
+	}
+}
+
+func checkImprovementFigure(t *testing.T, fig Figure, ks []int, maxTheory float64) {
+	t.Helper()
+	if len(fig.Series) != 2 {
+		t.Fatalf("want empirical + theory series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(ks) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(ks))
+		}
+	}
+	theory := fig.Series[1]
+	prev := -1.0
+	for _, p := range theory.Points {
+		if p.Y < 0 || p.Y > maxTheory {
+			t.Fatalf("theoretical improvement %v out of range (0, %v]", p.Y, maxTheory)
+		}
+		if p.Y < prev {
+			t.Fatalf("theoretical improvement should not decrease with k")
+		}
+		prev = p.Y
+	}
+	// Empirical improvements should be finite and not catastrophically
+	// negative (the estimator never does much worse than the baseline).
+	for _, p := range fig.Series[0].Points {
+		if math.IsNaN(p.Y) || p.Y < -30 || p.Y > 100 {
+			t.Fatalf("empirical improvement %v implausible", p.Y)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	c := quickConfig()
+	figA, err := c.Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figB, err := c.Fig2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{figA, figB} {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s: want 2 series", fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != len(c.Epsilons) {
+				t.Fatalf("%s/%s: %d points, want %d", fig.ID, s.Name, len(s.Points), len(c.Epsilons))
+			}
+		}
+		// Theory is flat in epsilon.
+		th := fig.Series[1].Points
+		for i := 1; i < len(th); i++ {
+			if math.Abs(th[i].Y-th[0].Y) > 1e-9 {
+				t.Fatalf("%s: theoretical curve should be independent of epsilon", fig.ID)
+			}
+		}
+	}
+}
+
+func TestFig3CountsAdaptiveAnswersMore(t *testing.T) {
+	c := quickConfig()
+	figs, err := c.Fig3Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("want one figure per dataset, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s: want 3 series", fig.ID)
+		}
+		svt, mid, top := fig.Series[0], fig.Series[1], fig.Series[2]
+		for i := range svt.Points {
+			k := svt.Points[i].X
+			adaptiveTotal := mid.Points[i].Y + top.Points[i].Y
+			// SVT answers at most k above-threshold queries.
+			if svt.Points[i].Y > k+1e-9 {
+				t.Fatalf("%s: SVT answered %v > k=%v", fig.ID, svt.Points[i].Y, k)
+			}
+			// The adaptive variant must answer at least as many on average.
+			if adaptiveTotal+1e-9 < svt.Points[i].Y {
+				t.Fatalf("%s k=%v: adaptive answered %v < SVT %v", fig.ID, k, adaptiveTotal, svt.Points[i].Y)
+			}
+		}
+		// At the largest k the adaptive total should exceed SVT clearly
+		// (Figure 3 shows up to ~15 extra answers at k=25).
+		last := len(svt.Points) - 1
+		if mid.Points[last].Y+top.Points[last].Y < svt.Points[last].Y {
+			t.Fatalf("%s: no adaptive advantage at k=%v", fig.ID, svt.Points[last].X)
+		}
+	}
+}
+
+func TestFig3QualityBounds(t *testing.T) {
+	c := quickConfig()
+	c.Ks = []int{2, 5}
+	figs, err := c.Fig3Quality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("want 3 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 4 {
+			t.Fatalf("%s: want 4 series", fig.ID)
+		}
+		for _, s := range fig.Series {
+			for _, p := range s.Points {
+				if p.Y < 0 || p.Y > 1+1e-9 {
+					t.Fatalf("%s/%s: value %v outside [0,1]", fig.ID, s.Name, p.Y)
+				}
+			}
+		}
+		// F-measure of the adaptive variant should be at least that of SVT
+		// (it answers more queries at comparable precision).
+		svtF, adaF := fig.Series[2], fig.Series[3]
+		for i := range svtF.Points {
+			if adaF.Points[i].Y+0.1 < svtF.Points[i].Y {
+				t.Fatalf("%s k=%v: adaptive F %v well below SVT F %v",
+					fig.ID, svtF.Points[i].X, adaF.Points[i].Y, svtF.Points[i].Y)
+			}
+		}
+	}
+}
+
+func TestFig4RemainingBudget(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 dataset series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 100 {
+				t.Fatalf("%s: remaining %v%% outside [0,100]", s.Name, p.Y)
+			}
+		}
+		// The headline Figure 4 result: a substantial fraction of the budget
+		// (the paper reports ≈40%) is left over after k answers.
+		last := s.Points[len(s.Points)-1]
+		if last.Y < 15 {
+			t.Fatalf("%s: only %v%% budget remaining at k=%v, expected a sizeable saving", s.Name, last.Y, last.X)
+		}
+	}
+}
+
+func TestCorollary1Figure(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.Corollary1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, th := fig.Series[0], fig.Series[1]
+	for i := range emp.Points {
+		if math.Abs(emp.Points[i].Y-th.Points[i].Y) > 0.12 {
+			t.Fatalf("k=%v: empirical ratio %v far from Corollary 1 %v",
+				emp.Points[i].X, emp.Points[i].Y, th.Points[i].Y)
+		}
+	}
+}
+
+func TestSVTCombineRatioFigure(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.SVTCombineRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, th := fig.Series[0], fig.Series[1]
+	for i := range emp.Points {
+		if emp.Points[i].Y <= 0 || emp.Points[i].Y > 1.3 {
+			t.Fatalf("k=%v: empirical ratio %v implausible (theory %v)",
+				emp.Points[i].X, emp.Points[i].Y, th.Points[i].Y)
+		}
+	}
+}
+
+func TestDatasetStatsTable(t *testing.T) {
+	c := quickConfig()
+	rows, err := c.DatasetStatsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Records <= 0 || r.Items <= 0 || r.MeanLength <= 0 {
+			t.Fatalf("implausible stats row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasetStats(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BMS-POS") {
+		t.Fatal("rendered table missing dataset name")
+	}
+}
+
+func TestTieProbabilityFigure(t *testing.T) {
+	c := quickConfig()
+	c.Trials = 400
+	fig, err := c.TieProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, bound := fig.Series[0], fig.Series[1]
+	for i := range emp.Points {
+		if emp.Points[i].Y < 0 || emp.Points[i].Y > 1 {
+			t.Fatalf("tie rate %v out of range", emp.Points[i].Y)
+		}
+		// The Appendix A.1 bound must dominate the empirical rate (up to
+		// Monte-Carlo noise) whenever it is informative (< 1).
+		if bound.Points[i].Y < 1 && emp.Points[i].Y > bound.Points[i].Y+0.1 {
+			t.Fatalf("empirical tie rate %v exceeds bound %v", emp.Points[i].Y, bound.Points[i].Y)
+		}
+	}
+}
+
+func TestLemma5CoverageFigure(t *testing.T) {
+	c := quickConfig()
+	fig, err := c.Lemma5Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, observed := fig.Series[0], fig.Series[1]
+	for i := range nominal.Points {
+		// Observed coverage should not fall far below nominal. (It is usually
+		// above nominal because conditioning on answering inflates gaps.)
+		if observed.Points[i].Y < nominal.Points[i].Y-0.12 {
+			t.Fatalf("nominal %v: observed coverage only %v", nominal.Points[i].Y, observed.Points[i].Y)
+		}
+	}
+}
+
+func TestPrivacyAuditRows(t *testing.T) {
+	c := quickConfig()
+	c.Trials = 500 // audit multiplies this internally up to its 40k floor
+	rows, err := c.PrivacyAudit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 audited mechanisms, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EpsilonHat > r.Epsilon+0.3 {
+			t.Fatalf("%s: empirical epsilon %v far above configured %v", r.Mechanism, r.EpsilonHat, r.Epsilon)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePrivacyAudit(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "epsilon-hat") {
+		t.Fatal("audit table missing header")
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	fig := Figure{
+		ID: "toy", Title: "Toy", XLabel: "k", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{1, 11}, {2, 21}}},
+		},
+	}
+	var tbl, csv bytes.Buffer
+	if err := WriteTable(&tbl, fig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "Toy") || !strings.Contains(tbl.String(), "20") {
+		t.Fatalf("table output missing content:\n%s", tbl.String())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV should have header + 2 rows, got %d lines", len(lines))
+	}
+	if lines[0] != "k,a,b" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	// A series missing a point renders as an empty cell, not a crash.
+	fig.Series[1].Points = fig.Series[1].Points[:1]
+	var partial bytes.Buffer
+	if err := WriteCSV(&partial, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(partial.String(), "2,20,") {
+		t.Fatalf("missing-point row malformed:\n%s", partial.String())
+	}
+}

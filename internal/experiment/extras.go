@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/alignment"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/postprocess"
+	"github.com/freegap/freegap/internal/rng"
+	"github.com/freegap/freegap/internal/validate"
+)
+
+// DatasetStatsRow is one line of the Section 7.1 dataset-statistics table.
+type DatasetStatsRow struct {
+	Name       string
+	Records    int
+	Items      int
+	MeanLength float64
+}
+
+// DatasetStatsTable regenerates the dataset table of Section 7.1 at the
+// configured scale (Scale = 1 reproduces the published record counts).
+func (c Config) DatasetStatsTable() ([]DatasetStatsRow, error) {
+	c = c.withDefaults()
+	specs := []struct {
+		name string
+		gen  func() *dataset.Transactions
+	}{
+		{workloadBMSPOS, func() *dataset.Transactions {
+			return dataset.BMSPOSConfig().ScaledDown(c.Scale).Generate(c.Seed)
+		}},
+		{workloadKosarak, func() *dataset.Transactions {
+			return dataset.KosarakConfig().ScaledDown(c.Scale).Generate(c.Seed + 1)
+		}},
+		{workloadQuest, func() *dataset.Transactions {
+			return dataset.T40I10D100KConfig().ScaledDown(c.Scale).Generate(c.Seed + 2)
+		}},
+	}
+	rows := make([]DatasetStatsRow, 0, len(specs))
+	for _, spec := range specs {
+		db := spec.gen()
+		s := db.Stats()
+		rows = append(rows, DatasetStatsRow{
+			Name:       spec.name,
+			Records:    s.Records,
+			Items:      s.Items,
+			MeanLength: s.MeanLength,
+		})
+	}
+	return rows, nil
+}
+
+// TieProbability compares the empirical probability that two noisy queries tie
+// (using Discrete Laplace noise of base γ) against the Appendix A.1 bound
+// γεn², for a sweep of discretization bases.
+func (c Config) TieProbability() (Figure, error) {
+	c = c.withDefaults()
+	const n = 8 // queries per trial
+	const eps = 1.0
+	// Bases small enough that the γεn² bound is informative (< 1) while ties
+	// remain frequent enough to measure with a modest trial count.
+	bases := []float64{0.02, 0.01, 0.005, 0.0025}
+	empirical := Series{Name: "Empirical tie rate"}
+	bound := Series{Name: "Bound gamma*eps*n^2"}
+	for bi, base := range bases {
+		base := base
+		sums := runTrials(c.Trials, c.Seed+uint64(37000*(bi+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+			noisy := make([]float64, n)
+			for i := range noisy {
+				// Densely packed query answers maximise the chance of ties.
+				noisy[i] = rng.RoundToBase(float64(i%2), base) + rng.DiscreteLaplace(src, eps, base)
+			}
+			tie := 0.0
+			for i := 0; i < n && tie == 0; i++ {
+				for j := i + 1; j < n; j++ {
+					if noisy[i] == noisy[j] {
+						tie = 1
+						break
+					}
+				}
+			}
+			return map[string]float64{"tie": tie, "n": 1}
+		})
+		rate := sums["tie"] / sums["n"]
+		empirical.Points = append(empirical.Points, Point{X: base, Y: rate})
+		bound.Points = append(bound.Points, Point{X: base, Y: rng.TieProbabilityBound(eps, base, n)})
+	}
+	return Figure{
+		ID:     "tie-probability",
+		Title:  "Appendix A.1: tie probability under Discrete Laplace noise",
+		XLabel: "discretization base gamma",
+		YLabel: "P(any tie among n=8 queries)",
+		Series: []Series{empirical, bound},
+	}, nil
+}
+
+// Lemma5Coverage measures the empirical coverage of the Lemma 5 lower
+// confidence bound on Sparse-Vector gap estimates at several nominal levels.
+func (c Config) Lemma5Coverage() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadBMSPOS)
+	if err != nil {
+		return Figure{}, err
+	}
+	levels := []float64{0.8, 0.9, 0.95, 0.99}
+	nominal := Series{Name: "Nominal"}
+	observed := Series{Name: "Observed coverage"}
+	k := c.FixedK
+	for li, level := range levels {
+		level := level
+		counts := w.Counts
+		sums := runTrials(c.Trials, c.Seed+uint64(41000*(li+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+			threshold := dataset.RandomThreshold(src, counts, k)
+			svt, err := core.NewSVTWithGap(k, c.effectiveEpsilon(c.Epsilon), threshold, true)
+			if err != nil {
+				return nil
+			}
+			res, err := svt.Run(src, counts)
+			if err != nil {
+				return nil
+			}
+			// Recover the two noise rates from the mechanism configuration:
+			// threshold Laplace(1/eps0) and query Laplace(1/eps1) (monotonic).
+			theta := 1 / (1 + math.Pow(float64(k), 2.0/3.0))
+			eps0 := theta * c.effectiveEpsilon(c.Epsilon)
+			eps1 := (1 - theta) * c.effectiveEpsilon(c.Epsilon) / float64(k)
+			covered, total := 0.0, 0.0
+			for _, it := range res.AboveItems() {
+				lower, err := postprocess.GapLowerConfidenceBound(it.Gap, threshold, level, eps0, eps1)
+				if err != nil {
+					continue
+				}
+				total++
+				if lower <= counts[it.Index] {
+					covered++
+				}
+			}
+			return map[string]float64{"covered": covered, "total": total}
+		})
+		cov := 0.0
+		if sums["total"] > 0 {
+			cov = sums["covered"] / sums["total"]
+		}
+		nominal.Points = append(nominal.Points, Point{X: level, Y: level})
+		observed.Points = append(observed.Points, Point{X: level, Y: cov})
+	}
+	return Figure{
+		ID:     "lemma5-coverage",
+		Title:  "Lemma 5: lower confidence bound coverage for SVT gaps",
+		XLabel: "nominal confidence",
+		YLabel: "observed coverage",
+		Series: []Series{nominal, observed},
+	}, nil
+}
+
+// AlignmentRow is the outcome of one white-box randomness-alignment
+// verification (Theorems 2 and 4 made executable; see internal/alignment).
+type AlignmentRow struct {
+	Mechanism       string
+	Epsilon         float64
+	Trials          int
+	OutputPreserved int
+	MaxCost         float64
+	OK              bool
+}
+
+// AlignmentVerification runs the Equation (2) and Equation (3) alignment
+// checks on worst-case adjacent counting-query vectors at ε = Config.Epsilon.
+func (c Config) AlignmentVerification() ([]AlignmentRow, error) {
+	c = c.withDefaults()
+	d := []float64{25, 22, 20, 18, 4, 3, 2, 1}
+	dPrime := []float64{24, 21, 20, 17, 3, 3, 1, 1} // one record removed
+	trials := c.Trials
+	if trials < 200 {
+		trials = 200
+	}
+
+	topk, err := core.NewTopKWithGap(3, c.Epsilon, true)
+	if err != nil {
+		return nil, err
+	}
+	topkReport, err := alignment.VerifyTopK(topk, d, dPrime, trials, c.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: top-k alignment: %w", err)
+	}
+
+	svt, err := core.NewAdaptiveSVTWithGap(3, c.Epsilon, 10, true)
+	if err != nil {
+		return nil, err
+	}
+	svtReport, err := alignment.VerifyAdaptiveSVT(svt, d, dPrime, trials, c.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: adaptive-svt alignment: %w", err)
+	}
+
+	return []AlignmentRow{
+		{
+			Mechanism: "Noisy-Top-K-with-Gap (k=3, Eq. 2)", Epsilon: c.Epsilon,
+			Trials: topkReport.Trials, OutputPreserved: topkReport.OutputPreserved,
+			MaxCost: topkReport.MaxCost, OK: topkReport.OK(),
+		},
+		{
+			Mechanism: "Adaptive-SVT-with-Gap (k=3, Eq. 3)", Epsilon: c.Epsilon,
+			Trials: svtReport.Trials, OutputPreserved: svtReport.OutputPreserved,
+			MaxCost: svtReport.MaxCost, OK: svtReport.OK(),
+		},
+	}, nil
+}
+
+// PrivacyAuditRow is the outcome of auditing one mechanism.
+type PrivacyAuditRow struct {
+	Mechanism  string
+	Epsilon    float64
+	EpsilonHat float64
+	Outputs    int
+}
+
+// PrivacyAudit runs the empirical differential-privacy audit from
+// internal/validate against the three mechanisms on a worst-case adjacent
+// pair of counting-query vectors, at ε = Config.Epsilon.
+func (c Config) PrivacyAudit() ([]PrivacyAuditRow, error) {
+	c = c.withDefaults()
+	d := []float64{12, 11, 10, 4, 3}
+	dPrime := []float64{11, 10, 10, 3, 3} // one record touching items 0, 1 and 3 removed
+	trials := c.Trials * 100
+	if trials < 40000 {
+		trials = 40000
+	}
+	cfg := validate.AuditConfig{Trials: trials, Seed: c.Seed}
+
+	audits := []struct {
+		name string
+		mech validate.Mechanism
+	}{
+		{"Noisy-Top-K-with-Gap (k=2)", validate.TopKIndexMechanism(2, c.Epsilon, false)},
+		{"Sparse-Vector-with-Gap (k=2)", validate.SparseVectorWithGapMechanism(2, c.Epsilon, 9, true)},
+		{"Adaptive-SVT-with-Gap (k=2)", validate.SVTPatternMechanism(2, c.Epsilon, 9, true)},
+	}
+	rows := make([]PrivacyAuditRow, 0, len(audits))
+	for _, a := range audits {
+		res, err := validate.EstimateEpsilon(a.mech, d, dPrime, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: auditing %s: %w", a.name, err)
+		}
+		rows = append(rows, PrivacyAuditRow{
+			Mechanism:  a.name,
+			Epsilon:    c.Epsilon,
+			EpsilonHat: res.EpsilonHat,
+			Outputs:    res.Outputs,
+		})
+	}
+	return rows, nil
+}

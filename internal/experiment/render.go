@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteTable renders a figure as an aligned text table: one row per x value,
+// one column per series.
+func WriteTable(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "# %s (%s)\n", f.Title, f.ID); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+
+	for _, row := range figureRows(f) {
+		cells := make([]string, 0, len(row))
+		cells = append(cells, formatNumber(row[0]))
+		for _, v := range row[1:] {
+			cells = append(cells, formatNumber(v))
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders a figure as CSV with an x column followed by one column per
+// series.
+func WriteCSV(w io.Writer, f Figure) error {
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range figureRows(f) {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatNumber(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figureRows aligns all series of a figure on their x values (series are
+// expected to share the same x grid; missing values render as NaN).
+func figureRows(f Figure) [][]float64 {
+	// Collect the x grid in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	rows := make([][]float64, 0, len(xs))
+	for _, x := range xs {
+		row := make([]float64, 1, 1+len(f.Series))
+		row[0] = x
+		for _, s := range f.Series {
+			v := math.NaN()
+			for _, p := range s.Points {
+				if p.X == x {
+					v = p.Y
+					break
+				}
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func formatNumber(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteDatasetStats renders the Section 7.1 dataset table.
+func WriteDatasetStats(w io.Writer, rows []DatasetStatsRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\t# of Records\t# of Unique Items\tMean Length")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", r.Name, r.Records, r.Items, r.MeanLength)
+	}
+	return tw.Flush()
+}
+
+// WriteAlignment renders the randomness-alignment verification table.
+func WriteAlignment(w io.Writer, rows []AlignmentRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Mechanism\tepsilon\toutputs preserved\tmax alignment cost\twithin budget")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d/%d\t%.4f\t%v\n", r.Mechanism, r.Epsilon, r.OutputPreserved, r.Trials, r.MaxCost, r.OK)
+	}
+	return tw.Flush()
+}
+
+// WritePrivacyAudit renders the privacy-audit table.
+func WritePrivacyAudit(w io.Writer, rows []PrivacyAuditRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Mechanism\tconfigured epsilon\tempirical epsilon-hat\tdistinct outputs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\n", r.Mechanism, r.Epsilon, r.EpsilonHat, r.Outputs)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,341 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/baseline"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/postprocess"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// svtSelectMeasureTrial runs one trial of the Section 6.2 protocol on the
+// given counting-query answers: spend ε/2 on Sparse-Vector-with-Gap to select
+// up to k above-threshold queries, spend ε/2 on fresh Laplace measurements of
+// the selected queries, and compare the measurement-only squared error against
+// the gap-combined squared error.
+func svtSelectMeasureTrial(src *rng.Xoshiro, counts []float64, k int, eps float64) (baselineSE, improvedSE, n float64) {
+	half := eps / 2
+	threshold := dataset.RandomThreshold(src, counts, k)
+	svt, err := core.NewSVTWithGap(k, half, threshold, true)
+	if err != nil {
+		return 0, 0, 0
+	}
+	res, err := svt.Run(src, counts)
+	if err != nil || res.AboveCount == 0 {
+		return 0, 0, 0
+	}
+	gapEstimates, gapVariances, indices := res.GapEstimates()
+
+	meas, err := baseline.NewLaplaceMechanism(half, 1)
+	if err != nil {
+		return 0, 0, 0
+	}
+	measurements, err := meas.MeasureSelected(src, counts, indices)
+	if err != nil {
+		return 0, 0, 0
+	}
+	measVariance := meas.MeasurementVariance(len(indices))
+
+	for i, idx := range indices {
+		truth := counts[idx]
+		d := measurements[i] - truth
+		baselineSE += d * d
+		combined, _, err := postprocess.CombineByInverseVariance(
+			measurements[i], measVariance, gapEstimates[i], gapVariances[i])
+		if err != nil {
+			continue
+		}
+		d = combined - truth
+		improvedSE += d * d
+		n++
+	}
+	return baselineSE, improvedSE, n
+}
+
+// topKSelectMeasureTrial runs one trial of the Section 5.2 protocol: spend ε/2
+// on Noisy-Top-K-with-Gap, spend ε/2 on Laplace measurements of the selected
+// queries, and compare measurement-only squared error against the BLUE that
+// also uses the gaps.
+func topKSelectMeasureTrial(src *rng.Xoshiro, counts []float64, k int, eps float64) (baselineSE, improvedSE, n float64) {
+	half := eps / 2
+	topk, err := core.NewTopKWithGap(k, half, true)
+	if err != nil {
+		return 0, 0, 0
+	}
+	res, err := topk.Run(src, counts)
+	if err != nil {
+		return 0, 0, 0
+	}
+	indices := res.Indices()
+	// BLUE consumes the k−1 adjacent gaps among the selected queries; the k-th
+	// gap (against the runner-up outside the selection) is not used here.
+	var gaps []float64
+	if k > 1 {
+		gaps = res.Gaps()[:k-1]
+	}
+
+	meas, err := baseline.NewLaplaceMechanism(half, 1)
+	if err != nil {
+		return 0, 0, 0
+	}
+	measurements, err := meas.MeasureSelected(src, counts, indices)
+	if err != nil {
+		return 0, 0, 0
+	}
+	measVariance := meas.MeasurementVariance(k)
+
+	estimates, err := postprocess.BLUEFromVariances(measurements, gaps, measVariance, res.PerQueryNoiseVariance())
+	if err != nil {
+		return 0, 0, 0
+	}
+	for i, idx := range indices {
+		truth := counts[idx]
+		d := measurements[i] - truth
+		baselineSE += d * d
+		d = estimates[i] - truth
+		improvedSE += d * d
+		n++
+	}
+	return baselineSE, improvedSE, n
+}
+
+// improvementSweep evaluates percent MSE improvement for each x value of a
+// sweep, where trial produces (baselineSE, improvedSE, count) contributions.
+func (c Config) improvementSweep(xs []float64, trial func(src *rng.Xoshiro, x float64) (float64, float64, float64)) []Point {
+	points := make([]Point, 0, len(xs))
+	for i, x := range xs {
+		x := x
+		sums := runTrials(c.Trials, c.Seed+uint64(1000*(i+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+			b, imp, n := trial(src, x)
+			return map[string]float64{"baseline": b, "improved": imp, "n": n}
+		})
+		if sums["n"] == 0 || sums["baseline"] == 0 {
+			points = append(points, Point{X: x, Y: 0})
+			continue
+		}
+		baseMSE := sums["baseline"] / sums["n"]
+		impMSE := sums["improved"] / sums["n"]
+		points = append(points, Point{X: x, Y: 100 * (baseMSE - impMSE) / baseMSE})
+	}
+	return points
+}
+
+// Fig1a regenerates Figure 1a: percent MSE improvement of
+// Sparse-Vector-with-Gap with Measures over the gap-free baseline on the
+// BMS-POS workload, as a function of k, at ε = Config.Epsilon, together with
+// the theoretical expectation from Section 6.2.
+func (c Config) Fig1a() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadBMSPOS)
+	if err != nil {
+		return Figure{}, err
+	}
+	return c.svtImprovementByK(w, "fig1a")
+}
+
+func (c Config) svtImprovementByK(w Workload, id string) (Figure, error) {
+	xs := make([]float64, len(c.Ks))
+	for i, k := range c.Ks {
+		xs[i] = float64(k)
+	}
+	empirical := c.improvementSweep(xs, func(src *rng.Xoshiro, x float64) (float64, float64, float64) {
+		return svtSelectMeasureTrial(src, w.Counts, int(x), c.effectiveEpsilon(c.Epsilon))
+	})
+	theory := make([]Point, len(c.Ks))
+	for i, k := range c.Ks {
+		theory[i] = Point{X: float64(k), Y: postprocess.SVTExpectedImprovementPercent(k, true)}
+	}
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Sparse-Vector-with-Gap with Measures, %s, eps=%.2g", w.Name, c.Epsilon),
+		XLabel: "k",
+		YLabel: "% improvement in MSE",
+		Series: []Series{
+			{Name: "Sparse Vector with Measures", Points: empirical},
+			{Name: "Theoretical Expected Improvement", Points: theory},
+		},
+	}, nil
+}
+
+// Fig1b regenerates Figure 1b: percent MSE improvement of
+// Noisy-Top-K-with-Gap with Measures on the BMS-POS workload as a function of
+// k, with the Corollary 1 theoretical curve.
+func (c Config) Fig1b() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadBMSPOS)
+	if err != nil {
+		return Figure{}, err
+	}
+	return c.topKImprovementByK(w, "fig1b")
+}
+
+func (c Config) topKImprovementByK(w Workload, id string) (Figure, error) {
+	xs := make([]float64, len(c.Ks))
+	for i, k := range c.Ks {
+		xs[i] = float64(k)
+	}
+	empirical := c.improvementSweep(xs, func(src *rng.Xoshiro, x float64) (float64, float64, float64) {
+		return topKSelectMeasureTrial(src, w.Counts, int(x), c.effectiveEpsilon(c.Epsilon))
+	})
+	theory := make([]Point, len(c.Ks))
+	for i, k := range c.Ks {
+		theory[i] = Point{X: float64(k), Y: postprocess.TopKExpectedImprovementPercent(k, 1)}
+	}
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Noisy-Top-K-with-Gap with Measures, %s, eps=%.2g", w.Name, c.Epsilon),
+		XLabel: "k",
+		YLabel: "% improvement in MSE",
+		Series: []Series{
+			{Name: "Noisy Top-K with Measures", Points: empirical},
+			{Name: "Theoretical Expected Improvement", Points: theory},
+		},
+	}, nil
+}
+
+// Fig2a regenerates Figure 2a: the Sparse-Vector-with-Gap improvement on the
+// Kosarak workload as a function of ε at k = Config.FixedK.
+func (c Config) Fig2a() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadKosarak)
+	if err != nil {
+		return Figure{}, err
+	}
+	empirical := c.improvementSweep(c.Epsilons, func(src *rng.Xoshiro, x float64) (float64, float64, float64) {
+		return svtSelectMeasureTrial(src, w.Counts, c.FixedK, c.effectiveEpsilon(x))
+	})
+	theory := make([]Point, len(c.Epsilons))
+	for i, e := range c.Epsilons {
+		theory[i] = Point{X: e, Y: postprocess.SVTExpectedImprovementPercent(c.FixedK, true)}
+	}
+	return Figure{
+		ID:     "fig2a",
+		Title:  fmt.Sprintf("Sparse-Vector-with-Gap with Measures, %s, k=%d", w.Name, c.FixedK),
+		XLabel: "epsilon",
+		YLabel: "% improvement in MSE",
+		Series: []Series{
+			{Name: "Sparse Vector with Measures", Points: empirical},
+			{Name: "Theoretical Expected Improvement", Points: theory},
+		},
+	}, nil
+}
+
+// Fig2b regenerates Figure 2b: the Noisy-Top-K-with-Gap improvement on the
+// Kosarak workload as a function of ε at k = Config.FixedK.
+func (c Config) Fig2b() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadKosarak)
+	if err != nil {
+		return Figure{}, err
+	}
+	empirical := c.improvementSweep(c.Epsilons, func(src *rng.Xoshiro, x float64) (float64, float64, float64) {
+		return topKSelectMeasureTrial(src, w.Counts, c.FixedK, c.effectiveEpsilon(x))
+	})
+	theory := make([]Point, len(c.Epsilons))
+	for i, e := range c.Epsilons {
+		theory[i] = Point{X: e, Y: postprocess.TopKExpectedImprovementPercent(c.FixedK, 1)}
+	}
+	return Figure{
+		ID:     "fig2b",
+		Title:  fmt.Sprintf("Noisy-Top-K-with-Gap with Measures, %s, k=%d", w.Name, c.FixedK),
+		XLabel: "epsilon",
+		YLabel: "% improvement in MSE",
+		Series: []Series{
+			{Name: "Noisy Top-K with Measures", Points: empirical},
+			{Name: "Theoretical Expected Improvement", Points: theory},
+		},
+	}, nil
+}
+
+// Corollary1 compares the empirical BLUE error-reduction ratio against the
+// Corollary 1 prediction (1+λk)/(k+λk) with λ = 1, on a synthetic truth
+// vector, for every k in Config.Ks.
+func (c Config) Corollary1() (Figure, error) {
+	c = c.withDefaults()
+	empirical := make([]Point, 0, len(c.Ks))
+	theory := make([]Point, 0, len(c.Ks))
+	for i, k := range c.Ks {
+		k := k
+		truth := make([]float64, k)
+		for j := range truth {
+			truth[j] = 1000 - 10*float64(j)
+		}
+		const scale = 5.0
+		sums := runTrials(c.Trials, c.Seed+uint64(7000*(i+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+			alpha := make([]float64, k)
+			eta := make([]float64, k)
+			for j := range alpha {
+				alpha[j] = truth[j] + rng.Laplace(src, scale)
+				eta[j] = rng.Laplace(src, scale)
+			}
+			gaps := make([]float64, k-1)
+			for j := range gaps {
+				gaps[j] = truth[j] + eta[j] - truth[j+1] - eta[j+1]
+			}
+			beta, err := postprocess.BLUE(alpha, gaps, 1)
+			if err != nil {
+				return nil
+			}
+			var blueSE, measSE float64
+			for j := range truth {
+				blueSE += (beta[j] - truth[j]) * (beta[j] - truth[j])
+				measSE += (alpha[j] - truth[j]) * (alpha[j] - truth[j])
+			}
+			return map[string]float64{"blue": blueSE, "meas": measSE}
+		})
+		ratio := 0.0
+		if sums["meas"] > 0 {
+			ratio = sums["blue"] / sums["meas"]
+		}
+		empirical = append(empirical, Point{X: float64(k), Y: ratio})
+		theory = append(theory, Point{X: float64(k), Y: postprocess.ErrorReductionRatio(k, 1)})
+	}
+	return Figure{
+		ID:     "corollary1",
+		Title:  "Corollary 1: BLUE error-reduction ratio (lambda=1)",
+		XLabel: "k",
+		YLabel: "E|beta-q|^2 / E|alpha-q|^2",
+		Series: []Series{
+			{Name: "Empirical", Points: empirical},
+			{Name: "Corollary 1", Points: theory},
+		},
+	}, nil
+}
+
+// SVTCombineRatio compares the empirical error ratio of the Section 6.2
+// combine-with-measurement estimator against its theoretical value for every
+// k in Config.Ks, on the BMS-POS workload.
+func (c Config) SVTCombineRatio() (Figure, error) {
+	c = c.withDefaults()
+	w, err := c.BuildWorkload(workloadBMSPOS)
+	if err != nil {
+		return Figure{}, err
+	}
+	empirical := make([]Point, 0, len(c.Ks))
+	theory := make([]Point, 0, len(c.Ks))
+	for i, k := range c.Ks {
+		k := k
+		sums := runTrials(c.Trials, c.Seed+uint64(9000*(i+1)), c.Parallel, func(src *rng.Xoshiro) map[string]float64 {
+			b, imp, n := svtSelectMeasureTrial(src, w.Counts, k, c.effectiveEpsilon(c.Epsilon))
+			return map[string]float64{"baseline": b, "improved": imp, "n": n}
+		})
+		ratio := 0.0
+		if sums["baseline"] > 0 {
+			ratio = sums["improved"] / sums["baseline"]
+		}
+		empirical = append(empirical, Point{X: float64(k), Y: ratio})
+		theory = append(theory, Point{X: float64(k), Y: postprocess.SVTErrorReductionRatio(k, true)})
+	}
+	return Figure{
+		ID:     "svt-combine-ratio",
+		Title:  "Section 6.2: SVT gap-combined error ratio (monotonic queries)",
+		XLabel: "k",
+		YLabel: "E|beta-q|^2 / E|alpha-q|^2",
+		Series: []Series{
+			{Name: "Empirical", Points: empirical},
+			{Name: "Theory", Points: theory},
+		},
+	}, nil
+}

@@ -1,0 +1,195 @@
+// Package metrics implements the evaluation metrics reported in Section 7 of
+// the paper: mean squared error and its percentage improvement (Figures 1
+// and 2), and precision / recall / F-measure of the sets of queries returned
+// by the Sparse Vector variants (Figures 3d–3f). It also provides the small
+// summary-statistics helpers the experiment harness uses to average over
+// Monte-Carlo trials.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MSE returns the mean squared error between estimates and truth. The two
+// slices must have equal, non-zero length.
+func MSE(estimates, truth []float64) float64 {
+	mustSameLen(estimates, truth)
+	sum := 0.0
+	for i := range estimates {
+		d := estimates[i] - truth[i]
+		sum += d * d
+	}
+	return sum / float64(len(estimates))
+}
+
+// MAE returns the mean absolute error between estimates and truth.
+func MAE(estimates, truth []float64) float64 {
+	mustSameLen(estimates, truth)
+	sum := 0.0
+	for i := range estimates {
+		sum += math.Abs(estimates[i] - truth[i])
+	}
+	return sum / float64(len(estimates))
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) == 0 || len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: slices must have equal non-zero length, got %d and %d", len(a), len(b)))
+	}
+}
+
+// PercentImprovement returns how much better (in percent) the improved error
+// is relative to the baseline error: 100·(baseline − improved)/baseline.
+// Positive values mean the improved method wins; the figures in the paper
+// plot exactly this quantity.
+func PercentImprovement(baseline, improved float64) float64 {
+	if baseline <= 0 {
+		panic(fmt.Sprintf("metrics: baseline error %v must be positive", baseline))
+	}
+	return 100 * (baseline - improved) / baseline
+}
+
+// Precision returns |returned ∩ relevant| / |returned|. A mechanism that
+// returns nothing has precision 1 by convention (it made no mistakes), which
+// matches how the SVT experiments treat empty outputs.
+func Precision(returned, relevant []int) float64 {
+	if len(returned) == 0 {
+		return 1
+	}
+	rel := toSet(relevant)
+	hit := 0
+	for _, r := range returned {
+		if rel[r] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(returned))
+}
+
+// Recall returns |returned ∩ relevant| / |relevant|. If there are no relevant
+// items recall is 1 by convention.
+func Recall(returned, relevant []int) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	rel := toSet(relevant)
+	hit := 0
+	seen := map[int]bool{}
+	for _, r := range returned {
+		if rel[r] && !seen[r] {
+			seen[r] = true
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(relevant))
+}
+
+// FMeasure returns the harmonic mean of precision and recall (F1). It is zero
+// when both are zero.
+func FMeasure(precision, recall float64) float64 {
+	if precision < 0 || recall < 0 {
+		panic("metrics: negative precision or recall")
+	}
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// FMeasureOf computes F1 directly from the returned and relevant index sets.
+func FMeasureOf(returned, relevant []int) float64 {
+	return FMeasure(Precision(returned, relevant), Recall(returned, relevant))
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs; it panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summary bundles the statistics the harness reports per experimental cell.
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("metrics: summary of empty slice")
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(xs)}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	return s
+}
+
+// String renders the summary compactly for tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4g sd=%.4g min=%.4g max=%.4g n=%d", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSEAndMAE(t *testing.T) {
+	est := []float64{1, 2, 3}
+	truth := []float64{1, 4, 0}
+	if got := MSE(est, truth); math.Abs(got-(0+4+9)/3.0) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := MAE(est, truth); math.Abs(got-(0+2+3)/3.0) > 1e-12 {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestMSEPanicsOnMismatch(t *testing.T) {
+	for _, pair := range [][2][]float64{{{1}, {1, 2}}, {nil, nil}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			MSE(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestPercentImprovement(t *testing.T) {
+	if got := PercentImprovement(10, 5); got != 50 {
+		t.Fatalf("got %v want 50", got)
+	}
+	if got := PercentImprovement(10, 12); got != -20 {
+		t.Fatalf("got %v want -20", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero baseline")
+		}
+	}()
+	PercentImprovement(0, 1)
+}
+
+func TestPrecisionRecallFMeasure(t *testing.T) {
+	returned := []int{1, 2, 3, 4}
+	relevant := []int{2, 4, 6, 8}
+	p := Precision(returned, relevant)
+	r := Recall(returned, relevant)
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("precision %v recall %v, want 0.5 each", p, r)
+	}
+	if f := FMeasure(p, r); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("F = %v", f)
+	}
+	if f := FMeasureOf(returned, relevant); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("FMeasureOf = %v", f)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	if Precision(nil, []int{1}) != 1 {
+		t.Fatal("empty returned set should have precision 1")
+	}
+	if Recall([]int{1}, nil) != 1 {
+		t.Fatal("empty relevant set should have recall 1")
+	}
+	if FMeasure(0, 0) != 0 {
+		t.Fatal("F(0,0) must be 0")
+	}
+	// Duplicate returned items must not inflate recall.
+	if got := Recall([]int{2, 2, 2}, []int{2, 4}); got != 0.5 {
+		t.Fatalf("recall with duplicates = %v, want 0.5", got)
+	}
+}
+
+func TestFMeasurePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FMeasure(-0.1, 0.5)
+}
+
+func TestPrecisionRecallBoundedProperty(t *testing.T) {
+	f := func(returned, relevant []int8) bool {
+		r := make([]int, len(returned))
+		for i, v := range returned {
+			r[i] = int(v)
+		}
+		rel := make([]int, len(relevant))
+		for i, v := range relevant {
+			rel[i] = int(v)
+		}
+		p := Precision(r, rel)
+		rc := Recall(r, rel)
+		fm := FMeasure(p, rc)
+		return p >= 0 && p <= 1 && rc >= 0 && rc <= 1 && fm >= 0 && fm <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("variance %v", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("stddev %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("singleton quantile %v", got)
+	}
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for q=%v", q)
+				}
+			}()
+			Quantile(xs, q)
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty input")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mean":     func() { Mean(nil) },
+		"variance": func() { Variance(nil) },
+		"quantile": func() { Quantile(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,308 @@
+// Package pipeline packages the paper's two end-to-end workflows behind a
+// single call each, handling budget splitting, selection, measurement and the
+// gap-aware post-processing:
+//
+//   - TopKPipeline — the Section 5.2 protocol: spend part of the budget on
+//     Noisy-Top-K-with-Gap, the rest on Laplace measurements of the selected
+//     queries, and refine the measurements with the Theorem 3 BLUE.
+//
+//   - SVTPipeline — the Section 6.2 protocol: spend part of the budget on
+//     (Adaptive-)Sparse-Vector-with-Gap, the rest on Laplace measurements of
+//     the reported queries, and combine each measurement with its gap estimate
+//     by inverse-variance weighting, attaching a Lemma 5 lower confidence
+//     bound.
+//
+// Both pipelines charge a provided Accountant so that callers embedding them
+// in larger analyses keep an accurate picture of the remaining budget.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/freegap/freegap/internal/accountant"
+	"github.com/freegap/freegap/internal/baseline"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/postprocess"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// ErrBudget wraps budget-related failures from the accountant.
+var ErrBudget = errors.New("pipeline: insufficient privacy budget")
+
+// TopKConfig configures the Section 5.2 select-then-measure pipeline.
+type TopKConfig struct {
+	// K is the number of queries to select and measure.
+	K int
+	// Epsilon is the total privacy budget of the pipeline.
+	Epsilon float64
+	// SelectFraction is the share of Epsilon spent on selection (the paper
+	// uses 0.5, the default when zero).
+	SelectFraction float64
+	// Monotonic declares a monotonic (e.g. counting) query list.
+	Monotonic bool
+}
+
+func (c TopKConfig) withDefaults() TopKConfig {
+	if c.SelectFraction <= 0 || c.SelectFraction >= 1 {
+		c.SelectFraction = 0.5
+	}
+	return c
+}
+
+// TopKEstimate is one refined query estimate from the Top-K pipeline.
+type TopKEstimate struct {
+	// Index is the query's position in the input.
+	Index int
+	// Measured is the raw Laplace measurement of the query.
+	Measured float64
+	// Refined is the BLUE estimate that also uses the gap information.
+	Refined float64
+	// Gap is the released gap between this query and the next-ranked one.
+	Gap float64
+}
+
+// TopKPipelineResult is the full output of the Top-K pipeline.
+type TopKPipelineResult struct {
+	Estimates []TopKEstimate
+	// MeasurementVariance is the per-query variance of the raw measurements.
+	MeasurementVariance float64
+	// TheoreticalErrorRatio is the Corollary 1 ratio achieved by the refined
+	// estimates relative to the raw measurements.
+	TheoreticalErrorRatio float64
+	// EpsilonSpent is the total budget consumed.
+	EpsilonSpent float64
+}
+
+// RunTopK executes the pipeline on the true query answers, charging acct (if
+// non-nil) for the selection and measurement stages.
+func RunTopK(src rng.Source, answers []float64, cfg TopKConfig, acct *accountant.Accountant) (*TopKPipelineResult, error) {
+	cfg = cfg.withDefaults()
+	if !(cfg.Epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", core.ErrInvalidEpsilon, cfg.Epsilon)
+	}
+	selectEps := cfg.Epsilon * cfg.SelectFraction
+	measureEps := cfg.Epsilon - selectEps
+	if acct != nil && !acct.CanSpend(cfg.Epsilon) {
+		return nil, fmt.Errorf("%w: need %v, have %v", ErrBudget, cfg.Epsilon, acct.Remaining())
+	}
+
+	topk, err := core.NewTopKWithGap(cfg.K, selectEps, cfg.Monotonic)
+	if err != nil {
+		return nil, err
+	}
+	selection, err := topk.Run(src, answers)
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		if err := acct.Spend("top-k selection", selectEps); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+	}
+
+	meas, err := baseline.NewLaplaceMechanism(measureEps, 1)
+	if err != nil {
+		return nil, err
+	}
+	measurements, err := meas.MeasureSelected(src, answers, selection.Indices())
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		if err := acct.Spend("top-k measurements", measureEps); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+	}
+
+	var gaps []float64
+	if cfg.K > 1 {
+		gaps = selection.Gaps()[:cfg.K-1]
+	}
+	measVar := meas.MeasurementVariance(cfg.K)
+	selVar := selection.PerQueryNoiseVariance()
+	refined, err := postprocess.BLUEFromVariances(measurements, gaps, measVar, selVar)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &TopKPipelineResult{
+		MeasurementVariance:   measVar,
+		TheoreticalErrorRatio: postprocess.ErrorReductionRatio(cfg.K, selVar/measVar),
+		EpsilonSpent:          cfg.Epsilon,
+	}
+	for i, sel := range selection.Selections {
+		result.Estimates = append(result.Estimates, TopKEstimate{
+			Index:    sel.Index,
+			Measured: measurements[i],
+			Refined:  refined[i],
+			Gap:      sel.Gap,
+		})
+	}
+	return result, nil
+}
+
+// SVTConfig configures the Section 6.2 threshold pipeline.
+type SVTConfig struct {
+	// K is the number of above-threshold answers to provision for.
+	K int
+	// Epsilon is the total privacy budget of the pipeline.
+	Epsilon float64
+	// Threshold is the public threshold.
+	Threshold float64
+	// SelectFraction is the share of Epsilon spent on the Sparse Vector stage
+	// (default 0.5).
+	SelectFraction float64
+	// Adaptive selects Adaptive-Sparse-Vector-with-Gap instead of plain
+	// Sparse-Vector-with-Gap.
+	Adaptive bool
+	// Monotonic declares a monotonic query list.
+	Monotonic bool
+	// Confidence is the level of the Lemma 5 lower bound attached to each
+	// estimate (default 0.95).
+	Confidence float64
+}
+
+func (c SVTConfig) withDefaults() SVTConfig {
+	if c.SelectFraction <= 0 || c.SelectFraction >= 1 {
+		c.SelectFraction = 0.5
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// SVTEstimate is one refined above-threshold query estimate.
+type SVTEstimate struct {
+	// Index is the query's position in the stream.
+	Index int
+	// Branch records which branch of the adaptive mechanism answered.
+	Branch core.Branch
+	// GapEstimate is gap + threshold, the selection-stage estimate.
+	GapEstimate float64
+	// Measured is the raw Laplace measurement.
+	Measured float64
+	// Combined is the inverse-variance combination of the two.
+	Combined float64
+	// CombinedVariance is the variance of the combined estimate.
+	CombinedVariance float64
+	// LowerBound is the Lemma 5 lower confidence bound on the true answer
+	// derived from the selection stage alone.
+	LowerBound float64
+}
+
+// SVTPipelineResult is the full output of the threshold pipeline.
+type SVTPipelineResult struct {
+	Estimates []SVTEstimate
+	// AboveCount is the number of above-threshold answers the selection stage
+	// produced.
+	AboveCount int
+	// EpsilonSpent is the budget actually consumed (the adaptive selection
+	// stage may spend less than its allocation).
+	EpsilonSpent float64
+	// SelectionRemaining is the budget the adaptive selection stage left
+	// unspent (zero for the non-adaptive variant).
+	SelectionRemaining float64
+}
+
+// RunSVT executes the threshold pipeline on the true query answers, charging
+// acct (if non-nil) for the selection and measurement stages.
+func RunSVT(src rng.Source, answers []float64, cfg SVTConfig, acct *accountant.Accountant) (*SVTPipelineResult, error) {
+	cfg = cfg.withDefaults()
+	if !(cfg.Epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", core.ErrInvalidEpsilon, cfg.Epsilon)
+	}
+	selectEps := cfg.Epsilon * cfg.SelectFraction
+	measureEps := cfg.Epsilon - selectEps
+	if acct != nil && !acct.CanSpend(cfg.Epsilon) {
+		return nil, fmt.Errorf("%w: need %v, have %v", ErrBudget, cfg.Epsilon, acct.Remaining())
+	}
+
+	adaptive := &core.AdaptiveSVTWithGap{
+		K:         cfg.K,
+		Epsilon:   selectEps,
+		Threshold: cfg.Threshold,
+		Monotonic: cfg.Monotonic,
+	}
+	var (
+		selection *core.SVTGapResult
+		err       error
+	)
+	if cfg.Adaptive {
+		selection, err = adaptive.Run(src, answers)
+	} else {
+		var svt *core.SVTWithGap
+		svt, err = core.NewSVTWithGap(cfg.K, selectEps, cfg.Threshold, cfg.Monotonic)
+		if err == nil {
+			selection, err = svt.Run(src, answers)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		if err := acct.Spend("sparse-vector selection", selection.BudgetSpent); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+	}
+
+	gapEstimates, gapVariances, indices := selection.GapEstimates()
+	result := &SVTPipelineResult{
+		AboveCount:         selection.AboveCount,
+		EpsilonSpent:       selection.BudgetSpent,
+		SelectionRemaining: selection.Remaining(),
+	}
+	if len(indices) == 0 {
+		return result, nil
+	}
+
+	meas, err := baseline.NewLaplaceMechanism(measureEps, 1)
+	if err != nil {
+		return nil, err
+	}
+	measurements, err := meas.MeasureSelected(src, answers, indices)
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		if err := acct.Spend("sparse-vector measurements", measureEps); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+	}
+	result.EpsilonSpent += measureEps
+	measVar := meas.MeasurementVariance(len(indices))
+
+	// Lemma 5 rates for the lower bound: threshold noise Laplace(1/ε₀) and
+	// branch-dependent query noise.
+	eps0, eps1, eps2 := adaptive.Budgets()
+	items := selection.AboveItems()
+	for i, idx := range indices {
+		combined, combinedVar, err := postprocess.CombineByInverseVariance(
+			measurements[i], measVar, gapEstimates[i], gapVariances[i])
+		if err != nil {
+			return nil, err
+		}
+		branchEps := eps1
+		if items[i].Branch == core.BranchTop {
+			branchEps = eps2
+		}
+		if !cfg.Monotonic {
+			branchEps /= 2 // query noise scale is 2/ε_branch for general queries
+		}
+		lower, err := postprocess.GapLowerConfidenceBound(items[i].Gap, cfg.Threshold, cfg.Confidence, eps0, branchEps)
+		if err != nil {
+			return nil, err
+		}
+		result.Estimates = append(result.Estimates, SVTEstimate{
+			Index:            idx,
+			Branch:           items[i].Branch,
+			GapEstimate:      gapEstimates[i],
+			Measured:         measurements[i],
+			Combined:         combined,
+			CombinedVariance: combinedVar,
+			LowerBound:       lower,
+		})
+	}
+	return result, nil
+}

@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/accountant"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func wellSeparatedCounts() []float64 {
+	counts := make([]float64, 60)
+	for i := range counts {
+		counts[i] = float64(3000 - 40*i)
+	}
+	return counts
+}
+
+func TestRunTopKBasic(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	counts := wellSeparatedCounts()
+	acct := accountant.MustNew(2)
+	res, err := RunTopK(src, counts, TopKConfig{K: 5, Epsilon: 2, Monotonic: true}, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 5 {
+		t.Fatalf("estimates %d, want 5", len(res.Estimates))
+	}
+	if math.Abs(acct.Spent()-2) > 1e-9 {
+		t.Fatalf("accountant charged %v, want 2", acct.Spent())
+	}
+	if res.TheoreticalErrorRatio <= 0 || res.TheoreticalErrorRatio >= 1 {
+		t.Fatalf("theoretical ratio %v out of (0,1)", res.TheoreticalErrorRatio)
+	}
+	for _, e := range res.Estimates {
+		if e.Index < 0 || e.Index >= len(counts) {
+			t.Fatalf("index %d out of range", e.Index)
+		}
+		if e.Gap <= 0 {
+			t.Fatalf("gap %v not positive", e.Gap)
+		}
+		// With eps=2 on well-separated counts both estimates should land near
+		// the truth.
+		if math.Abs(e.Refined-counts[e.Index]) > 200 {
+			t.Fatalf("refined estimate %v far from truth %v", e.Refined, counts[e.Index])
+		}
+	}
+}
+
+func TestRunTopKRefinedBeatsMeasuredOnAverage(t *testing.T) {
+	counts := wellSeparatedCounts()
+	src := rng.NewXoshiro(3)
+	const trials = 400
+	var measSE, refinedSE float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunTopK(src, counts, TopKConfig{K: 8, Epsilon: 1.5, Monotonic: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Estimates {
+			truth := counts[e.Index]
+			measSE += (e.Measured - truth) * (e.Measured - truth)
+			refinedSE += (e.Refined - truth) * (e.Refined - truth)
+		}
+	}
+	if refinedSE >= measSE {
+		t.Fatalf("refined SE %v not below measured SE %v", refinedSE, measSE)
+	}
+	ratio := refinedSE / measSE
+	want := 0.5625 // Corollary 1 at k=8, lambda=1
+	if math.Abs(ratio-want) > 0.08 {
+		t.Fatalf("empirical error ratio %v, Corollary 1 predicts %v", ratio, want)
+	}
+}
+
+func TestRunTopKBudgetErrors(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	counts := wellSeparatedCounts()
+	acct := accountant.MustNew(0.5)
+	_, err := RunTopK(src, counts, TopKConfig{K: 3, Epsilon: 1, Monotonic: true}, acct)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if acct.Spent() != 0 {
+		t.Fatal("failed pipeline charged the accountant")
+	}
+	if _, err := RunTopK(src, counts, TopKConfig{K: 3, Epsilon: 0}, nil); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, err := RunTopK(src, counts, TopKConfig{K: 0, Epsilon: 1}, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestRunTopKSelectFractionDefaultAndOverride(t *testing.T) {
+	cfg := TopKConfig{K: 2, Epsilon: 1}.withDefaults()
+	if cfg.SelectFraction != 0.5 {
+		t.Fatalf("default select fraction %v", cfg.SelectFraction)
+	}
+	cfg = TopKConfig{K: 2, Epsilon: 1, SelectFraction: 0.25}.withDefaults()
+	if cfg.SelectFraction != 0.25 {
+		t.Fatal("explicit fraction overridden")
+	}
+	cfg = TopKConfig{K: 2, Epsilon: 1, SelectFraction: 1.5}.withDefaults()
+	if cfg.SelectFraction != 0.5 {
+		t.Fatal("out-of-range fraction not reset")
+	}
+}
+
+func TestRunSVTBasic(t *testing.T) {
+	src := rng.NewXoshiro(5)
+	counts := wellSeparatedCounts()
+	threshold := 2000.0
+	acct := accountant.MustNew(3)
+	res, err := RunSVT(src, counts, SVTConfig{
+		K: 5, Epsilon: 3, Threshold: threshold, Adaptive: true, Monotonic: true,
+	}, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount == 0 {
+		t.Fatal("no above-threshold answers on a workload with 26 queries above the threshold")
+	}
+	if len(res.Estimates) != res.AboveCount {
+		t.Fatalf("estimates %d != above count %d", len(res.Estimates), res.AboveCount)
+	}
+	if acct.Spent() > 3+1e-9 {
+		t.Fatalf("accountant charged %v > 3", acct.Spent())
+	}
+	for _, e := range res.Estimates {
+		truth := counts[e.Index]
+		if truth < threshold-400 {
+			t.Fatalf("query %d (count %v) reported above threshold %v", e.Index, truth, threshold)
+		}
+		if e.CombinedVariance <= 0 {
+			t.Fatalf("non-positive combined variance %v", e.CombinedVariance)
+		}
+		if e.LowerBound >= e.GapEstimate {
+			t.Fatalf("lower bound %v not below the gap estimate %v", e.LowerBound, e.GapEstimate)
+		}
+		if e.Branch == core.BranchBelow {
+			t.Fatal("below-branch item surfaced as an estimate")
+		}
+	}
+}
+
+func TestRunSVTCombinedBeatsMeasurement(t *testing.T) {
+	counts := wellSeparatedCounts()
+	const threshold = 2000.0
+	src := rng.NewXoshiro(9)
+	const trials = 400
+	var measSE, combSE float64
+	var n int
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunSVT(src, counts, SVTConfig{
+			K: 6, Epsilon: 1.4, Threshold: threshold, Adaptive: false, Monotonic: true,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Estimates {
+			truth := counts[e.Index]
+			measSE += (e.Measured - truth) * (e.Measured - truth)
+			combSE += (e.Combined - truth) * (e.Combined - truth)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no estimates produced")
+	}
+	if combSE >= measSE {
+		t.Fatalf("combined SE %v not below measurement-only SE %v", combSE, measSE)
+	}
+}
+
+func TestRunSVTAdaptiveLeavesBudget(t *testing.T) {
+	counts := wellSeparatedCounts()
+	src := rng.NewXoshiro(11)
+	res, err := RunSVT(src, counts, SVTConfig{
+		K: 5, Epsilon: 2, Threshold: 400, Adaptive: true, Monotonic: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every count is far above 400, so the adaptive stage answers from the
+	// cheap branch and keeps part of its allocation.
+	if res.SelectionRemaining <= 0 {
+		t.Fatalf("adaptive selection left no budget (remaining %v)", res.SelectionRemaining)
+	}
+}
+
+func TestRunSVTNoAboveThreshold(t *testing.T) {
+	counts := []float64{1, 2, 3, 4, 5}
+	src := rng.NewXoshiro(13)
+	res, err := RunSVT(src, counts, SVTConfig{K: 2, Epsilon: 5, Threshold: 1e6, Monotonic: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount != 0 || len(res.Estimates) != 0 {
+		t.Fatalf("expected empty result, got %+v", res)
+	}
+}
+
+func TestRunSVTValidation(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	counts := wellSeparatedCounts()
+	if _, err := RunSVT(src, counts, SVTConfig{K: 2, Epsilon: 0, Threshold: 1}, nil); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, err := RunSVT(src, counts, SVTConfig{K: 0, Epsilon: 1, Threshold: 1}, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	acct := accountant.MustNew(0.1)
+	if _, err := RunSVT(src, counts, SVTConfig{K: 2, Epsilon: 1, Threshold: 1}, acct); !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	cfg := SVTConfig{K: 1, Epsilon: 1, Confidence: 2}.withDefaults()
+	if cfg.Confidence != 0.95 {
+		t.Fatal("invalid confidence not reset")
+	}
+}

@@ -1,0 +1,125 @@
+package postprocess
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDimensionMismatch is returned when the measurement and gap vectors do
+// not describe the same k selected queries.
+var ErrDimensionMismatch = errors.New("postprocess: need k measurements and k-1 gaps")
+
+// BLUE computes the best linear unbiased estimate of the true values of the
+// top-k selected queries from
+//
+//	measurements αᵢ = qᵢ + ξᵢ   (independent Laplace measurement noise), and
+//	gaps         gᵢ = qᵢ + ηᵢ − qᵢ₊₁ − ηᵢ₊₁  (from Noisy-Top-K-with-Gap),
+//
+// where λ = Var(ηᵢ)/Var(ξᵢ). This is Theorem 3 of the paper, evaluated with
+// the O(k) prefix-sum algorithm rather than the explicit matrix product:
+//
+//	βᵢ = (ᾱ + λk·αᵢ + p − k·pᵢ₋₁) / ((1+λ)·k)
+//
+// with ᾱ = Σαⱼ, p = Σ(k−j)·gⱼ and pᵢ the prefix sums of the gaps.
+//
+// The relative error of βᵢ versus using αᵢ alone is (1+λk)/(k+λk)
+// (Corollary 1); with λ = 1 (counting queries measured with the same budget)
+// the mean squared error approaches a 50% reduction as k grows.
+func BLUE(measurements, gaps []float64, lambda float64) ([]float64, error) {
+	k := len(measurements)
+	if k == 0 || len(gaps) != k-1 {
+		return nil, fmt.Errorf("%w: got %d measurements and %d gaps", ErrDimensionMismatch, k, len(gaps))
+	}
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("postprocess: variance ratio lambda %v must be positive", lambda)
+	}
+	if k == 1 {
+		// With a single query there are no gaps and the measurement is already
+		// the BLUE.
+		return []float64{measurements[0]}, nil
+	}
+
+	alphaSum := 0.0
+	for _, a := range measurements {
+		alphaSum += a
+	}
+	p := 0.0
+	for i, g := range gaps {
+		p += float64(k-(i+1)) * g
+	}
+
+	kf := float64(k)
+	estimates := make([]float64, k)
+	prefix := 0.0 // p_{i-1}: sum of the first i-1 gaps
+	for i := 0; i < k; i++ {
+		estimates[i] = (alphaSum + lambda*kf*measurements[i] + p - kf*prefix) / ((1 + lambda) * kf)
+		if i < k-1 {
+			prefix += gaps[i]
+		}
+	}
+	return estimates, nil
+}
+
+// BLUEFromVariances is a convenience wrapper that derives λ from the two
+// noise variances: measurementVariance is Var(ξᵢ) of the per-query Laplace
+// measurements, selectionNoiseVariance is Var(ηᵢ) of the per-query noise
+// inside Noisy-Top-K-with-Gap.
+func BLUEFromVariances(measurements, gaps []float64, measurementVariance, selectionNoiseVariance float64) ([]float64, error) {
+	if !(measurementVariance > 0) || !(selectionNoiseVariance > 0) {
+		return nil, fmt.Errorf("postprocess: variances must be positive, got %v and %v",
+			measurementVariance, selectionNoiseVariance)
+	}
+	return BLUE(measurements, gaps, selectionNoiseVariance/measurementVariance)
+}
+
+// ErrorReductionRatio returns E|βᵢ−qᵢ|² / E|αᵢ−qᵢ|² = (1+λk)/(k+λk), the
+// Corollary 1 ratio between the BLUE's error and the measurement-only error.
+// Values below 1 mean the gap information helped.
+func ErrorReductionRatio(k int, lambda float64) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("postprocess: k = %d must be positive", k))
+	}
+	if !(lambda > 0) {
+		panic(fmt.Sprintf("postprocess: lambda = %v must be positive", lambda))
+	}
+	kf := float64(k)
+	return (1 + lambda*kf) / (kf + lambda*kf)
+}
+
+// TopKExpectedImprovementPercent returns the Corollary 1 improvement,
+// 100·(1 − (1+λk)/(k+λk)), i.e. the theoretical curve plotted alongside the
+// empirical results in Figures 1b and 2b. For counting queries measured with
+// an equal budget split, λ = 1 and the improvement is 100·(k−1)/(2k).
+func TopKExpectedImprovementPercent(k int, lambda float64) float64 {
+	return 100 * (1 - ErrorReductionRatio(k, lambda))
+}
+
+// blueMatrix evaluates Theorem 3 via the explicit X and Y matrices. It is
+// exported to the tests (via export_test.go) as a differential oracle for the
+// linear-time implementation; production callers should use BLUE.
+func blueMatrix(measurements, gaps []float64, lambda float64) []float64 {
+	k := len(measurements)
+	kf := float64(k)
+	// X = (I + λk·I + ones)/( (1+λ)k ) — more precisely Xᵢⱼ = 1 + λk·[i=j].
+	// Y has entries Yᵢⱼ = (k−j) − k·[j < i] (1-based), all divided by (1+λ)k.
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		acc := 0.0
+		for j := 0; j < k; j++ {
+			x := 1.0
+			if i == j {
+				x += lambda * kf
+			}
+			acc += x * measurements[j]
+		}
+		for j := 0; j < k-1; j++ {
+			y := float64(k - (j + 1))
+			if j+1 < i+1 {
+				y -= kf
+			}
+			acc += y * gaps[j]
+		}
+		out[i] = acc / ((1 + lambda) * kf)
+	}
+	return out
+}

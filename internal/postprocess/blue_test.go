@@ -1,0 +1,234 @@
+package postprocess
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestBLUEValidation(t *testing.T) {
+	if _, err := BLUE(nil, nil, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("empty input: %v", err)
+	}
+	if _, err := BLUE([]float64{1, 2}, []float64{1, 2}, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("wrong gap count: %v", err)
+	}
+	if _, err := BLUE([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+	if _, err := BLUEFromVariances([]float64{1, 2}, []float64{1}, 0, 1); err == nil {
+		t.Fatal("zero measurement variance accepted")
+	}
+	if _, err := BLUEFromVariances([]float64{1, 2}, []float64{1}, 1, -1); err == nil {
+		t.Fatal("negative selection variance accepted")
+	}
+}
+
+func TestBLUESingleQueryIsIdentity(t *testing.T) {
+	got, err := BLUE([]float64{42.5}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBLUEMatchesMatrixFormula(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	f := func(seed uint64) bool {
+		local := rng.NewXoshiro(seed)
+		k := 2 + rng.Intn(local, 12)
+		lambda := 0.1 + 4*rng.Float64(local)
+		alpha := make([]float64, k)
+		for i := range alpha {
+			alpha[i] = 100*rng.Float64(local) - 50
+		}
+		gaps := make([]float64, k-1)
+		for i := range gaps {
+			gaps[i] = 20 * rng.Float64(local)
+		}
+		fast, err := BLUE(alpha, gaps, lambda)
+		if err != nil {
+			return false
+		}
+		slow := BlueMatrixForTest(alpha, gaps, lambda)
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-8*(1+math.Abs(slow[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBLUEExactOnNoiselessInput(t *testing.T) {
+	// With exact measurements and exact gaps the estimator must reproduce the
+	// true values (it is unbiased and the inputs are consistent).
+	truth := []float64{100, 80, 75, 60}
+	gaps := []float64{20, 5, 15}
+	for _, lambda := range []float64{0.5, 1, 2} {
+		got, err := BLUE(truth, gaps, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			if math.Abs(got[i]-truth[i]) > 1e-9 {
+				t.Fatalf("lambda %v: estimate %v, want %v", lambda, got, truth)
+			}
+		}
+	}
+}
+
+func TestBLUEUnbiased(t *testing.T) {
+	// Monte-Carlo check that E[βᵢ] = qᵢ when measurements and gaps carry
+	// independent zero-mean Laplace noise.
+	truth := []float64{500, 420, 400, 350, 300}
+	k := len(truth)
+	const measScale, selScale = 3.0, 3.0
+	lambda := 1.0
+	src := rng.NewXoshiro(7)
+	const trials = 30000
+	sums := make([]float64, k)
+	for trial := 0; trial < trials; trial++ {
+		alpha := make([]float64, k)
+		for i := range alpha {
+			alpha[i] = truth[i] + rng.Laplace(src, measScale)
+		}
+		eta := make([]float64, k)
+		for i := range eta {
+			eta[i] = rng.Laplace(src, selScale)
+		}
+		gaps := make([]float64, k-1)
+		for i := range gaps {
+			gaps[i] = truth[i] + eta[i] - truth[i+1] - eta[i+1]
+		}
+		beta, err := BLUE(alpha, gaps, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range beta {
+			sums[i] += beta[i]
+		}
+	}
+	for i := range truth {
+		mean := sums[i] / trials
+		if math.Abs(mean-truth[i]) > 0.5 {
+			t.Fatalf("E[beta_%d] = %v, want %v", i, mean, truth[i])
+		}
+	}
+}
+
+func TestBLUEAchievesCorollary1Variance(t *testing.T) {
+	// The empirical MSE ratio between BLUE and measurement-only estimates must
+	// match (1+λk)/(k+λk).
+	truth := []float64{900, 850, 800, 780, 700, 650, 640, 600}
+	k := len(truth)
+	lambda := 1.0
+	scale := 4.0
+	src := rng.NewXoshiro(11)
+	const trials = 20000
+	var blueSE, measSE float64
+	for trial := 0; trial < trials; trial++ {
+		alpha := make([]float64, k)
+		eta := make([]float64, k)
+		for i := range alpha {
+			alpha[i] = truth[i] + rng.Laplace(src, scale)
+			eta[i] = rng.Laplace(src, scale)
+		}
+		gaps := make([]float64, k-1)
+		for i := range gaps {
+			gaps[i] = truth[i] + eta[i] - truth[i+1] - eta[i+1]
+		}
+		beta, err := BLUE(alpha, gaps, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			blueSE += (beta[i] - truth[i]) * (beta[i] - truth[i])
+			measSE += (alpha[i] - truth[i]) * (alpha[i] - truth[i])
+		}
+	}
+	gotRatio := blueSE / measSE
+	wantRatio := ErrorReductionRatio(k, lambda)
+	if math.Abs(gotRatio-wantRatio) > 0.04 {
+		t.Fatalf("empirical error ratio %v, Corollary 1 predicts %v", gotRatio, wantRatio)
+	}
+}
+
+func TestErrorReductionRatio(t *testing.T) {
+	if got := ErrorReductionRatio(1, 1); got != 1 {
+		t.Fatalf("k=1 ratio %v, want 1 (no gaps, no improvement)", got)
+	}
+	if got := ErrorReductionRatio(10, 1); math.Abs(got-11.0/20.0) > 1e-12 {
+		t.Fatalf("k=10, lambda=1: %v, want 0.55", got)
+	}
+	// As lambda → ∞ the gaps carry no information and the ratio → 1.
+	if got := ErrorReductionRatio(10, 1e9); got < 0.999 {
+		t.Fatalf("lambda→∞ ratio %v, want → 1", got)
+	}
+	// As k → ∞ with lambda = 1 the ratio → 1/2.
+	if got := ErrorReductionRatio(100000, 1); math.Abs(got-0.5) > 1e-4 {
+		t.Fatalf("k→∞ ratio %v, want → 0.5", got)
+	}
+	for _, bad := range []struct {
+		k      int
+		lambda float64
+	}{{0, 1}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", bad)
+				}
+			}()
+			ErrorReductionRatio(bad.k, bad.lambda)
+		}()
+	}
+}
+
+func TestTopKExpectedImprovementPercent(t *testing.T) {
+	// (k−1)/2k for lambda = 1.
+	if got := TopKExpectedImprovementPercent(25, 1); math.Abs(got-100*24.0/50.0) > 1e-9 {
+		t.Fatalf("k=25 improvement %v", got)
+	}
+	if got := TopKExpectedImprovementPercent(1, 1); got != 0 {
+		t.Fatalf("k=1 improvement %v, want 0", got)
+	}
+}
+
+func TestBLUEPropertyMeanPreserved(t *testing.T) {
+	// Summing the X and Y matrices' rows shows Σβᵢ = Σαᵢ when λ = 1 — the
+	// estimator redistributes error among queries without moving their total.
+	f := func(seed uint64) bool {
+		local := rng.NewXoshiro(seed)
+		k := 2 + rng.Intn(local, 10)
+		alpha := make([]float64, k)
+		for i := range alpha {
+			alpha[i] = 200*rng.Float64(local) - 100
+		}
+		gaps := make([]float64, k-1)
+		for i := range gaps {
+			gaps[i] = 50 * rng.Float64(local)
+		}
+		beta, err := BLUE(alpha, gaps, 1)
+		if err != nil {
+			return false
+		}
+		var sumA, sumB float64
+		for i := range alpha {
+			sumA += alpha[i]
+			sumB += beta[i]
+		}
+		return math.Abs(sumA-sumB) < 1e-6*(1+math.Abs(sumA))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

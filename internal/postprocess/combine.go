@@ -1,0 +1,69 @@
+package postprocess
+
+import (
+	"fmt"
+	"math"
+)
+
+// CombineByInverseVariance merges two unbiased estimates of the same quantity
+// with known variances into the minimum-variance unbiased linear combination:
+//
+//	β = (a/Var(a) + b/Var(b)) / (1/Var(a) + 1/Var(b)).
+//
+// Section 6.2 uses it to merge a Sparse-Vector gap estimate (gap + threshold)
+// with an independent Laplace measurement of the same query. The second return
+// value is the variance of the combined estimate.
+func CombineByInverseVariance(a, varA, b, varB float64) (estimate, variance float64, err error) {
+	if !(varA > 0) || !(varB > 0) {
+		return 0, 0, fmt.Errorf("postprocess: variances must be positive, got %v and %v", varA, varB)
+	}
+	wa := 1 / varA
+	wb := 1 / varB
+	return (a*wa + b*wb) / (wa + wb), 1 / (wa + wb), nil
+}
+
+// CombineMany merges any number of unbiased estimates by inverse-variance
+// weighting. Estimates and variances must have equal non-zero length.
+func CombineMany(estimates, variances []float64) (estimate, variance float64, err error) {
+	if len(estimates) == 0 || len(estimates) != len(variances) {
+		return 0, 0, fmt.Errorf("postprocess: need equal non-zero estimate/variance counts, got %d and %d",
+			len(estimates), len(variances))
+	}
+	num, den := 0.0, 0.0
+	for i := range estimates {
+		if !(variances[i] > 0) {
+			return 0, 0, fmt.Errorf("postprocess: variance %v at position %d must be positive", variances[i], i)
+		}
+		w := 1 / variances[i]
+		num += estimates[i] * w
+		den += w
+	}
+	return num / den, 1 / den, nil
+}
+
+// SVTErrorReductionRatio returns the Section 6.2 ratio
+// E|βᵢ−qᵢ|²/E|αᵢ−qᵢ|² = (1+c^{2/3})³ / ((1+c^{2/3})³ + c'²) for the
+// combine-with-measurement protocol, where the budget is split half for
+// Sparse-Vector-with-Gap (with the Lyu et al. threshold/query split) and half
+// for measurements. For general queries c = 4k² under the cube root and the
+// limit of the improvement is 20%; for monotonic queries c = k² and the limit
+// is 50%.
+func SVTErrorReductionRatio(k int, monotonic bool) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("postprocess: k = %d must be positive", k))
+	}
+	kf := float64(k)
+	var cube float64
+	if monotonic {
+		cube = math.Pow(1+math.Cbrt(kf*kf), 3)
+	} else {
+		cube = math.Pow(1+math.Cbrt(4*kf*kf), 3)
+	}
+	return cube / (cube + kf*kf)
+}
+
+// SVTExpectedImprovementPercent returns 100·(1 − SVTErrorReductionRatio),
+// the theoretical curve plotted in Figures 1a and 2a.
+func SVTExpectedImprovementPercent(k int, monotonic bool) float64 {
+	return 100 * (1 - SVTErrorReductionRatio(k, monotonic))
+}

@@ -1,0 +1,116 @@
+package postprocess
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestCombineByInverseVariance(t *testing.T) {
+	// Equal variances → simple average.
+	est, v, err := CombineByInverseVariance(10, 4, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 15 || v != 2 {
+		t.Fatalf("est %v var %v, want 15 and 2", est, v)
+	}
+	// A much more precise second estimate dominates.
+	est, _, err = CombineByInverseVariance(10, 1e6, 20, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-20) > 1e-3 {
+		t.Fatalf("est %v should be pulled to 20", est)
+	}
+	if _, _, err := CombineByInverseVariance(1, 0, 2, 1); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+func TestCombineMany(t *testing.T) {
+	est, v, err := CombineMany([]float64{10, 20, 30}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 20 || math.Abs(v-1.0/3.0) > 1e-12 {
+		t.Fatalf("est %v var %v", est, v)
+	}
+	if _, _, err := CombineMany(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := CombineMany([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := CombineMany([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative variance accepted")
+	}
+}
+
+func TestCombineReducesVarianceEmpirically(t *testing.T) {
+	// Combining a gap-based estimate with an independent measurement must have
+	// lower empirical MSE than either input.
+	src := rng.NewXoshiro(5)
+	const truth = 250.0
+	const varGap, varMeas = 50.0, 18.0
+	scaleGap := math.Sqrt(varGap / 2)
+	scaleMeas := math.Sqrt(varMeas / 2)
+	const trials = 40000
+	var seGap, seMeas, seComb float64
+	for i := 0; i < trials; i++ {
+		gapEst := truth + rng.Laplace(src, scaleGap)
+		measEst := truth + rng.Laplace(src, scaleMeas)
+		comb, _, err := CombineByInverseVariance(gapEst, varGap, measEst, varMeas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seGap += (gapEst - truth) * (gapEst - truth)
+		seMeas += (measEst - truth) * (measEst - truth)
+		seComb += (comb - truth) * (comb - truth)
+	}
+	if !(seComb < seMeas && seComb < seGap) {
+		t.Fatalf("combined MSE %v not below inputs (%v, %v)", seComb/trials, seMeas/trials, seGap/trials)
+	}
+	wantVar := 1 / (1/varGap + 1/varMeas)
+	if math.Abs(seComb/trials-wantVar) > 0.06*wantVar {
+		t.Fatalf("combined MSE %v, want ≈ %v", seComb/trials, wantVar)
+	}
+}
+
+func TestSVTErrorReductionRatio(t *testing.T) {
+	// Ratios are in (0,1) and approach 4/5 (general) and 1/2 (monotonic).
+	for _, k := range []int{1, 2, 5, 10, 25} {
+		g := SVTErrorReductionRatio(k, false)
+		m := SVTErrorReductionRatio(k, true)
+		if g <= 0 || g >= 1 || m <= 0 || m >= 1 {
+			t.Fatalf("k=%d ratios out of range: %v %v", k, g, m)
+		}
+		if m >= g {
+			t.Fatalf("k=%d: monotonic ratio %v should be below general %v", k, m, g)
+		}
+	}
+	if got := SVTErrorReductionRatio(100000, false); math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("general limit %v, want → 0.8", got)
+	}
+	if got := SVTErrorReductionRatio(100000, true); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("monotonic limit %v, want → 0.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	SVTErrorReductionRatio(0, true)
+}
+
+func TestSVTExpectedImprovementPercent(t *testing.T) {
+	// The k=25 monotonic improvement should already be above 40%.
+	if got := SVTExpectedImprovementPercent(25, true); got < 40 || got > 50 {
+		t.Fatalf("k=25 monotonic improvement %v%%", got)
+	}
+	// The general-query improvement stays below 20%.
+	if got := SVTExpectedImprovementPercent(25, false); got < 10 || got > 20 {
+		t.Fatalf("k=25 general improvement %v%%", got)
+	}
+}

@@ -1,0 +1,81 @@
+package postprocess
+
+import (
+	"fmt"
+	"math"
+)
+
+// GapLowerTailProbability evaluates Lemma 5: for independent zero-mean Laplace
+// variables η (threshold noise, scale 1/ε₀) and ηᵢ (query noise, scale 1/ε⋆),
+// it returns P(ηᵢ − η ≥ −t) for t ≥ 0:
+//
+//	1 − (ε₀²e^{−ε⋆t} − ε⋆²e^{−ε₀t}) / (2(ε₀²−ε⋆²))   when ε₀ ≠ ε⋆
+//	1 − (2+ε₀t)e^{−ε₀t}/4                              when ε₀ = ε⋆
+//
+// This is the probability that the true query value is at least
+// (gap + threshold) − t, i.e. the coverage of the lower confidence bound.
+func GapLowerTailProbability(t, eps0, epsStar float64) float64 {
+	if t < 0 {
+		panic(fmt.Sprintf("postprocess: t = %v must be non-negative", t))
+	}
+	if !(eps0 > 0) || !(epsStar > 0) {
+		panic(fmt.Sprintf("postprocess: eps0 = %v and epsStar = %v must be positive", eps0, epsStar))
+	}
+	if sameEps(eps0, epsStar) {
+		return 1 - (2+eps0*t)*math.Exp(-eps0*t)/4
+	}
+	num := eps0*eps0*math.Exp(-epsStar*t) - epsStar*epsStar*math.Exp(-eps0*t)
+	den := 2 * (eps0*eps0 - epsStar*epsStar)
+	return 1 - num/den
+}
+
+// sameEps treats the two rates as equal when they agree to within a relative
+// tolerance, where the ε₀ ≠ ε⋆ formula becomes numerically unstable.
+func sameEps(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(a, b)
+}
+
+// GapConfidenceRadius returns the smallest t such that
+// P(ηᵢ − η ≥ −t) ≥ confidence, found by bisection on the monotone tail
+// probability. The true answer of a query reported with gap γ then satisfies
+//
+//	q(D) ≥ γ + T − t   with probability ≥ confidence.
+func GapConfidenceRadius(confidence, eps0, epsStar float64) (float64, error) {
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("postprocess: confidence %v must be in (0,1)", confidence)
+	}
+	if !(eps0 > 0) || !(epsStar > 0) {
+		return 0, fmt.Errorf("postprocess: rates must be positive, got %v and %v", eps0, epsStar)
+	}
+	// P(t=0) = 1/2 < any useful confidence; grow the bracket until it covers.
+	lo, hi := 0.0, 1/math.Min(eps0, epsStar)
+	for GapLowerTailProbability(hi, eps0, epsStar) < confidence {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("postprocess: failed to bracket confidence %v", confidence)
+		}
+	}
+	if confidence <= GapLowerTailProbability(lo, eps0, epsStar) {
+		return 0, nil
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if GapLowerTailProbability(mid, eps0, epsStar) < confidence {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// GapLowerConfidenceBound returns the lower confidence bound on the true
+// query answer given the released gap, the public threshold and the two noise
+// rates: (gap + threshold) − GapConfidenceRadius(confidence, ε₀, ε⋆).
+func GapLowerConfidenceBound(gap, threshold, confidence, eps0, epsStar float64) (float64, error) {
+	t, err := GapConfidenceRadius(confidence, eps0, epsStar)
+	if err != nil {
+		return 0, err
+	}
+	return gap + threshold - t, nil
+}

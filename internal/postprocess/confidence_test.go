@@ -1,0 +1,150 @@
+package postprocess
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func TestGapLowerTailProbabilityBasics(t *testing.T) {
+	// At t = 0 the probability is exactly 1/2 in both branches of Lemma 5.
+	if got := GapLowerTailProbability(0, 2, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("t=0, distinct rates: %v", got)
+	}
+	if got := GapLowerTailProbability(0, 1.5, 1.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("t=0, equal rates: %v", got)
+	}
+	// Monotone increasing in t, approaching 1.
+	prev := 0.0
+	for _, tt := range []float64{0, 0.5, 1, 2, 5, 10, 50} {
+		p := GapLowerTailProbability(tt, 2, 0.7)
+		if p < prev-1e-12 {
+			t.Fatalf("tail probability decreased at t=%v: %v < %v", tt, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		prev = p
+	}
+	if got := GapLowerTailProbability(1000, 1, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("large t probability %v, want → 1", got)
+	}
+}
+
+func TestGapLowerTailProbabilityPanics(t *testing.T) {
+	cases := []struct{ t, e0, es float64 }{{-1, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", c)
+				}
+			}()
+			GapLowerTailProbability(c.t, c.e0, c.es)
+		}()
+	}
+}
+
+func TestGapLowerTailProbabilityMatchesMonteCarlo(t *testing.T) {
+	// Empirical P(ηᵢ − η ≥ −t) over Laplace draws must match Lemma 5.
+	src := rng.NewXoshiro(3)
+	cases := []struct{ eps0, epsStar, t float64 }{
+		{2.0, 0.5, 1.0},
+		{0.7, 0.7, 2.0},
+		{1.3, 0.4, 0.5},
+	}
+	const trials = 400000
+	for _, c := range cases {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			eta := rng.Laplace(src, 1/c.eps0)
+			etaI := rng.Laplace(src, 1/c.epsStar)
+			if etaI-eta >= -c.t {
+				hits++
+			}
+		}
+		emp := float64(hits) / trials
+		want := GapLowerTailProbability(c.t, c.eps0, c.epsStar)
+		if math.Abs(emp-want) > 0.005 {
+			t.Errorf("case %+v: empirical %v, Lemma 5 %v", c, emp, want)
+		}
+	}
+}
+
+func TestGapConfidenceRadius(t *testing.T) {
+	for _, conf := range []float64{0.6, 0.9, 0.95, 0.99} {
+		for _, pair := range [][2]float64{{2, 0.5}, {1, 1}, {0.3, 0.9}} {
+			radius, err := GapConfidenceRadius(conf, pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if radius < 0 {
+				t.Fatalf("negative radius %v", radius)
+			}
+			got := GapLowerTailProbability(radius, pair[0], pair[1])
+			if math.Abs(got-conf) > 1e-6 {
+				t.Fatalf("conf %v rates %v: radius %v gives coverage %v", conf, pair, radius, got)
+			}
+		}
+	}
+	if _, err := GapConfidenceRadius(0, 1, 1); err == nil {
+		t.Fatal("confidence 0 accepted")
+	}
+	if _, err := GapConfidenceRadius(1, 1, 1); err == nil {
+		t.Fatal("confidence 1 accepted")
+	}
+	if _, err := GapConfidenceRadius(0.9, 0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	// Confidence below 1/2 is already covered at t = 0.
+	radius, err := GapConfidenceRadius(0.4, 1, 1)
+	if err != nil || radius != 0 {
+		t.Fatalf("confidence below 0.5: radius %v err %v", radius, err)
+	}
+}
+
+func TestGapLowerConfidenceBound(t *testing.T) {
+	bound, err := GapLowerConfidenceBound(12, 100, 0.95, 1.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound >= 112 {
+		t.Fatalf("bound %v must be below the point estimate 112", bound)
+	}
+	radius, _ := GapConfidenceRadius(0.95, 1.2, 0.8)
+	if math.Abs(bound-(112-radius)) > 1e-9 {
+		t.Fatalf("bound %v inconsistent with radius %v", bound, radius)
+	}
+	if _, err := GapLowerConfidenceBound(1, 1, 0, 1, 1); err == nil {
+		t.Fatal("invalid confidence accepted")
+	}
+}
+
+func TestGapConfidenceBoundEmpiricalCoverage(t *testing.T) {
+	// End-to-end Lemma 5 check: the 90% lower bound on gap+T must cover the
+	// true query value in at least ~90% of runs.
+	src := rng.NewXoshiro(17)
+	const trueVal, threshold = 500.0, 450.0
+	const eps0, epsStar = 1.0, 0.5
+	const confidence = 0.9
+	radius, err := GapConfidenceRadius(confidence, eps0, epsStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		eta := rng.Laplace(src, 1/eps0)
+		etaI := rng.Laplace(src, 1/epsStar)
+		gap := trueVal + etaI - (threshold + eta)
+		lower := gap + threshold - radius
+		if lower <= trueVal {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < confidence-0.01 {
+		t.Fatalf("coverage %v below the nominal %v", rate, confidence)
+	}
+}

@@ -1,0 +1,17 @@
+// Package postprocess implements the estimators that consume the free gap
+// information released by the mechanisms in internal/core:
+//
+//   - the best linear unbiased estimator (BLUE) of the top-k query answers
+//     from independent noisy measurements plus the adjacent gaps
+//     (Theorem 3 and its linear-time form, with the error-reduction ratio of
+//     Corollary 1);
+//   - inverse-variance combination of a Sparse-Vector gap estimate (gap +
+//     threshold) with an independent noisy measurement (Section 6.2), together
+//     with the theoretical improvement ratios quoted there;
+//   - the lower confidence bound on gap estimates from Lemma 5, including its
+//     numeric inversion (find t such that P(ηᵢ − η ≥ −t) reaches a target
+//     confidence).
+//
+// Everything in this package is pure post-processing: by the post-processing
+// property of differential privacy it consumes no additional privacy budget.
+package postprocess

@@ -1,0 +1,5 @@
+package postprocess
+
+// BlueMatrixForTest exposes the explicit-matrix evaluation of Theorem 3 to the
+// test suite as a differential oracle for the linear-time BLUE implementation.
+var BlueMatrixForTest = blueMatrix

@@ -1,0 +1,133 @@
+// Package query defines the query abstractions consumed by the selection
+// mechanisms: numeric queries with a global L1 sensitivity (Definition 2) and
+// an optional monotonicity flag (Definition 7), plus batches of item-count
+// queries derived from a transaction database.
+package query
+
+import (
+	"fmt"
+
+	"github.com/freegap/freegap/internal/dataset"
+)
+
+// Query is a single real-valued query over a transaction database.
+type Query interface {
+	// Evaluate returns the query's true answer on the database.
+	Evaluate(db *dataset.Transactions) float64
+	// Sensitivity returns the query's global L1 sensitivity under the
+	// add/remove-one-record notion of adjacency.
+	Sensitivity() float64
+	// Describe returns a short human-readable label used in reports.
+	Describe() string
+}
+
+// ItemCount is the workhorse query of Section 7: the number of transactions
+// that contain a given item. It has sensitivity 1 and is monotonic.
+type ItemCount struct {
+	Item int32
+}
+
+// Evaluate implements Query.
+func (q ItemCount) Evaluate(db *dataset.Transactions) float64 {
+	count := 0.0
+	for i := 0; i < db.NumRecords(); i++ {
+		for _, it := range db.Record(i) {
+			if it == q.Item {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Sensitivity implements Query. Adding or removing one transaction changes an
+// item count by at most 1.
+func (q ItemCount) Sensitivity() float64 { return 1 }
+
+// Describe implements Query.
+func (q ItemCount) Describe() string { return fmt.Sprintf("count(item=%d)", q.Item) }
+
+// Batch is an ordered collection of queries that are answered together, along
+// with the metadata the mechanisms need: the common sensitivity bound and
+// whether the list is monotonic in the sense of Definition 7 (adding a record
+// moves every answer in the same direction).
+type Batch struct {
+	Queries     []Query
+	Monotonic   bool
+	sensitivity float64
+}
+
+// NewBatch assembles a batch and records the maximum sensitivity among its
+// queries. monotonic must only be set when the caller knows every query moves
+// in the same direction under record addition (true for counting queries).
+func NewBatch(queries []Query, monotonic bool) *Batch {
+	maxSens := 0.0
+	for _, q := range queries {
+		if s := q.Sensitivity(); s > maxSens {
+			maxSens = s
+		}
+	}
+	return &Batch{Queries: queries, Monotonic: monotonic, sensitivity: maxSens}
+}
+
+// Len returns the number of queries in the batch.
+func (b *Batch) Len() int { return len(b.Queries) }
+
+// Sensitivity returns the largest sensitivity among the batch's queries.
+func (b *Batch) Sensitivity() float64 { return b.sensitivity }
+
+// Evaluate answers every query in the batch against db. For item-count
+// batches prefer AllItemCounts, which is a single pass over the data.
+func (b *Batch) Evaluate(db *dataset.Transactions) []float64 {
+	answers := make([]float64, len(b.Queries))
+	for i, q := range b.Queries {
+		answers[i] = q.Evaluate(db)
+	}
+	return answers
+}
+
+// AllItemCounts builds the batch of item-count queries for every item in the
+// database (the exact workload of Section 7) together with its precomputed
+// answers. The answers come from a single pass over the data rather than one
+// pass per query.
+func AllItemCounts(db *dataset.Transactions) (*Batch, []float64) {
+	counts := db.ItemCounts()
+	queries := make([]Query, len(counts))
+	for i := range queries {
+		queries[i] = ItemCount{Item: int32(i)}
+	}
+	return NewBatch(queries, true), counts
+}
+
+// Answers is a convenience wrapper for mechanisms that operate directly on a
+// vector of precomputed query answers. It carries the same metadata as Batch.
+type Answers struct {
+	Values      []float64
+	Sensitivity float64
+	Monotonic   bool
+}
+
+// CountingAnswers wraps a vector of counting-query answers (sensitivity 1,
+// monotonic).
+func CountingAnswers(values []float64) Answers {
+	return Answers{Values: values, Sensitivity: 1, Monotonic: true}
+}
+
+// GeneralAnswers wraps answers of arbitrary sensitivity-1 queries that are
+// not known to be monotonic.
+func GeneralAnswers(values []float64) Answers {
+	return Answers{Values: values, Sensitivity: 1, Monotonic: false}
+}
+
+// Validate checks the invariants mechanisms rely on and returns a descriptive
+// error when they are violated.
+func (a Answers) Validate() error {
+	if len(a.Values) == 0 {
+		return fmt.Errorf("query: empty answer vector")
+	}
+	if a.Sensitivity <= 0 {
+		return fmt.Errorf("query: sensitivity %v must be positive", a.Sensitivity)
+	}
+	return nil
+}

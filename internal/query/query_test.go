@@ -1,0 +1,96 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/freegap/freegap/internal/dataset"
+)
+
+func toyDB() *dataset.Transactions {
+	return dataset.New("toy", [][]int32{
+		{0, 1, 2},
+		{1, 2},
+		{2},
+		{0, 2, 3},
+	})
+}
+
+func TestItemCountEvaluate(t *testing.T) {
+	db := toyDB()
+	cases := []struct {
+		item int32
+		want float64
+	}{{0, 2}, {1, 2}, {2, 4}, {3, 1}}
+	for _, c := range cases {
+		q := ItemCount{Item: c.item}
+		if got := q.Evaluate(db); got != c.want {
+			t.Errorf("count(item=%d) = %v, want %v", c.item, got, c.want)
+		}
+		if q.Sensitivity() != 1 {
+			t.Error("item count sensitivity must be 1")
+		}
+		if q.Describe() == "" {
+			t.Error("empty description")
+		}
+	}
+}
+
+func TestBatchEvaluateMatchesItemCounts(t *testing.T) {
+	db := toyDB()
+	batch, fast := AllItemCounts(db)
+	slow := batch.Evaluate(db)
+	if len(fast) != len(slow) {
+		t.Fatalf("length mismatch %d vs %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("item %d: fast %v slow %v", i, fast[i], slow[i])
+		}
+	}
+	if !batch.Monotonic {
+		t.Fatal("item-count batch must be monotonic")
+	}
+	if batch.Sensitivity() != 1 {
+		t.Fatalf("sensitivity %v, want 1", batch.Sensitivity())
+	}
+	if batch.Len() != db.NumItems() {
+		t.Fatalf("batch length %d, want %d", batch.Len(), db.NumItems())
+	}
+}
+
+func TestNewBatchTakesMaxSensitivity(t *testing.T) {
+	b := NewBatch([]Query{ItemCount{0}, fixedSensQuery{3}}, false)
+	if b.Sensitivity() != 3 {
+		t.Fatalf("sensitivity %v, want 3", b.Sensitivity())
+	}
+}
+
+type fixedSensQuery struct{ s float64 }
+
+func (f fixedSensQuery) Evaluate(*dataset.Transactions) float64 { return 0 }
+func (f fixedSensQuery) Sensitivity() float64                   { return f.s }
+func (f fixedSensQuery) Describe() string                       { return "fixed" }
+
+func TestAnswersValidate(t *testing.T) {
+	if err := CountingAnswers([]float64{1, 2}).Validate(); err != nil {
+		t.Fatalf("valid answers rejected: %v", err)
+	}
+	if err := CountingAnswers(nil).Validate(); err == nil {
+		t.Fatal("empty answers accepted")
+	}
+	bad := Answers{Values: []float64{1}, Sensitivity: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+}
+
+func TestAnswerConstructors(t *testing.T) {
+	c := CountingAnswers([]float64{1})
+	if !c.Monotonic || c.Sensitivity != 1 {
+		t.Fatalf("unexpected counting answers %+v", c)
+	}
+	g := GeneralAnswers([]float64{1})
+	if g.Monotonic {
+		t.Fatal("general answers must not claim monotonicity")
+	}
+}

@@ -1,0 +1,100 @@
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInvalidBase is returned when a discrete sampler is constructed with a
+// non-positive discretization base.
+var ErrInvalidBase = errors.New("rng: discretization base must be positive")
+
+// DiscreteLaplace samples from the discrete Laplace (two-sided geometric)
+// distribution whose support is the multiples of base γ and whose probability
+// mass function is
+//
+//	f(kγ) = (1−e^(−εγ)) / (1+e^(−εγ)) · e^(−εγ|k|),  k ∈ ℤ,
+//
+// matching Appendix A.1 of the paper. eps plays the role of the inverse scale
+// (the continuous analogue is Laplace(1/eps)); base is the granularity γ.
+//
+// The sampler draws the sign and a geometric magnitude directly from the
+// closed-form inverse CDF, so it needs only two uniforms per sample.
+func DiscreteLaplace(src Source, eps, base float64) float64 {
+	if base <= 0 {
+		panic(ErrInvalidBase)
+	}
+	if eps <= 0 {
+		panic(ErrInvalidScale)
+	}
+	alpha := math.Exp(-eps * base) // success parameter of the geometric tail
+	// Probability of exactly zero.
+	p0 := (1 - alpha) / (1 + alpha)
+	u := Float64(src)
+	if u < p0 {
+		return 0
+	}
+	// Remaining mass is split evenly between the two geometric tails.
+	u = (u - p0) / (1 - p0) // uniform in (0,1)
+	negative := false
+	if u < 0.5 {
+		negative = true
+		u *= 2
+	} else {
+		u = 2 * (u - 0.5)
+	}
+	// Magnitude m ≥ 1 with P(M ≥ m) = alpha^(m−1); invert the tail.
+	m := 1 + int(math.Floor(math.Log(1-u)/math.Log(alpha)))
+	if m < 1 {
+		m = 1
+	}
+	v := float64(m) * base
+	if negative {
+		return -v
+	}
+	return v
+}
+
+// DiscreteLaplacePMF evaluates the probability mass at point x (which is
+// rounded to the nearest multiple of base) of the discrete Laplace
+// distribution with inverse scale eps and base γ. Used by the tie-probability
+// experiment and by statistical tests of the sampler.
+func DiscreteLaplacePMF(x, eps, base float64) float64 {
+	if base <= 0 {
+		panic(ErrInvalidBase)
+	}
+	if eps <= 0 {
+		panic(ErrInvalidScale)
+	}
+	k := math.Round(x / base)
+	alpha := math.Exp(-eps * base)
+	return (1 - alpha) / (1 + alpha) * math.Pow(alpha, math.Abs(k))
+}
+
+// TieProbabilityBound returns the Appendix A.1 upper bound γεn² on the
+// probability that any two of n sensitivity-1 queries perturbed with
+// Discrete Laplace(1/ε) noise of base γ tie. When the bound exceeds 1 it is
+// clamped, since it is a probability.
+func TieProbabilityBound(eps, base float64, n int) float64 {
+	if n < 0 {
+		panic("rng: negative query count")
+	}
+	b := base * eps * float64(n) * float64(n)
+	if b > 1 {
+		return 1
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// RoundToBase rounds x to the nearest multiple of base. It is how continuous
+// query answers are snapped onto the discrete noise support when the Discrete
+// Laplace sampler is used in place of the continuous one.
+func RoundToBase(x, base float64) float64 {
+	if base <= 0 {
+		panic(ErrInvalidBase)
+	}
+	return math.Round(x/base) * base
+}

@@ -1,0 +1,141 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiscreteLaplaceSupport(t *testing.T) {
+	src := NewXoshiro(3)
+	const base = 0.25
+	for i := 0; i < 10000; i++ {
+		v := DiscreteLaplace(src, 1.0, base)
+		k := v / base
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("sample %v is not a multiple of base %v", v, base)
+		}
+	}
+}
+
+func TestDiscreteLaplaceSymmetryAndMean(t *testing.T) {
+	src := NewXoshiro(9)
+	const n = 300000
+	var sum float64
+	pos, neg := 0, 0
+	for i := 0; i < n; i++ {
+		v := DiscreteLaplace(src, 0.5, 1)
+		sum += v
+		if v > 0 {
+			pos++
+		} else if v < 0 {
+			neg++
+		}
+	}
+	if math.Abs(sum/n) > 0.05 {
+		t.Fatalf("mean %v not near 0", sum/n)
+	}
+	if math.Abs(float64(pos-neg))/n > 0.01 {
+		t.Fatalf("asymmetric tails: %d positive, %d negative", pos, neg)
+	}
+}
+
+func TestDiscreteLaplaceMatchesPMF(t *testing.T) {
+	src := NewXoshiro(12)
+	const n = 400000
+	const eps, base = 1.0, 1.0
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		v := DiscreteLaplace(src, eps, base)
+		counts[int(math.Round(v))]++
+	}
+	for _, k := range []int{0, 1, -1, 2, -2, 3} {
+		emp := float64(counts[k]) / n
+		want := DiscreteLaplacePMF(float64(k), eps, base)
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("PMF at %d: empirical %v analytic %v", k, emp, want)
+		}
+	}
+}
+
+func TestDiscreteLaplacePMFSumsToOne(t *testing.T) {
+	const eps, base = 0.7, 0.5
+	sum := 0.0
+	for k := -200; k <= 200; k++ {
+		sum += DiscreteLaplacePMF(float64(k)*base, eps, base)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PMF mass %v does not sum to 1", sum)
+	}
+}
+
+func TestDiscreteLaplaceVarianceShrinksWithEps(t *testing.T) {
+	src := NewXoshiro(8)
+	variance := func(eps float64) float64 {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := DiscreteLaplace(src, eps, 1)
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		return sumSq/n - m*m
+	}
+	loose := variance(0.2)
+	tight := variance(2.0)
+	if tight >= loose {
+		t.Fatalf("variance should shrink as eps grows: eps=0.2→%v, eps=2→%v", loose, tight)
+	}
+}
+
+func TestTieProbabilityBound(t *testing.T) {
+	if got := TieProbabilityBound(1, 0, 100); got != 0 {
+		t.Fatalf("zero base should give zero bound, got %v", got)
+	}
+	if got := TieProbabilityBound(1, 1, 1000); got != 1 {
+		t.Fatalf("bound must clamp to 1, got %v", got)
+	}
+	got := TieProbabilityBound(0.5, 1e-6, 100)
+	want := 0.5 * 1e-6 * 100 * 100
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound %v, want %v", got, want)
+	}
+}
+
+func TestTieProbabilityBoundPanicsOnNegativeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TieProbabilityBound(1, 1e-9, -1)
+}
+
+func TestRoundToBase(t *testing.T) {
+	cases := []struct{ x, base, want float64 }{
+		{1.26, 0.5, 1.5},
+		{1.24, 0.5, 1.0},
+		{-1.26, 0.5, -1.5},
+		{3, 1, 3},
+		{0.13, 0.25, 0.25},
+	}
+	for _, c := range cases {
+		if got := RoundToBase(c.x, c.base); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RoundToBase(%v,%v)=%v want %v", c.x, c.base, got, c.want)
+		}
+	}
+}
+
+func TestDiscreteLaplacePanics(t *testing.T) {
+	cases := []struct{ eps, base float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for eps=%v base=%v", c.eps, c.base)
+				}
+			}()
+			DiscreteLaplace(NewXoshiro(1), c.eps, c.base)
+		}()
+	}
+}

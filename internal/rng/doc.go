@@ -1,0 +1,17 @@
+// Package rng provides the noise substrate used by every differentially
+// private mechanism in this repository.
+//
+// It contains a deterministic, splittable pseudo-random number generator
+// (SplitMix64 seeding a xoshiro256** state) and samplers for the additive
+// noise distributions discussed in the paper: the continuous Laplace
+// distribution (Theorem 1), the Discrete Laplace distribution over multiples
+// of a base γ (the "implementation issues" discussion and Appendix A.1), the
+// Staircase distribution of Geng and Viswanath, the exponential distribution,
+// and the Gumbel distribution (used by the exponential-mechanism baseline via
+// the Gumbel-max trick).
+//
+// All samplers are pure functions of a Source, so experiments are exactly
+// reproducible from a seed. None of the samplers are hardened against
+// floating-point side channels; this mirrors the assumption made by the paper
+// (see Section 5, "Implementation issues").
+package rng

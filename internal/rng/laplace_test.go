@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceMoments(t *testing.T) {
+	src := NewXoshiro(101)
+	for _, scale := range []float64{0.5, 1, 2, 10} {
+		const n = 300000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := Laplace(src, scale)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		want := 2 * scale * scale
+		if math.Abs(mean) > 0.03*scale {
+			t.Errorf("scale %v: mean %v not near 0", scale, mean)
+		}
+		if math.Abs(variance-want) > 0.06*want {
+			t.Errorf("scale %v: variance %v, want ≈ %v", scale, variance, want)
+		}
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	src := NewXoshiro(7)
+	const n = 200000
+	pos := 0
+	for i := 0; i < n; i++ {
+		if Laplace(src, 1) > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("positive fraction %v not near 0.5", frac)
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for scale %v", scale)
+				}
+			}()
+			Laplace(NewXoshiro(1), scale)
+		}()
+	}
+}
+
+func TestLaplaceVec(t *testing.T) {
+	src := NewXoshiro(2)
+	v := LaplaceVec(src, 1, 10, nil)
+	if len(v) != 10 {
+		t.Fatalf("len = %d, want 10", len(v))
+	}
+	buf := make([]float64, 20)
+	w := LaplaceVec(src, 1, 5, buf)
+	if len(w) != 5 {
+		t.Fatalf("len = %d, want 5", len(w))
+	}
+	if &w[0] != &buf[0] {
+		t.Fatal("LaplaceVec did not reuse provided buffer")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := NewXoshiro(31)
+	for _, mean := range []float64{0.5, 1, 4} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := Exponential(src, mean)
+			if v < 0 {
+				t.Fatalf("exponential sample %v negative", v)
+			}
+			sum += v
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.03*mean {
+			t.Errorf("Exponential(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestGumbelMean(t *testing.T) {
+	src := NewXoshiro(41)
+	const n = 300000
+	const scale = 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Gumbel(src, scale)
+	}
+	got := sum / n
+	want := scale * 0.5772156649 // Euler–Mascheroni constant
+	if math.Abs(got-want) > 0.05*want+0.02 {
+		t.Fatalf("Gumbel mean %v, want ≈ %v", got, want)
+	}
+}
+
+func TestLaplaceCDFProperties(t *testing.T) {
+	f := func(rawX, rawScale float64) bool {
+		x := math.Mod(rawX, 50)
+		scale := math.Abs(math.Mod(rawScale, 10)) + 0.1
+		c := LaplaceCDF(x, scale)
+		if c < 0 || c > 1 {
+			return false
+		}
+		// CDF is monotone.
+		return LaplaceCDF(x+1, scale) >= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := LaplaceCDF(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF(0) = %v, want 0.5", got)
+	}
+}
+
+func TestLaplaceQuantileInvertsCDF(t *testing.T) {
+	for _, scale := range []float64{0.3, 1, 5} {
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.999} {
+			x := LaplaceQuantile(p, scale)
+			back := LaplaceCDF(x, scale)
+			if math.Abs(back-p) > 1e-9 {
+				t.Fatalf("quantile/CDF mismatch: p=%v scale=%v got %v", p, scale, back)
+			}
+		}
+	}
+}
+
+func TestLaplaceQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.2, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for p=%v", p)
+				}
+			}()
+			LaplaceQuantile(p, 1)
+		}()
+	}
+}
+
+func TestLaplaceEmpiricalCDFMatchesAnalytic(t *testing.T) {
+	src := NewXoshiro(55)
+	const n = 200000
+	const scale = 1.5
+	points := []float64{-3, -1, 0, 0.5, 2, 4}
+	counts := make([]int, len(points))
+	for i := 0; i < n; i++ {
+		v := Laplace(src, scale)
+		for j, p := range points {
+			if v <= p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range points {
+		emp := float64(counts[j]) / n
+		want := LaplaceCDF(p, scale)
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("CDF at %v: empirical %v analytic %v", p, emp, want)
+		}
+	}
+}
+
+func TestLaplaceVariance(t *testing.T) {
+	if got := LaplaceVariance(3); got != 18 {
+		t.Fatalf("LaplaceVariance(3) = %v, want 18", got)
+	}
+}

@@ -1,0 +1,62 @@
+package rng
+
+import "math"
+
+// Staircase samples from the staircase distribution of Geng and Viswanath
+// ("The optimal mechanism in differential privacy", ISIT 2014) with privacy
+// parameter eps, sensitivity delta and shape parameter gamma in (0, 1).
+//
+// The staircase density is a piecewise-constant approximation of the Laplace
+// density: on the interval [k·Δ, (k+1)·Δ) the density equals
+// a(γ)·b^k on [kΔ, (k+γ)Δ) and a(γ)·b^(k+1) on [(k+γ)Δ, (k+1)Δ), mirrored for
+// negative values, where b = e^(−ε) and
+// a(γ) = (1−b) / (2Δ·(γ + b·(1−γ))).
+//
+// The sampler follows the constructive procedure from the original paper:
+// draw a sign S, a geometric "step" G, a uniform U and a Bernoulli B that
+// decides whether the sample lands in the low or high part of the step.
+func Staircase(src Source, eps, delta, gamma float64) float64 {
+	if eps <= 0 || delta <= 0 {
+		panic(ErrInvalidScale)
+	}
+	if gamma <= 0 || gamma >= 1 {
+		panic("rng: staircase gamma must be in (0,1)")
+	}
+	b := math.Exp(-eps)
+
+	// Sign: ±1 with equal probability.
+	sign := 1.0
+	if Float64(src) < 0.5 {
+		sign = -1.0
+	}
+
+	// Geometric step index G ≥ 0 with P(G = k) = (1−b)·b^k.
+	u := Float64(src)
+	g := int(math.Floor(math.Log(1-u) / math.Log(b)))
+	if g < 0 {
+		g = 0
+	}
+
+	// Bernoulli that selects the first (probability γ/(γ+b(1−γ))) or second
+	// segment of the step.
+	pFirst := gamma / (gamma + b*(1-gamma))
+	first := Float64(src) < pFirst
+
+	uu := Float64(src)
+	var x float64
+	if first {
+		x = (float64(g) + uu*gamma) * delta
+	} else {
+		x = (float64(g) + gamma + uu*(1-gamma)) * delta
+	}
+	return sign * x
+}
+
+// StaircaseOptimalGamma returns the γ that minimises expected |noise| for the
+// staircase mechanism, γ* = 1/(1+e^(ε/2)).
+func StaircaseOptimalGamma(eps float64) float64 {
+	if eps <= 0 {
+		panic(ErrInvalidScale)
+	}
+	return 1 / (1 + math.Exp(eps/2))
+}

@@ -1,0 +1,94 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaircaseSymmetry(t *testing.T) {
+	src := NewXoshiro(77)
+	const n = 200000
+	pos := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Staircase(src, 1, 1, 0.3)
+		if v > 0 {
+			pos++
+		}
+		sum += v
+	}
+	if math.Abs(float64(pos)/n-0.5) > 0.01 {
+		t.Fatalf("positive fraction %v not near 0.5", float64(pos)/n)
+	}
+	if math.Abs(sum/n) > 0.05 {
+		t.Fatalf("mean %v not near 0", sum/n)
+	}
+}
+
+func TestStaircaseSpreadShrinksWithEps(t *testing.T) {
+	meanAbs := func(eps float64) float64 {
+		src := NewXoshiro(5)
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Abs(Staircase(src, eps, 1, StaircaseOptimalGamma(eps)))
+		}
+		return sum / n
+	}
+	if meanAbs(2) >= meanAbs(0.3) {
+		t.Fatal("staircase noise should shrink as epsilon grows")
+	}
+}
+
+func TestStaircaseBeatsLaplaceAtHighEps(t *testing.T) {
+	// At large epsilon the staircase mechanism has lower expected |noise|
+	// than Laplace — the reason it is cited as the "optimal" mechanism.
+	const eps = 4.0
+	src := NewXoshiro(8)
+	const n = 200000
+	var lap, stair float64
+	for i := 0; i < n; i++ {
+		lap += math.Abs(Laplace(src, 1/eps))
+		stair += math.Abs(Staircase(src, eps, 1, StaircaseOptimalGamma(eps)))
+	}
+	if stair >= lap {
+		t.Fatalf("expected staircase mean |noise| (%v) < laplace (%v) at eps=%v", stair/n, lap/n, eps)
+	}
+}
+
+func TestStaircasePanics(t *testing.T) {
+	bad := []struct{ eps, delta, gamma float64 }{
+		{0, 1, 0.5}, {1, 0, 0.5}, {1, 1, 0}, {1, 1, 1}, {-1, 1, 0.5},
+	}
+	for _, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", c)
+				}
+			}()
+			Staircase(NewXoshiro(1), c.eps, c.delta, c.gamma)
+		}()
+	}
+}
+
+func TestStaircaseOptimalGamma(t *testing.T) {
+	// γ* = 1/(1+e^(ε/2)) is strictly decreasing in ε and bounded by 1/2.
+	prev := 0.5
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4} {
+		g := StaircaseOptimalGamma(eps)
+		if g <= 0 || g >= 0.5 {
+			t.Fatalf("gamma %v for eps %v out of (0, 0.5)", g, eps)
+		}
+		if g >= prev {
+			t.Fatalf("gamma should decrease with eps: %v then %v", prev, g)
+		}
+		prev = g
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for eps=0")
+		}
+	}()
+	StaircaseOptimalGamma(0)
+}

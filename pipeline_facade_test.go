@@ -1,0 +1,83 @@
+package freegap_test
+
+import (
+	"math"
+	"testing"
+
+	freegap "github.com/freegap/freegap"
+)
+
+func TestFacadeTopKPipeline(t *testing.T) {
+	src := freegap.NewSource(5)
+	counts := make([]float64, 40)
+	for i := range counts {
+		counts[i] = float64(2000 - 30*i)
+	}
+	acct, err := freegap.NewAccountant(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := freegap.RunTopKPipeline(src, counts, freegap.TopKPipelineConfig{
+		K: 5, Epsilon: 1.5, Monotonic: true,
+	}, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 5 {
+		t.Fatalf("estimates %d", len(res.Estimates))
+	}
+	if math.Abs(acct.Spent()-1.5) > 1e-9 {
+		t.Fatalf("accountant spent %v", acct.Spent())
+	}
+}
+
+func TestFacadeSVTPipeline(t *testing.T) {
+	src := freegap.NewSource(7)
+	counts := make([]float64, 40)
+	for i := range counts {
+		counts[i] = float64(2000 - 30*i)
+	}
+	res, err := freegap.RunSVTPipeline(src, counts, freegap.SVTPipelineConfig{
+		K: 4, Epsilon: 2, Threshold: 1500, Adaptive: true, Monotonic: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCount == 0 {
+		t.Fatal("expected above-threshold answers")
+	}
+	for _, e := range res.Estimates {
+		if e.LowerBound >= e.GapEstimate {
+			t.Fatalf("lower bound %v should sit below the estimate %v", e.LowerBound, e.GapEstimate)
+		}
+	}
+}
+
+func TestFacadeAlignmentVerification(t *testing.T) {
+	d := []float64{20, 18, 15, 3, 2, 1}
+	dPrime := []float64{19, 17, 15, 2, 2, 1}
+
+	topk, err := freegap.NewTopKWithGap(2, 0.9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := freegap.VerifyTopKAlignment(topk, d, dPrime, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("Top-K alignment verification failed: %v", rep)
+	}
+
+	svt, err := freegap.NewAdaptiveSVTWithGap(2, 0.9, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = freegap.VerifyAdaptiveSVTAlignment(svt, d, dPrime, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("Adaptive SVT alignment verification failed: %v", rep)
+	}
+}
