@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig([]string{"-addr", ":9090", "-budget", "3.5", "-workers", "2", "-seed", "7"})
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.Addr != ":9090" || cfg.TenantBudget != 3.5 || cfg.Workers != 2 || cfg.Seed != 7 {
+		t.Errorf("config = %+v", cfg)
+	}
+
+	if _, err := parseConfig([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseConfig([]string{"stray"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(context.Background(), []string{"-budget", "-1"}, os.Stdout); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "host:notaport"}, os.Stdout); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestRunServesAndShutsDown boots the real binary entry point on an ephemeral
+// port, drives one DP query over HTTP, and checks the graceful shutdown path.
+func TestRunServesAndShutsDown(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-addr", "127.0.0.1:0", "-budget", "2", "-workers", "1", "-seed", "1"}, w)
+		w.Close()
+		done <- err
+	}()
+
+	// The first announced line carries the assigned address.
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading announce line: %v", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		t.Fatalf("unexpected announce line %q", line)
+	}
+	base := "http://" + fields[3]
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{"tenant":"cli","k":2,"epsilon":1,"monotonic":true,"answers":[9,8,7,6,5]}`
+	resp, err = http.Post(base+"/v1/topk", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("topk: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status = %d, body = %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Selections []struct {
+			Index int     `json:"index"`
+			Gap   float64 `json:"gap"`
+		} `json:"selections"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Selections) != 2 {
+		t.Fatalf("got %d selections, want 2: %s", len(out.Selections), data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+}

@@ -35,4 +35,19 @@
 //	}
 //
 // See the examples/ directory for complete programs.
+//
+// # Serving
+//
+// The library also ships as a long-lived, multi-tenant query service. The
+// cmd/dpserver binary serves the mechanisms over HTTP/JSON — POST /v1/topk,
+// /v1/svt and /v1/max — with each tenant drawing from its own privacy budget
+// (tracked by an Accountant created on first use) and receiving a structured
+// 402 budget_exhausted error once it is spent. Embed the same service in a
+// larger program via the facade's server constructors:
+//
+//	srv, _ := freegap.NewServer(freegap.ServerConfig{TenantBudget: 10})
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// examples/remoteclient drives the full API end-to-end, and
+// GET /v1/tenants/{id}/budget, /healthz and /metrics cover operations.
 package freegap

@@ -1,0 +1,194 @@
+// Remoteclient drives the dpserver HTTP API end-to-end: it runs
+// Noisy-Max-with-Gap, Noisy-Top-K-with-Gap and Adaptive-Sparse-Vector-with-
+// Gap over the wire as a tenant, watches its privacy budget drain through the
+// budget endpoint, and keeps querying until the server answers with the
+// structured budget-exhausted error.
+//
+// Point it at a running server:
+//
+//	dpserver -addr :8080 &
+//	go run ./examples/remoteclient -addr http://localhost:8080
+//
+// or run it with no flags to have it boot an in-process server on an
+// ephemeral port and talk to that.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	freegap "github.com/freegap/freegap"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running dpserver (empty = start one in-process)")
+	tenant := flag.String("tenant", "examples", "tenant id to spend budget as")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv, err := freegap.NewServer(freegap.ServerConfig{TenantBudget: 4, Seed: 42, Workers: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process dpserver at %s (tenant budget ε=4)\n\n", base)
+	}
+
+	products := []string{"apples", "bananas", "cherries", "dates", "eggs", "figs", "grapes", "honey"}
+	counts := []float64{812, 641, 633, 601, 425, 124, 77, 8}
+
+	// 1. Noisy-Max-with-Gap over the wire: best seller plus its free margin.
+	var max struct {
+		Index           int     `json:"index"`
+		Gap             float64 `json:"gap"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/max", map[string]any{
+		"tenant": *tenant, "epsilon": 0.5, "answers": counts, "monotonic": true,
+	}, &max)
+	fmt.Printf("best seller (eps=0.5): %s, ahead by ≈%.0f — budget left %.2f\n\n",
+		products[max.Index], max.Gap, max.BudgetRemaining)
+
+	// 2. Noisy-Top-K-with-Gap: top three with the gaps between them.
+	var topk struct {
+		Selections []struct {
+			Index int     `json:"index"`
+			Gap   float64 `json:"gap"`
+		} `json:"selections"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/topk", map[string]any{
+		"tenant": *tenant, "k": 3, "epsilon": 1.0, "answers": counts, "monotonic": true,
+	}, &topk)
+	fmt.Println("top 3 products (eps=1.0):")
+	for rank, sel := range topk.Selections {
+		fmt.Printf("  #%d %-9s leads the next candidate by ≈%.0f\n", rank+1, products[sel.Index], sel.Gap)
+	}
+	fmt.Printf("budget left: %.2f\n\n", topk.BudgetRemaining)
+
+	// 3. Adaptive-Sparse-Vector-with-Gap: which products sold over 500?
+	var svt struct {
+		Above []struct {
+			Index    int     `json:"index"`
+			Estimate float64 `json:"estimate"`
+			Branch   string  `json:"branch"`
+		} `json:"above"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/svt", map[string]any{
+		"tenant": *tenant, "k": 3, "epsilon": 1.5, "threshold": 500.0,
+		"answers": counts, "monotonic": true, "adaptive": true,
+	}, &svt)
+	fmt.Println("products selling over ≈500 (eps=1.5, adaptive):")
+	for _, a := range svt.Above {
+		fmt.Printf("  %-9s ≈%.0f sales (%s branch)\n", products[a.Index], a.Estimate, a.Branch)
+	}
+	fmt.Printf("budget left: %.2f\n\n", svt.BudgetRemaining)
+
+	// 4. The ledger, as the server sees it.
+	var budget struct {
+		Budget    float64 `json:"budget"`
+		Spent     float64 `json:"spent"`
+		Remaining float64 `json:"remaining"`
+		Charges   int     `json:"charges"`
+	}
+	mustGet(base+"/v1/tenants/"+*tenant+"/budget", &budget)
+	fmt.Printf("ledger: spent %.2f of %.2f over %d requests, %.2f remaining\n\n",
+		budget.Spent, budget.Budget, budget.Charges, budget.Remaining)
+
+	// 5. Keep spending until the server cuts us off with a structured 402.
+	for i := 0; ; i++ {
+		resp, body := post(base+"/v1/max", map[string]any{
+			"tenant": *tenant, "epsilon": 0.75, "answers": counts, "monotonic": true,
+		})
+		if resp.StatusCode == http.StatusOK {
+			fmt.Printf("extra query %d admitted\n", i+1)
+			continue
+		}
+		var env struct {
+			Error struct {
+				Code      string   `json:"code"`
+				Message   string   `json:"message"`
+				Remaining *float64 `json:"remaining"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			log.Fatalf("unexpected error body: %s", body)
+		}
+		if env.Error.Code != "budget_exhausted" {
+			log.Fatalf("unexpected refusal (HTTP %d): %s", resp.StatusCode, body)
+		}
+		remaining := 0.0
+		if env.Error.Remaining != nil {
+			remaining = *env.Error.Remaining
+		}
+		fmt.Printf("server refused query %d: HTTP %d, code=%s, remaining ε=%.2f\n",
+			i+1, resp.StatusCode, env.Error.Code, remaining)
+		fmt.Println("the privacy budget is spent — no more answers for this tenant.")
+		return
+	}
+}
+
+func post(url string, body any) (*http.Response, []byte) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// mustPost decodes a successful response into out. A budget_exhausted
+// rejection ends the walkthrough gracefully instead — a server provisioned
+// with a small tenant budget can cut us off at any step.
+func mustPost(url string, body, out any) {
+	resp, data := post(url, body)
+	if resp.StatusCode == http.StatusPaymentRequired {
+		fmt.Printf("server cut us off early: %s\nthe privacy budget is spent — no more answers for this tenant.\n", data)
+		os.Exit(0)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+}
+
+func mustGet(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, buf.Bytes())
+	}
+	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		log.Fatalf("GET %s: decoding response: %v", url, err)
+	}
+}

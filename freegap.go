@@ -9,6 +9,7 @@ import (
 	"github.com/freegap/freegap/internal/pipeline"
 	"github.com/freegap/freegap/internal/postprocess"
 	"github.com/freegap/freegap/internal/rng"
+	"github.com/freegap/freegap/internal/server"
 	"github.com/freegap/freegap/internal/validate"
 )
 
@@ -334,6 +335,36 @@ func RunTopKPipeline(src Source, answers []float64, cfg TopKPipelineConfig, acct
 // optional accountant.
 func RunSVTPipeline(src Source, answers []float64, cfg SVTPipelineConfig, acct *Accountant) (*SVTPipelineResult, error) {
 	return pipeline.RunSVT(src, answers, cfg, acct)
+}
+
+//
+// Multi-tenant DP query serving (internal/server).
+//
+
+// Server is the multi-tenant HTTP/JSON query service over the free-gap
+// mechanisms: POST /v1/topk, /v1/svt and /v1/max run the mechanisms against
+// per-tenant privacy budgets, GET /v1/tenants/{id}/budget reports a tenant's
+// ledger, and GET /healthz and /metrics serve operations. See cmd/dpserver
+// for the standalone binary.
+type Server = server.Server
+
+// ServerConfig configures a Server: listen address, initial per-tenant ε
+// budget, worker-pool size and noise seed.
+type ServerConfig = server.Config
+
+// TenantRegistry is the server's concurrency-safe map of tenant → privacy
+// accountant, exposed for embedding the serving layer in larger programs.
+type TenantRegistry = server.Registry
+
+// NewServer constructs the multi-tenant DP query service. Mount its Handler
+// into an existing http.Server, or use ListenAndServe/Shutdown directly.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewTenantRegistry returns a standalone tenant registry provisioning each
+// new tenant with the given initial ε budget. maxTenants caps how many
+// tenants may be auto-provisioned (zero means unlimited).
+func NewTenantRegistry(initialBudget float64, maxTenants int) (*TenantRegistry, error) {
+	return server.NewRegistry(initialBudget, maxTenants)
 }
 
 //

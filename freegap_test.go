@@ -1,7 +1,11 @@
 package freegap_test
 
 import (
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	freegap "github.com/freegap/freegap"
@@ -191,5 +195,63 @@ func TestFacadeMaxWithGapAndLaplace(t *testing.T) {
 	}
 	if freegap.BranchTop.String() != "top" {
 		t.Fatal("branch constants not wired through")
+	}
+}
+
+// TestFacadeServer exercises the serving layer through the public facade: an
+// in-process multi-tenant server answering a gap-bearing top-k query and
+// enforcing the tenant budget.
+func TestFacadeServer(t *testing.T) {
+	srv, err := freegap.NewServer(freegap.ServerConfig{TenantBudget: 1.0, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"tenant":"facade","k":2,"epsilon":0.8,"monotonic":true,"answers":[812,641,633,601,425]}`
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Selections []struct {
+			Index int     `json:"index"`
+			Gap   float64 `json:"gap"`
+		} `json:"selections"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Selections) != 2 || out.Selections[0].Gap <= 0 {
+		t.Fatalf("unexpected selections %+v", out.Selections)
+	}
+	if math.Abs(out.BudgetRemaining-0.2) > 1e-9 {
+		t.Fatalf("remaining = %v, want 0.2", out.BudgetRemaining)
+	}
+
+	// A second spend of 0.8 must bounce with the structured 402.
+	resp2, err := http.Post(ts.URL+"/v1/topk", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusPaymentRequired {
+		t.Fatalf("second spend status = %d, want 402", resp2.StatusCode)
+	}
+
+	reg, err := freegap.NewTenantRegistry(2.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Charge("t", "test", 1.5); err != nil {
+		t.Fatalf("registry charge: %v", err)
 	}
 }

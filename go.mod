@@ -1,0 +1,3 @@
+module github.com/freegap/freegap
+
+go 1.24

@@ -118,6 +118,13 @@ func (a *Accountant) Spend(label string, eps float64) error {
 	return nil
 }
 
+// ChargeCount returns the number of admitted charges without copying the log.
+func (a *Accountant) ChargeCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.log)
+}
+
 // Charges returns a copy of the expenditure log in order.
 func (a *Accountant) Charges() []Charge {
 	a.mu.Lock()

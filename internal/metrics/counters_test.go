@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	s := NewCounterSet()
+	c := s.Counter("requests_total", L("mechanism", "topk"))
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	if again := s.Counter("requests_total", L("mechanism", "topk")); again != c {
+		t.Fatalf("same (name, labels) returned a different counter")
+	}
+	other := s.Counter("requests_total", L("mechanism", "svt"))
+	if other == c {
+		t.Fatalf("different labels returned the same counter")
+	}
+
+	g := s.Gauge("in_flight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge value = %d, want 1", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge value after Set = %d, want 7", got)
+	}
+}
+
+func TestCounterSetLabelOrderIsCanonical(t *testing.T) {
+	s := NewCounterSet()
+	a := s.Counter("m", L("b", "2"), L("a", "1"))
+	b := s.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatalf("label order changed series identity")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	s := NewCounterSet()
+	s.Help("requests_total", "Total requests by mechanism.")
+	s.Counter("requests_total", L("mechanism", "topk")).Add(5)
+	s.Counter("requests_total", L("mechanism", "svt")).Add(2)
+	s.Gauge("in_flight").Set(3)
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests by mechanism.",
+		"# TYPE requests_total counter",
+		`requests_total{mechanism="topk"} 5`,
+		`requests_total{mechanism="svt"} 2`,
+		"# TYPE in_flight gauge",
+		"in_flight 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE requests_total") != 1 {
+		t.Errorf("TYPE header repeated:\n%s", out)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Counter("hits", L("w", "shared")).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("hits", L("w", "shared")).Value(); got != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", got)
+	}
+}

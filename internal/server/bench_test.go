@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Server hot-path benchmarks: requests are driven straight through the
+// handler (no TCP) so the numbers isolate decode → validate → charge →
+// mechanism → encode. Tenants get an effectively unlimited budget so the
+// accountant never rejects.
+
+const benchBudget = 1e18
+
+func benchAnswers(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((i*2654435761)%10000) / 3
+	}
+	return out
+}
+
+func mustServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func BenchmarkServerTopK(b *testing.B) {
+	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
+	body, err := json.Marshal(TopKRequest{
+		Tenant: "bench", K: 10, Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+func BenchmarkServerSVTParallel(b *testing.B) {
+	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1})
+	body, err := json.Marshal(SVTRequest{
+		Tenant: "bench", K: 5, Epsilon: 0.1, Threshold: 1500,
+		Answers: benchAnswers(1024), Monotonic: true, Adaptive: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/svt", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+			}
+		}
+	})
+}
+
+func BenchmarkServerMax(b *testing.B) {
+	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
+	body, err := json.Marshal(MaxRequest{
+		Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/max", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+		}
+	}
+}

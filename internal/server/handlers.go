@@ -1,0 +1,388 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"github.com/freegap/freegap/internal/accountant"
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/metrics"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// mechanism names accepted by POST /v1/{mechanism}.
+const (
+	mechTopK = "topk"
+	mechSVT  = "svt"
+	mechMax  = "max"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Tenants:       s.reg.Len(),
+		Workers:       s.cfg.Workers,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("id")
+	acct, ok := s.reg.Lookup(tenant)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorBody{
+			Code:    CodeUnknownTenant,
+			Message: fmt.Sprintf("tenant %q has not issued any requests", tenant),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, BudgetResponse{
+		Tenant:            tenant,
+		Budget:            acct.Budget(),
+		Spent:             acct.Spent(),
+		Remaining:         acct.Remaining(),
+		RemainingFraction: acct.RemainingFraction(),
+		Charges:           acct.ChargeCount(),
+	})
+}
+
+// handleMechanism dispatches POST /v1/{mechanism} to the mechanism handlers,
+// wrapping them with the in-flight gauge and per-outcome request counters.
+func (s *Server) handleMechanism(w http.ResponseWriter, r *http.Request) {
+	mech := r.PathValue("mechanism")
+	switch mech {
+	case mechTopK, mechSVT, mechMax:
+	default:
+		// The label is pinned to "unknown" rather than the request path:
+		// attacker-chosen label values would grow the metric registry (and
+		// every /metrics scrape) without bound.
+		s.countRequest("unknown", CodeUnknownMechanism)
+		writeError(w, http.StatusNotFound, ErrorBody{
+			Code:    CodeUnknownMechanism,
+			Message: fmt.Sprintf("unknown mechanism %q (valid: topk, svt, max)", mech),
+		})
+		return
+	}
+
+	s.hot.inFlight.Inc()
+	defer s.hot.inFlight.Dec()
+
+	var outcome string
+	switch mech {
+	case mechTopK:
+		outcome = s.serveTopK(w, r)
+	case mechSVT:
+		outcome = s.serveSVT(w, r)
+	case mechMax:
+		outcome = s.serveMax(w, r)
+	}
+	s.countRequest(mech, outcome)
+	if outcome == CodeBudgetExhausted {
+		if c, ok := s.hot.exhausted[mech]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// countRequest increments the pre-resolved request counter for the
+// (mechanism, outcome) pair, falling back to a registry lookup for any pair
+// not provisioned in newHotCounters.
+func (s *Server) countRequest(mech, code string) {
+	if byCode, ok := s.hot.requests[mech]; ok {
+		if c, ok := byCode[code]; ok {
+			c.Inc()
+			return
+		}
+	}
+	s.metrics.Counter("freegap_requests_total",
+		metrics.L("mechanism", mech), metrics.L("code", code)).Inc()
+}
+
+// serveTopK handles POST /v1/topk and returns the outcome code for metrics.
+func (s *Server) serveTopK(w http.ResponseWriter, r *http.Request) string {
+	var req TopKRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
+		return badRequest(w, err)
+	}
+	if req.K <= 0 || req.K >= len(req.Answers) {
+		return badRequest(w, fmt.Errorf("k = %d must satisfy 1 <= k <= len(answers)-1 = %d", req.K, len(req.Answers)-1))
+	}
+	mech, err := core.NewTopKWithGap(req.K, req.Epsilon, req.Monotonic)
+	if err != nil {
+		return badRequest(w, err)
+	}
+
+	remaining, code, ok := s.charge(w, req.Tenant, mechTopK, req.Epsilon)
+	if !ok {
+		return code
+	}
+
+	var (
+		res    *core.TopKResult
+		runErr error
+	)
+	if err := s.pool.do(r.Context(), func(src rng.Source) {
+		res, runErr = mech.Run(src, req.Answers)
+	}); err != nil {
+		return poolError(w, err)
+	}
+	if runErr != nil {
+		return internalError(w, runErr)
+	}
+
+	out := TopKResponse{
+		Tenant:          req.Tenant,
+		Selections:      make([]SelectionJSON, len(res.Selections)),
+		EpsilonSpent:    req.Epsilon,
+		BudgetRemaining: remaining,
+	}
+	for i, sel := range res.Selections {
+		out.Selections[i] = SelectionJSON{Index: sel.Index, Gap: sel.Gap}
+	}
+	writeJSON(w, http.StatusOK, out)
+	return "ok"
+}
+
+// serveMax handles POST /v1/max.
+func (s *Server) serveMax(w http.ResponseWriter, r *http.Request) string {
+	var req MaxRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
+		return badRequest(w, err)
+	}
+	if len(req.Answers) < 2 {
+		return badRequest(w, errors.New("max needs at least 2 answers"))
+	}
+
+	remaining, code, ok := s.charge(w, req.Tenant, mechMax, req.Epsilon)
+	if !ok {
+		return code
+	}
+
+	var (
+		res    *core.MaxWithGapResult
+		runErr error
+	)
+	if err := s.pool.do(r.Context(), func(src rng.Source) {
+		res, runErr = core.MaxWithGap(src, req.Answers, req.Epsilon, req.Monotonic)
+	}); err != nil {
+		return poolError(w, err)
+	}
+	if runErr != nil {
+		return internalError(w, runErr)
+	}
+
+	writeJSON(w, http.StatusOK, MaxResponse{
+		Tenant:          req.Tenant,
+		Index:           res.Index,
+		Gap:             res.Gap,
+		EpsilonSpent:    req.Epsilon,
+		BudgetRemaining: remaining,
+	})
+	return "ok"
+}
+
+// serveSVT handles POST /v1/svt.
+func (s *Server) serveSVT(w http.ResponseWriter, r *http.Request) string {
+	var req SVTRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
+		return badRequest(w, err)
+	}
+	if req.K <= 0 {
+		return badRequest(w, fmt.Errorf("k = %d must be positive", req.K))
+	}
+	if math.IsNaN(req.Threshold) || math.IsInf(req.Threshold, 0) {
+		return badRequest(w, fmt.Errorf("threshold %v must be finite", req.Threshold))
+	}
+	// Both mechanisms are constructed before the charge (mirroring serveTopK)
+	// so a constructor rejection can never burn budget.
+	run := func(src rng.Source) (*core.SVTGapResult, error) {
+		mech := &core.AdaptiveSVTWithGap{
+			K: req.K, Epsilon: req.Epsilon, Threshold: req.Threshold, Monotonic: req.Monotonic,
+		}
+		return mech.Run(src, req.Answers)
+	}
+	if !req.Adaptive {
+		mech, err := core.NewSVTWithGap(req.K, req.Epsilon, req.Threshold, req.Monotonic)
+		if err != nil {
+			return badRequest(w, err)
+		}
+		run = func(src rng.Source) (*core.SVTGapResult, error) { return mech.Run(src, req.Answers) }
+	}
+
+	remaining, code, ok := s.charge(w, req.Tenant, mechSVT, req.Epsilon)
+	if !ok {
+		return code
+	}
+
+	var (
+		res    *core.SVTGapResult
+		runErr error
+	)
+	if err := s.pool.do(r.Context(), func(src rng.Source) {
+		res, runErr = run(src)
+	}); err != nil {
+		return poolError(w, err)
+	}
+	if runErr != nil {
+		return internalError(w, runErr)
+	}
+
+	out := SVTResponse{
+		Tenant:           req.Tenant,
+		Above:            make([]SVTAnswerJSON, 0, res.AboveCount),
+		AboveCount:       res.AboveCount,
+		QueriesProcessed: len(res.Items),
+		MechanismSpent:   res.BudgetSpent,
+		EpsilonSpent:     req.Epsilon,
+		BudgetRemaining:  remaining,
+	}
+	for _, it := range res.AboveItems() {
+		out.Above = append(out.Above, SVTAnswerJSON{
+			Index:    it.Index,
+			Gap:      it.Gap,
+			Estimate: it.Gap + req.Threshold,
+			Branch:   it.Branch.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+	return "ok"
+}
+
+// decode reads and strictly parses the JSON request body into dst. On failure
+// it writes the error response and returns (outcome, false).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) (string, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+				Code:    CodeRequestTooLarge,
+				Message: fmt.Sprintf("request body exceeds the server limit of %d bytes", tooLarge.Limit),
+			})
+			return CodeRequestTooLarge, false
+		}
+		return badRequest(w, fmt.Errorf("decoding JSON body: %v", err)), false
+	}
+	if dec.More() {
+		return badRequest(w, errors.New("request body holds more than one JSON value")), false
+	}
+	return "", true
+}
+
+// validateCommon checks the fields shared by every mechanism request.
+func (s *Server) validateCommon(tenant string, epsilon float64, answers []float64) error {
+	if err := validTenant(tenant); err != nil {
+		return err
+	}
+	if !(epsilon >= MinEpsilon) || math.IsInf(epsilon, 0) {
+		return fmt.Errorf("epsilon %v must be finite and at least %g", epsilon, MinEpsilon)
+	}
+	if len(answers) == 0 {
+		return errors.New("answers must be non-empty")
+	}
+	if len(answers) > s.cfg.MaxAnswers {
+		return fmt.Errorf("%d answers exceeds the server limit of %d", len(answers), s.cfg.MaxAnswers)
+	}
+	for i, a := range answers {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("answers[%d] = %v is not finite", i, a)
+		}
+	}
+	return nil
+}
+
+// charge reserves eps from the tenant's budget before the mechanism runs.
+// Reserving up front (rather than settling afterwards) is what keeps
+// concurrent requests from jointly overspending: the accountant admits or
+// rejects each reservation atomically. On failure it writes the error
+// response and returns ok = false with the outcome code.
+func (s *Server) charge(w http.ResponseWriter, tenant, mech string, eps float64) (remaining float64, outcome string, ok bool) {
+	remaining, err := s.reg.Charge(tenant, mech, eps)
+	switch {
+	case err == nil:
+		return remaining, "", true
+	case errors.Is(err, accountant.ErrBudgetExceeded):
+		writeError(w, http.StatusPaymentRequired, ErrorBody{
+			Code:      CodeBudgetExhausted,
+			Message:   fmt.Sprintf("tenant %q: %v", tenant, err),
+			Remaining: &remaining,
+		})
+		return remaining, CodeBudgetExhausted, false
+	case errors.Is(err, ErrTenantLimit):
+		writeError(w, http.StatusTooManyRequests, ErrorBody{Code: CodeTenantLimit, Message: err.Error()})
+		return 0, CodeTenantLimit, false
+	default:
+		return 0, badRequest(w, err), false
+	}
+}
+
+func badRequest(w http.ResponseWriter, err error) string {
+	writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidRequest, Message: err.Error()})
+	return CodeInvalidRequest
+}
+
+// statusClientClosedRequest is nginx's non-standard code for "the client went
+// away before we could answer"; it keeps routine disconnects out of the
+// internal_error metrics. The reserved budget stays spent — the charge was
+// admitted before the mechanism ran, and refunding on disconnect would let a
+// client probe for free.
+const statusClientClosedRequest = 499
+
+// poolError classifies a pool submission failure: context cancellation means
+// the client gave up while queued, pool shutdown means the server is
+// draining; anything else is an internal fault.
+func poolError(w http.ResponseWriter, err error) string {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, statusClientClosedRequest, ErrorBody{
+			Code:    CodeCancelled,
+			Message: fmt.Sprintf("request cancelled before a worker was available: %v", err),
+		})
+		return CodeCancelled
+	case errors.Is(err, errPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Code:    CodeUnavailable,
+			Message: "server is shutting down",
+		})
+		return CodeUnavailable
+	default:
+		return internalError(w, err)
+	}
+}
+
+func internalError(w http.ResponseWriter, err error) string {
+	writeError(w, http.StatusInternalServerError, ErrorBody{Code: CodeInternal, Message: err.Error()})
+	return CodeInternal
+}
+
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	writeJSON(w, status, ErrorEnvelope{Error: body})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// errPoolClosed is returned by do when the pool has been shut down; the
+// handler maps it to a 503.
+var errPoolClosed = errors.New("server: worker pool shut down")
+
+// workerPool runs mechanism executions on a bounded set of workers, each
+// owning a private deterministic noise source split from the server seed.
+// Pinning one source per worker keeps the hot path allocation-free (no
+// per-request generator construction) and race-free without locking: a source
+// is only ever touched by the goroutine that owns it.
+type workerPool struct {
+	jobs      chan poolJob
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	run  func(src rng.Source)
+	done chan struct{}
+}
+
+// newWorkerPool starts n workers. Worker i draws noise from an independent
+// stream split from a master generator seeded with seed, so a fixed seed
+// makes a single-worker server fully deterministic.
+func newWorkerPool(n int, seed uint64) *workerPool {
+	p := &workerPool{
+		jobs: make(chan poolJob),
+		quit: make(chan struct{}),
+	}
+	master := rng.NewXoshiro(seed)
+	for i := 0; i < n; i++ {
+		src := master.Split()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case job := <-p.jobs:
+					job.run(src)
+					close(job.done)
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// do submits fn to the pool and waits for it to finish. If ctx is cancelled
+// (or the pool shuts down) before a worker accepts the job, do returns
+// without running fn; once accepted, fn always runs to completion so the
+// caller's captured state is never written concurrently with the caller
+// reading it.
+func (p *workerPool) do(ctx context.Context, fn func(src rng.Source)) error {
+	job := poolJob{run: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- job:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.quit:
+		return errPoolClosed
+	}
+	<-job.done
+	return nil
+}
+
+// close stops the workers after their current job finishes. The jobs channel
+// is never closed — senders blocked in do observe quit instead — so a
+// shutdown racing in-flight requests yields 503s, not send-on-closed-channel
+// panics.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() {
+		close(p.quit)
+		p.wg.Wait()
+	})
+}

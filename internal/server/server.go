@@ -1,0 +1,252 @@
+// Package server is the multi-tenant DP query service over the library's
+// free-gap mechanisms: a long-lived HTTP/JSON facade that lets many
+// concurrent clients run Noisy-Top-K-with-Gap, Noisy-Max-with-Gap and the
+// Sparse-Vector-with-Gap variants against per-tenant privacy budgets.
+//
+// Endpoints:
+//
+//	POST /v1/topk                  Noisy-Top-K-with-Gap selection
+//	POST /v1/max                   Noisy-Max-with-Gap (k = 1 special case)
+//	POST /v1/svt                   (Adaptive-)Sparse-Vector-with-Gap
+//	GET  /v1/tenants/{id}/budget   a tenant's budget ledger
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+//
+// Each tenant is provisioned a fresh accountant with the configured initial ε
+// budget on first use; every request charges it atomically before the
+// mechanism runs, and an exhausted budget yields a structured 402 response
+// with code "budget_exhausted". Mechanism executions run on a bounded worker
+// pool whose workers each own a private deterministic noise source, keeping
+// the hot path allocation-free and, with Workers = 1 and a fixed Seed, fully
+// reproducible.
+package server
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/freegap/freegap/internal/metrics"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultTenantBudget is the initial per-tenant ε budget.
+	DefaultTenantBudget = 10.0
+	// DefaultMaxAnswers bounds the number of query answers per request.
+	DefaultMaxAnswers = 1 << 20
+	// DefaultMaxBodyBytes bounds the request body size.
+	DefaultMaxBodyBytes = 32 << 20
+	// DefaultMaxTenants bounds the number of auto-provisioned tenants.
+	DefaultMaxTenants = 100_000
+	// MinEpsilon is the smallest per-request ε accepted. Below it the noise
+	// scale is astronomically useless anyway, and admitting near-zero charges
+	// would let one tenant grow its accountant's audit log without bound.
+	MinEpsilon = 1e-9
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (e.g. ":8080"). Ignored
+	// when the server is mounted via Handler.
+	Addr string
+	// TenantBudget is the initial ε budget provisioned to each new tenant
+	// (default DefaultTenantBudget).
+	TenantBudget float64
+	// Workers bounds the mechanism worker pool (default GOMAXPROCS).
+	Workers int
+	// Seed seeds the worker noise sources. Zero draws a fresh seed from
+	// crypto/rand; a fixed value makes a Workers = 1 server deterministic,
+	// which the tests and benchmarks rely on.
+	Seed uint64
+	// MaxAnswers bounds the number of answers accepted per request (default
+	// DefaultMaxAnswers).
+	MaxAnswers int
+	// MaxBodyBytes bounds the request body size (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxTenants bounds how many tenants may be auto-provisioned (default
+	// DefaultMaxTenants); beyond it, requests from new tenants are rejected
+	// so unauthenticated traffic cannot grow the registry without bound.
+	MaxTenants int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.TenantBudget == 0 {
+		c.TenantBudget = DefaultTenantBudget
+	}
+	if !(c.TenantBudget > 0) {
+		return c, fmt.Errorf("server: tenant budget %v must be positive", c.TenantBudget)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("server: workers %d must be positive", c.Workers)
+	}
+	if c.MaxAnswers == 0 {
+		c.MaxAnswers = DefaultMaxAnswers
+	}
+	if c.MaxAnswers < 0 {
+		return c, fmt.Errorf("server: max answers %d must be positive", c.MaxAnswers)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxBodyBytes < 0 {
+		return c, fmt.Errorf("server: max body bytes %d must be positive", c.MaxBodyBytes)
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = DefaultMaxTenants
+	}
+	if c.MaxTenants < 0 {
+		return c, fmt.Errorf("server: max tenants %d must be positive", c.MaxTenants)
+	}
+	if c.Seed == 0 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			return c, fmt.Errorf("server: seeding noise sources: %w", err)
+		}
+		c.Seed = binary.LittleEndian.Uint64(b[:])
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	}
+	return c, nil
+}
+
+// Server is the multi-tenant DP query service.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	pool    *workerPool
+	mux     *http.ServeMux
+	metrics *metrics.CounterSet
+	hot     hotCounters
+	httpSrv *http.Server
+	started time.Time
+}
+
+// hotCounters holds the metric series touched on every request, resolved
+// once at construction so the hot path pays a single atomic add per event
+// instead of a mutex-guarded registry lookup (counters.go documents cached
+// pointers as the intended hot-path usage).
+type hotCounters struct {
+	inFlight  *metrics.Gauge
+	requests  map[string]map[string]*metrics.Counter // mechanism → outcome code
+	exhausted map[string]*metrics.Counter            // mechanism
+}
+
+func newHotCounters(set *metrics.CounterSet) hotCounters {
+	mechanisms := []string{mechTopK, mechSVT, mechMax, "unknown"}
+	outcomes := []string{"ok", CodeInvalidRequest, CodeUnknownMechanism, CodeBudgetExhausted,
+		CodeTenantLimit, CodeCancelled, CodeRequestTooLarge, CodeUnavailable, CodeInternal}
+	hot := hotCounters{
+		inFlight:  set.Gauge("freegap_in_flight_requests"),
+		requests:  make(map[string]map[string]*metrics.Counter, len(mechanisms)),
+		exhausted: make(map[string]*metrics.Counter, len(mechanisms)),
+	}
+	for _, mech := range mechanisms {
+		hot.requests[mech] = make(map[string]*metrics.Counter, len(outcomes))
+		for _, code := range outcomes {
+			hot.requests[mech][code] = set.Counter("freegap_requests_total",
+				metrics.L("mechanism", mech), metrics.L("code", code))
+		}
+		hot.exhausted[mech] = set.Counter("freegap_budget_exhausted_total", metrics.L("mechanism", mech))
+	}
+	return hot
+}
+
+// New constructs a Server from cfg. The caller owns the server's lifecycle:
+// either mount Handler into an existing http.Server, or use
+// ListenAndServe/Shutdown; call Close when done to stop the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := NewRegistry(cfg.TenantBudget, cfg.MaxTenants)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		pool:    newWorkerPool(cfg.Workers, cfg.Seed),
+		mux:     http.NewServeMux(),
+		metrics: metrics.NewCounterSet(),
+		started: time.Now(),
+	}
+	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
+	// goroutine) never race on the field.
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.metrics.Help("freegap_requests_total", "DP query requests by mechanism and outcome code.")
+	s.metrics.Help("freegap_budget_exhausted_total", "Requests rejected because the tenant budget was exhausted.")
+	s.metrics.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
+	s.hot = newHotCounters(s.metrics)
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/budget", s.handleBudget)
+	s.mux.HandleFunc("POST /v1/{mechanism}", s.handleMechanism)
+}
+
+// Handler returns the server's HTTP handler, for mounting under httptest or a
+// caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the tenant registry (used by the CLI for startup logging
+// and by tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Config returns the effective configuration after defaulting.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics exposes the server's counter registry.
+func (s *Server) Metrics() *metrics.CounterSet { return s.metrics }
+
+// ListenAndServe serves on cfg.Addr until Shutdown or a listener error. Like
+// http.Server.ListenAndServe it returns http.ErrServerClosed after a clean
+// Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on the given listener until Shutdown or a listener error; it
+// lets callers bind to ":0" and discover the assigned port themselves.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown gracefully stops a ListenAndServe/Serve server: it drains
+// in-flight HTTP requests (bounded by ctx) and then stops the worker pool.
+// Called before Serve, it marks the server closed so Serve returns
+// http.ErrServerClosed immediately instead of hanging.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	s.pool.close()
+	return err
+}
+
+// Close stops the worker pool without touching any HTTP listener. Use it when
+// the server was mounted via Handler.
+func (s *Server) Close() { s.pool.close() }

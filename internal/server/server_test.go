@@ -1,0 +1,563 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// newTestServer starts an httptest server over a freshly configured Server
+// and registers cleanup for both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+func decodeInto[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal %T from %s: %v", v, data, err)
+	}
+	return v
+}
+
+var testAnswers = []float64{812, 641, 633, 601, 425, 124, 77, 8}
+
+func TestTopKHappyPathTracksBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 5})
+
+	resp, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{
+		Tenant: "acme", K: 3, Epsilon: 1.0, Answers: testAnswers, Monotonic: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", resp.StatusCode, data)
+	}
+	out := decodeInto[TopKResponse](t, data)
+	if len(out.Selections) != 3 {
+		t.Fatalf("got %d selections, want 3", len(out.Selections))
+	}
+	seen := map[int]bool{}
+	for _, sel := range out.Selections {
+		if sel.Index < 0 || sel.Index >= len(testAnswers) {
+			t.Errorf("selection index %d out of range", sel.Index)
+		}
+		if seen[sel.Index] {
+			t.Errorf("index %d selected twice", sel.Index)
+		}
+		seen[sel.Index] = true
+		if !(sel.Gap > 0) {
+			t.Errorf("gap %v for index %d is not strictly positive", sel.Gap, sel.Index)
+		}
+	}
+	if got, want := out.BudgetRemaining, 4.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("remaining after first request = %v, want %v", got, want)
+	}
+
+	// A second request draws from the same tenant budget.
+	_, data = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
+		Tenant: "acme", K: 2, Epsilon: 1.5, Answers: testAnswers, Monotonic: true,
+	})
+	out = decodeInto[TopKResponse](t, data)
+	if got, want := out.BudgetRemaining, 2.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("remaining after second request = %v, want %v", got, want)
+	}
+
+	// The budget endpoint agrees with the response bookkeeping.
+	resp, data = getJSON(t, ts.URL+"/v1/tenants/acme/budget")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget status = %d, body = %s", resp.StatusCode, data)
+	}
+	budget := decodeInto[BudgetResponse](t, data)
+	if budget.Tenant != "acme" || budget.Charges != 2 {
+		t.Errorf("budget = %+v, want tenant acme with 2 charges", budget)
+	}
+	if math.Abs(budget.Spent-2.5) > 1e-9 || math.Abs(budget.Remaining-2.5) > 1e-9 {
+		t.Errorf("budget spent/remaining = %v/%v, want 2.5/2.5", budget.Spent, budget.Remaining)
+	}
+}
+
+func TestTenantsAreIsolated(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 2})
+	_, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "a", Epsilon: 1.5, Answers: testAnswers})
+
+	// Tenant b still has a full budget.
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "b", Epsilon: 1.5, Answers: testAnswers})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant b status = %d, body = %s", resp.StatusCode, data)
+	}
+	out := decodeInto[MaxResponse](t, data)
+	if math.Abs(out.BudgetRemaining-0.5) > 1e-9 {
+		t.Errorf("tenant b remaining = %v, want 0.5", out.BudgetRemaining)
+	}
+}
+
+func TestMalformedAndInvalidRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"not json", `{"tenant": `, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown field", `{"tenant":"t","k":1,"epsilon":1,"answers":[1,2,3],"bogus":true}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"missing tenant", `{"k":1,"epsilon":1,"answers":[1,2,3]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"zero epsilon", `{"tenant":"t","k":1,"epsilon":0,"answers":[1,2,3]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"negative epsilon", `{"tenant":"t","k":1,"epsilon":-1,"answers":[1,2,3]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"empty answers", `{"tenant":"t","k":1,"epsilon":1,"answers":[]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"k too large", `{"tenant":"t","k":3,"epsilon":1,"answers":[1,2,3]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"k zero", `{"tenant":"t","k":0,"epsilon":1,"answers":[1,2,3]}`, http.StatusBadRequest, CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/topk", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, data)
+			}
+			env := decodeInto[ErrorEnvelope](t, data)
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", env.Error.Code, tc.wantCode)
+			}
+			if env.Error.Message == "" {
+				t.Errorf("error message is empty")
+			}
+		})
+	}
+
+	// Validation failures must not charge the budget (the tenant never even
+	// gets an accountant for a pure validation error after tenant parsing).
+	resp, data := getJSON(t, ts.URL+"/v1/tenants/t/budget")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("budget after failed requests: status = %d, body = %s", resp.StatusCode, data)
+	}
+}
+
+func TestUnknownMechanismAndTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, data := postJSON(t, ts.URL+"/v1/medians", TopKRequest{
+		Tenant: "t", K: 1, Epsilon: 1, Answers: testAnswers,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown mechanism status = %d, body = %s", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeUnknownMechanism {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeUnknownMechanism)
+	}
+
+	resp, data = getJSON(t, ts.URL+"/v1/tenants/nobody/budget")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant status = %d, body = %s", resp.StatusCode, data)
+	}
+	env = decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeUnknownTenant {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeUnknownTenant)
+	}
+}
+
+func TestSVTVariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 100})
+	for _, adaptive := range []bool{false, true} {
+		name := "plain"
+		if adaptive {
+			name = "adaptive"
+		}
+		t.Run(name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/svt", SVTRequest{
+				Tenant: "svt-" + name, K: 2, Epsilon: 2.0, Threshold: 500,
+				Answers: testAnswers, Monotonic: true, Adaptive: adaptive,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body = %s", resp.StatusCode, data)
+			}
+			out := decodeInto[SVTResponse](t, data)
+			if out.AboveCount != len(out.Above) {
+				t.Errorf("above_count %d != len(above) %d", out.AboveCount, len(out.Above))
+			}
+			if out.QueriesProcessed == 0 || out.QueriesProcessed > len(testAnswers) {
+				t.Errorf("queries_processed = %d out of range", out.QueriesProcessed)
+			}
+			if out.MechanismSpent <= 0 || out.MechanismSpent > 2.0+1e-9 {
+				t.Errorf("mechanism_spent = %v out of (0, 2]", out.MechanismSpent)
+			}
+			for _, a := range out.Above {
+				if math.Abs(a.Estimate-(a.Gap+500)) > 1e-9 {
+					t.Errorf("estimate %v != gap %v + threshold", a.Estimate, a.Gap)
+				}
+				if adaptive && a.Branch != "top" && a.Branch != "middle" {
+					t.Errorf("adaptive branch %q not top/middle", a.Branch)
+				}
+			}
+			if math.Abs(out.BudgetRemaining-98) > 1e-9 {
+				t.Errorf("remaining = %v, want 98 (full reservation charged)", out.BudgetRemaining)
+			}
+		})
+	}
+}
+
+// TestBudgetExhaustionUnderConcurrency is the acceptance-criteria test: many
+// concurrent requests race for one tenant's budget and exactly
+// budget/epsilon of them may win; once spent, requests fail with a
+// structured 402 and the accountant never overdrafts.
+func TestBudgetExhaustionUnderConcurrency(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantBudget: 1.0, Workers: 4})
+
+	const (
+		clients = 24
+		reqEps  = 0.3 // 3 requests of 0.3 fit in a budget of 1.0
+	)
+	var ok, exhausted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, _ := json.Marshal(TopKRequest{
+				Tenant: "shared", K: 2, Epsilon: reqEps, Answers: testAnswers, Monotonic: true,
+			})
+			resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusPaymentRequired:
+				var env ErrorEnvelope
+				if err := json.Unmarshal(data, &env); err != nil {
+					t.Errorf("402 body not an error envelope: %s", data)
+					return
+				}
+				if env.Error.Code != CodeBudgetExhausted {
+					t.Errorf("402 code = %q, want %q", env.Error.Code, CodeBudgetExhausted)
+				}
+				if env.Error.Remaining == nil {
+					t.Errorf("402 envelope missing remaining budget")
+				}
+				exhausted.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ok.Load(); got != 3 {
+		t.Errorf("%d requests admitted, want exactly 3", got)
+	}
+	if got := exhausted.Load(); got != clients-3 {
+		t.Errorf("%d requests rejected, want %d", got, clients-3)
+	}
+	acct, okT := s.Registry().Lookup("shared")
+	if !okT {
+		t.Fatal("tenant not registered")
+	}
+	if spent := acct.Spent(); spent > 1.0+1e-9 {
+		t.Errorf("accountant overdrafted: spent %v > budget 1.0", spent)
+	}
+
+	// A fresh request with a small epsilon that still fits must succeed.
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "shared", Epsilon: 0.05, Answers: testAnswers})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("residual-budget request: status = %d, body = %s", resp.StatusCode, data)
+	}
+}
+
+func TestDeterministicWithFixedSeedAndOneWorker(t *testing.T) {
+	run := func() TopKResponse {
+		_, ts := newTestServer(t, Config{Seed: 7, Workers: 1})
+		_, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{
+			Tenant: "det", K: 3, Epsilon: 1.0, Answers: testAnswers, Monotonic: true,
+		})
+		return decodeInto[TopKResponse](t, data)
+	}
+	a, b := run(), run()
+	if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+		t.Errorf("same seed produced different outputs:\n%v\n%v", a, b)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+
+	resp, data := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	health := decodeInto[HealthResponse](t, data)
+	if health.Status != "ok" || health.Workers != 3 {
+		t.Errorf("health = %+v, want status ok with 3 workers", health)
+	}
+
+	// Generate one success and one budget rejection, then check the counters.
+	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
+		Tenant: "m", K: 1, Epsilon: 1, Answers: testAnswers,
+	})
+	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
+		Tenant: "m", K: 1, Epsilon: 1e6, Answers: testAnswers,
+	})
+
+	resp, data = getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE freegap_requests_total counter",
+		`freegap_requests_total{code="ok",mechanism="topk"} 1`,
+		`freegap_budget_exhausted_total{mechanism="topk"} 1`,
+		"freegap_in_flight_requests 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{TenantBudget: -1},
+		{Workers: -2},
+		{MaxAnswers: -1},
+		{MaxBodyBytes: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New with defaults: %v", err)
+	}
+	defer s.Close()
+	cfg := s.Config()
+	if cfg.TenantBudget != DefaultTenantBudget || cfg.Workers <= 0 || cfg.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg, err := NewRegistry(3, 0)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	if _, err := NewRegistry(0, 0); err == nil {
+		t.Error("NewRegistry(0, 0) succeeded, want error")
+	}
+	if _, err := NewRegistry(1, -1); err == nil {
+		t.Error("NewRegistry(1, -1) succeeded, want error")
+	}
+	if _, err := reg.Get(""); err == nil {
+		t.Error("Get(\"\") succeeded, want error")
+	}
+	if _, err := reg.Get(strings.Repeat("x", maxTenantNameLen+1)); err == nil {
+		t.Error("oversized tenant id accepted, want error")
+	}
+
+	a1, err := reg.Get("t1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	a2, _ := reg.Get("t1")
+	if a1 != a2 {
+		t.Error("Get returned a different accountant for the same tenant")
+	}
+	if _, ok := reg.Lookup("t2"); ok {
+		t.Error("Lookup invented a tenant")
+	}
+	if rem, err := reg.Charge("t1", "test", 1); err != nil || math.Abs(rem-2) > 1e-9 {
+		t.Errorf("Charge = (%v, %v), want (2, nil)", rem, err)
+	}
+	reg.Get("t2")
+	if got := reg.Tenants(); len(got) != 2 || got[0] != "t1" || got[1] != "t2" {
+		t.Errorf("Tenants() = %v, want [t1 t2]", got)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", reg.Len())
+	}
+}
+
+func TestTenantLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTenants: 2})
+	for _, tenant := range []string{"a", "b"} {
+		resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: tenant, Epsilon: 0.1, Answers: testAnswers})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: status = %d, body = %s", tenant, resp.StatusCode, data)
+		}
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "c", Epsilon: 0.1, Answers: testAnswers})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third tenant: status = %d, want 429 (body %s)", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeTenantLimit {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeTenantLimit)
+	}
+	// Existing tenants keep working at the cap.
+	resp, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "a", Epsilon: 0.1, Answers: testAnswers})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("existing tenant rejected at the cap: status = %d", resp.StatusCode)
+	}
+}
+
+func TestEpsilonBelowMinimumRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "tiny", Epsilon: 1e-12, Answers: testAnswers})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeInvalidRequest {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeInvalidRequest)
+	}
+}
+
+// TestShutdownBeforeServe covers the dpserver signal race: a SIGTERM landing
+// before Serve starts must not hang — Serve must return ErrServerClosed.
+func TestShutdownBeforeServe(t *testing.T) {
+	s, err := New(Config{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown before Serve: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := s.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve after Shutdown returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := TopKRequest{Tenant: "t", K: 1, Epsilon: 1, Answers: make([]float64, 1000)}
+	raw, _ := json.Marshal(big)
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %s)", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeRequestTooLarge {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeRequestTooLarge)
+	}
+}
+
+// TestPoolCloseWithBlockedSender pins the shutdown contract: a sender queued
+// behind a busy pool must get errPoolClosed when the pool closes, never a
+// send-on-closed-channel panic.
+func TestPoolCloseWithBlockedSender(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.do(context.Background(), func(rng.Source) {
+			close(started)
+			<-block
+		})
+	}()
+	<-started // worker is now busy
+
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.do(context.Background(), func(rng.Source) {})
+	}()
+
+	// Let the pool close while the second job is still waiting for a worker,
+	// then release the busy one.
+	done := make(chan struct{})
+	go func() { p.close(); close(done) }()
+	close(block)
+	wg.Wait()
+	<-done
+
+	if err := <-queued; err != nil && !errors.Is(err, errPoolClosed) {
+		t.Fatalf("queued do returned %v, want nil or errPoolClosed", err)
+	}
+
+	// do after close must fail cleanly too.
+	if err := p.do(context.Background(), func(rng.Source) {}); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("do after close returned %v, want errPoolClosed", err)
+	}
+}

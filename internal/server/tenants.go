@@ -1,0 +1,127 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/freegap/freegap/internal/accountant"
+)
+
+// ErrTenantLimit is returned by Get/Charge when provisioning a new tenant
+// would exceed the registry's tenant cap.
+var ErrTenantLimit = errors.New("server: tenant limit reached")
+
+// maxTenantNameLen bounds tenant identifiers so hostile clients cannot grow
+// the registry key space without bound per entry.
+const maxTenantNameLen = 128
+
+// Registry is a concurrency-safe map of tenant id → privacy accountant. An
+// accountant is created with the configured initial budget the first time a
+// tenant issues a request, and every subsequent request is charged against it
+// atomically, so concurrent clients of the same tenant draw from one budget.
+type Registry struct {
+	mu      sync.RWMutex
+	budget  float64
+	tenants map[string]*accountant.Accountant
+	// maxTenants caps auto-provisioning; zero means unlimited.
+	maxTenants int
+}
+
+// NewRegistry returns a registry that provisions each new tenant with the
+// given initial ε budget. maxTenants caps how many tenants may be
+// auto-provisioned; zero means unlimited.
+func NewRegistry(initialBudget float64, maxTenants int) (*Registry, error) {
+	if !(initialBudget > 0) {
+		return nil, fmt.Errorf("server: tenant budget %v must be positive", initialBudget)
+	}
+	if maxTenants < 0 {
+		return nil, fmt.Errorf("server: max tenants %d must not be negative", maxTenants)
+	}
+	return &Registry{
+		budget:     initialBudget,
+		tenants:    make(map[string]*accountant.Accountant),
+		maxTenants: maxTenants,
+	}, nil
+}
+
+// InitialBudget returns the ε budget new tenants are provisioned with.
+func (r *Registry) InitialBudget() float64 { return r.budget }
+
+// validTenant reports whether the tenant id is acceptable.
+func validTenant(tenant string) error {
+	if tenant == "" {
+		return errors.New("server: tenant must be non-empty")
+	}
+	if len(tenant) > maxTenantNameLen {
+		return fmt.Errorf("server: tenant id longer than %d bytes", maxTenantNameLen)
+	}
+	return nil
+}
+
+// Get returns the tenant's accountant, creating it with the initial budget on
+// first use.
+func (r *Registry) Get(tenant string) (*accountant.Accountant, error) {
+	if err := validTenant(tenant); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	a, ok := r.tenants[tenant]
+	r.mu.RUnlock()
+	if ok {
+		return a, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a, ok := r.tenants[tenant]; ok {
+		return a, nil
+	}
+	if r.maxTenants > 0 && len(r.tenants) >= r.maxTenants {
+		return nil, fmt.Errorf("%w: %d tenants provisioned", ErrTenantLimit, len(r.tenants))
+	}
+	a = accountant.MustNew(r.budget)
+	r.tenants[tenant] = a
+	return a, nil
+}
+
+// Lookup returns the tenant's accountant without creating one.
+func (r *Registry) Lookup(tenant string) (*accountant.Accountant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.tenants[tenant]
+	return a, ok
+}
+
+// Charge atomically charges eps to the tenant under the given label, creating
+// the tenant on first use. It returns the remaining budget after the charge;
+// accountant.ErrBudgetExceeded means nothing was charged.
+func (r *Registry) Charge(tenant, label string, eps float64) (remaining float64, err error) {
+	a, err := r.Get(tenant)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.Spend(label, eps); err != nil {
+		return a.Remaining(), err
+	}
+	return a.Remaining(), nil
+}
+
+// Len returns the number of live tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// Tenants returns the live tenant ids, sorted.
+func (r *Registry) Tenants() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.tenants))
+	for t := range r.tenants {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package server
+
+// Request and response bodies of the dpserver HTTP/JSON API. Every request
+// names a tenant; the server charges that tenant's privacy accountant
+// atomically before running the mechanism, so concurrent clients of the same
+// tenant can never jointly overspend the budget.
+
+// TopKRequest is the body of POST /v1/topk.
+type TopKRequest struct {
+	// Tenant identifies whose privacy budget pays for the query.
+	Tenant string `json:"tenant"`
+	// K is the number of queries to select.
+	K int `json:"k"`
+	// Epsilon is the privacy budget this request spends.
+	Epsilon float64 `json:"epsilon"`
+	// Answers are the true query answers (sensitivity 1 each).
+	Answers []float64 `json:"answers"`
+	// Monotonic declares a monotonic (e.g. counting) query list, halving the
+	// required noise scale.
+	Monotonic bool `json:"monotonic,omitempty"`
+}
+
+// SelectionJSON is one selected query in a TopKResponse.
+type SelectionJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Gap is the released noisy gap to the next-ranked query.
+	Gap float64 `json:"gap"`
+}
+
+// TopKResponse is the body of a successful POST /v1/topk.
+type TopKResponse struct {
+	Tenant string `json:"tenant"`
+	// Selections lists the k selected queries in descending noisy order.
+	Selections []SelectionJSON `json:"selections"`
+	// EpsilonSpent is the budget charged to the tenant for this request.
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	// BudgetRemaining is the tenant's unspent budget after this request.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// MaxRequest is the body of POST /v1/max (the k = 1 special case).
+type MaxRequest struct {
+	Tenant    string    `json:"tenant"`
+	Epsilon   float64   `json:"epsilon"`
+	Answers   []float64 `json:"answers"`
+	Monotonic bool      `json:"monotonic,omitempty"`
+}
+
+// MaxResponse is the body of a successful POST /v1/max.
+type MaxResponse struct {
+	Tenant string `json:"tenant"`
+	// Index is the approximately largest query.
+	Index int `json:"index"`
+	// Gap is the noisy gap to the runner-up.
+	Gap             float64 `json:"gap"`
+	EpsilonSpent    float64 `json:"epsilon_spent"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// SVTRequest is the body of POST /v1/svt.
+type SVTRequest struct {
+	Tenant string `json:"tenant"`
+	// K is the number of above-threshold answers to provision for.
+	K int `json:"k"`
+	// Epsilon is the privacy budget this request reserves. The adaptive
+	// variant may spend less internally, but the tenant is charged the full
+	// reservation so concurrent requests stay sound.
+	Epsilon float64 `json:"epsilon"`
+	// Threshold is the public threshold.
+	Threshold float64   `json:"threshold"`
+	Answers   []float64 `json:"answers"`
+	Monotonic bool      `json:"monotonic,omitempty"`
+	// Adaptive selects Adaptive-Sparse-Vector-with-Gap (Algorithm 2) instead
+	// of plain Sparse-Vector-with-Gap.
+	Adaptive bool `json:"adaptive,omitempty"`
+}
+
+// SVTAnswerJSON is one above-threshold answer in an SVTResponse.
+type SVTAnswerJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Gap is the released noisy gap above the (noisy) threshold.
+	Gap float64 `json:"gap"`
+	// Estimate is gap + threshold, the selection-stage estimate of the answer.
+	Estimate float64 `json:"estimate"`
+	// Branch names the adaptive branch that answered: below, top or middle.
+	Branch string `json:"branch"`
+}
+
+// SVTResponse is the body of a successful POST /v1/svt.
+type SVTResponse struct {
+	Tenant string `json:"tenant"`
+	// Above lists the above-threshold answers in stream order.
+	Above []SVTAnswerJSON `json:"above"`
+	// AboveCount is len(Above).
+	AboveCount int `json:"above_count"`
+	// QueriesProcessed is how far into the stream the mechanism got before
+	// stopping.
+	QueriesProcessed int `json:"queries_processed"`
+	// MechanismSpent is the budget the mechanism consumed internally (the
+	// adaptive variant may spend less than the reservation).
+	MechanismSpent  float64 `json:"mechanism_spent"`
+	EpsilonSpent    float64 `json:"epsilon_spent"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// BudgetResponse is the body of GET /v1/tenants/{id}/budget.
+type BudgetResponse struct {
+	Tenant string `json:"tenant"`
+	// Budget is the tenant's configured total ε budget.
+	Budget float64 `json:"budget"`
+	// Spent is the total ε charged so far.
+	Spent float64 `json:"spent"`
+	// Remaining is Budget − Spent (never negative).
+	Remaining float64 `json:"remaining"`
+	// RemainingFraction is Remaining/Budget.
+	RemainingFraction float64 `json:"remaining_fraction"`
+	// Charges is the number of admitted requests.
+	Charges int `json:"charges"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Tenants is the number of tenants with a live accountant.
+	Tenants int `json:"tenants"`
+	// Workers is the size of the mechanism worker pool.
+	Workers int `json:"workers"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Error codes used in ErrorBody.Code.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeUnknownMechanism = "unknown_mechanism"
+	CodeUnknownTenant    = "unknown_tenant"
+	CodeBudgetExhausted  = "budget_exhausted"
+	CodeTenantLimit      = "tenant_limit"
+	CodeCancelled        = "cancelled"
+	CodeRequestTooLarge  = "request_too_large"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal_error"
+)
+
+// ErrorBody is the machine-readable error payload.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+	// Remaining is the tenant's remaining budget; only set for
+	// budget_exhausted errors.
+	Remaining *float64 `json:"remaining,omitempty"`
+}
+
+// ErrorEnvelope wraps every non-2xx response body.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
