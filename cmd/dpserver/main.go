@@ -7,12 +7,15 @@
 //	dpserver -addr :8080 -budget 10 -workers 8
 //	dpserver -addr :8080 -seed 42 -workers 1   # fully deterministic (testing)
 //
-// Endpoints:
+// Endpoints (one per mechanism registered in the engine, plus operations):
 //
 //	POST /v1/topk                  Noisy-Top-K-with-Gap selection
 //	POST /v1/max                   Noisy-Max-with-Gap
 //	POST /v1/svt                   (Adaptive-)Sparse-Vector-with-Gap
-//	GET  /v1/tenants/{id}/budget   a tenant's budget ledger
+//	POST /v1/pipeline/topk         Section 5.2 select–measure–refine pipeline
+//	POST /v1/pipeline/svt          Section 6.2 threshold pipeline
+//	POST /v1/batch                 batched requests, one atomic multi-charge
+//	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
 //

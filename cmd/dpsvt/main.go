@@ -2,12 +2,16 @@
 // over the item counts of a transaction dataset: it reports which items are
 // (probably) above a threshold, the free noisy gap above the threshold for
 // each, a Lemma 5 lower confidence bound on the item's true count, and the
-// privacy budget left over.
+// privacy budget left over. With -measure it runs the full Section 6.2
+// protocol instead, spending half the budget on Laplace measurements and
+// combining them with the gaps by inverse-variance weighting. Both paths run
+// through the same mechanism engine the dpserver dispatches on ("svt" and
+// "pipeline/svt" respectively).
 //
 // Usage:
 //
 //	dpsvt -synthetic bmspos -scale 100 -k 10 -eps 0.7 -adaptive
-//	dpsvt -data transactions.dat -k 5 -eps 1.0 -threshold 1200
+//	dpsvt -data transactions.dat -k 5 -eps 1.0 -threshold 1200 -measure
 package main
 
 import (
@@ -19,6 +23,10 @@ import (
 
 	freegap "github.com/freegap/freegap"
 )
+
+// cliTenant is the tenant label engine requests are issued under; the CLI
+// runs the mechanisms locally, so it only shows up in validation and logs.
+const cliTenant = "cli"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -39,6 +47,7 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "random seed")
 		adaptive   = fs.Bool("adaptive", true, "use Adaptive-Sparse-Vector-with-Gap (false = plain Sparse-Vector-with-Gap)")
 		confidence = fs.Float64("confidence", 0.95, "confidence level for the Lemma 5 lower bound on each reported count")
+		measure    = fs.Bool("measure", false, "run the full Section 6.2 pipeline: spend half the budget on measurements and combine them with the gaps")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,31 +61,30 @@ func run(args []string) error {
 		return fmt.Errorf("k = %d must be positive", *k)
 	}
 
+	registry := freegap.DefaultMechanisms()
 	src := freegap.NewSource(*seed)
 	if *threshold == 0 {
 		*threshold = freegap.RandomThreshold(src, counts, *k)
 	}
+	common := freegap.RequestCommon{Tenant: cliTenant, Epsilon: *eps, Answers: counts, Monotonic: true}
 
-	var res *freegap.SVTGapResult
-	if *adaptive {
-		m, err := freegap.NewAdaptiveSVTWithGap(*k, *eps, *threshold, true)
-		if err != nil {
-			return err
-		}
-		res, err = m.Run(src, counts)
-		if err != nil {
-			return err
-		}
-	} else {
-		m, err := freegap.NewSVTWithGap(*k, *eps, *threshold, true)
-		if err != nil {
-			return err
-		}
-		res, err = m.Run(src, counts)
-		if err != nil {
-			return err
-		}
+	if *measure {
+		return runPipeline(registry, src, common, *k, *threshold, *adaptive, *confidence)
 	}
+
+	mech, err := registry.Get("svt")
+	if err != nil {
+		return err
+	}
+	req := &freegap.SVTRequest{Common: common, K: *k, Threshold: *threshold, Adaptive: *adaptive}
+	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
+		return err
+	}
+	resp, err := mech.Execute(src, req)
+	if err != nil {
+		return err
+	}
+	out := resp.(*freegap.SVTResponse)
 
 	// Lemma 5 rates: threshold noise Laplace(1/eps0), monotone query noise
 	// Laplace(1/eps1) for the middle branch (the dominant one for plain SVT).
@@ -86,21 +94,57 @@ func run(args []string) error {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "item\tbranch\tgap above threshold\testimated count\tlower bound")
-	for _, it := range res.AboveItems() {
-		estimate := it.Gap + *threshold
+	for _, it := range out.Above {
 		lower, err := freegap.GapLowerConfidenceBound(it.Gap, *threshold, *confidence, eps0, eps1)
 		if err != nil {
 			lower = math.Inf(-1)
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%.2f\n", it.Index, it.Branch, it.Gap, estimate, lower)
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%.2f\n", it.Index, it.Branch, it.Gap, it.Estimate, lower)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	fmt.Printf("threshold: %.2f\n", *threshold)
-	fmt.Printf("above-threshold answers: %d\n", res.AboveCount)
+	fmt.Printf("above-threshold answers: %d\n", out.AboveCount)
 	fmt.Printf("privacy budget: spent %.4g of %.4g (%.1f%% remaining)\n",
-		res.BudgetSpent, res.Budget, 100*res.RemainingFraction())
+		out.MechanismSpent, *eps, 100*(*eps-out.MechanismSpent)/(*eps))
+	return nil
+}
+
+// runPipeline runs the pipeline/svt workflow: selection, measurement, and
+// inverse-variance combination with Lemma 5 lower bounds.
+func runPipeline(registry *freegap.MechanismRegistry, src freegap.Source, common freegap.RequestCommon,
+	k int, threshold float64, adaptive bool, confidence float64) error {
+	eps := common.Epsilon
+	mech, err := registry.Get("pipeline/svt")
+	if err != nil {
+		return err
+	}
+	req := &freegap.PipelineSVTRequest{
+		Common: common, K: k, Threshold: threshold, Adaptive: adaptive, Confidence: confidence,
+	}
+	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
+		return err
+	}
+	resp, err := mech.Execute(src, req)
+	if err != nil {
+		return err
+	}
+	out := resp.(*freegap.PipelineSVTResponse)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "item\tbranch\tgap above threshold\tmeasured\tcombined count\tlower bound")
+	for _, est := range out.Estimates {
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			est.Index, est.Branch, est.GapEstimate-threshold, est.Measured, est.Combined, est.LowerBound)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("threshold: %.2f\n", threshold)
+	fmt.Printf("above-threshold answers: %d\n", out.AboveCount)
+	fmt.Printf("privacy budget: spent %.4g of %.4g (%.1f%% remaining)\n",
+		out.MechanismSpent, eps, 100*(eps-out.MechanismSpent)/eps)
 	return nil
 }
 

@@ -73,3 +73,17 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("both sources accepted")
 	}
 }
+
+func TestRunMeasurePipeline(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-synthetic", "bmspos", "-scale", "500", "-k", "4", "-eps", "60", "-measure"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"combined count", "lower bound", "above-threshold answers:", "privacy budget:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipeline output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Command dptopk runs Noisy-Top-K-with-Gap over the item counts of a
-// transaction dataset and, optionally, refines the selected counts with the
-// select-then-measure-then-BLUE protocol of Section 5.2.
+// transaction dataset and, optionally, the full select-then-measure-then-BLUE
+// protocol of Section 5.2. Both run through the same mechanism engine the
+// dpserver dispatches on: -measure selects the "pipeline/topk" workflow, the
+// default the raw "topk" mechanism.
 //
 // Usage:
 //
@@ -19,6 +21,10 @@ import (
 
 	freegap "github.com/freegap/freegap"
 )
+
+// cliTenant is the tenant label engine requests are issued under; the CLI
+// runs the mechanisms locally, so it only shows up in validation and logs.
+const cliTenant = "cli"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -50,51 +56,45 @@ func run(args []string) error {
 		return fmt.Errorf("k = %d must be in [1, %d)", *k, len(counts))
 	}
 
+	registry := freegap.DefaultMechanisms()
 	src := freegap.NewSource(*seed)
-	selectionBudget := *eps
-	if *measure {
-		selectionBudget = *eps / 2
-	}
-	topk, err := freegap.NewTopKWithGap(*k, selectionBudget, true)
-	if err != nil {
-		return err
-	}
-	res, err := topk.Run(src, counts)
-	if err != nil {
-		return err
-	}
-
-	var estimates []float64
-	if *measure {
-		meas, err := freegap.NewLaplaceMechanism(*eps/2, 1)
-		if err != nil {
-			return err
-		}
-		measurements, err := meas.MeasureSelected(src, counts, res.Indices())
-		if err != nil {
-			return err
-		}
-		var gaps []float64
-		if *k > 1 {
-			gaps = res.Gaps()[:*k-1]
-		}
-		estimates, err = freegap.BLUEFromVariances(measurements, gaps,
-			meas.MeasurementVariance(*k), res.PerQueryNoiseVariance())
-		if err != nil {
-			return err
-		}
-	}
+	common := freegap.RequestCommon{Tenant: cliTenant, Epsilon: *eps, Answers: counts, Monotonic: true}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	if *measure {
+		mech, err := registry.Get("pipeline/topk")
+		if err != nil {
+			return err
+		}
+		req := &freegap.PipelineTopKRequest{Common: common, K: *k}
+		if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
+			return err
+		}
+		resp, err := mech.Execute(src, req)
+		if err != nil {
+			return err
+		}
+		out := resp.(*freegap.PipelineTopKResponse)
 		fmt.Fprintln(tw, "rank\titem\tnoisy gap to next\testimated count")
+		for i, est := range out.Estimates {
+			fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\n", i+1, est.Index, est.Gap, est.Refined)
+		}
 	} else {
+		mech, err := registry.Get("topk")
+		if err != nil {
+			return err
+		}
+		req := &freegap.TopKRequest{Common: common, K: *k}
+		if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
+			return err
+		}
+		resp, err := mech.Execute(src, req)
+		if err != nil {
+			return err
+		}
+		out := resp.(*freegap.TopKResponse)
 		fmt.Fprintln(tw, "rank\titem\tnoisy gap to next")
-	}
-	for i, s := range res.Selections {
-		if *measure {
-			fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\n", i+1, s.Index, s.Gap, estimates[i])
-		} else {
+		for i, s := range out.Selections {
 			fmt.Fprintf(tw, "%d\t%d\t%.2f\n", i+1, s.Index, s.Gap)
 		}
 	}

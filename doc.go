@@ -36,18 +36,50 @@
 //
 // See the examples/ directory for complete programs.
 //
+// # Engine
+//
+// Every servable workload sits behind one interface, Mechanism, with five
+// methods: Name, NewRequest, Validate, Cost and Execute. A MechanismRegistry
+// maps names to implementations; DefaultMechanisms returns the registry the
+// server and CLIs dispatch on, holding the three raw free-gap mechanisms
+// ("topk", "max", "svt") and the paper's two end-to-end workflows
+// ("pipeline/topk" — Section 5.2 select, measure, BLUE-refine; and
+// "pipeline/svt" — Section 6.2 select, measure, combine with Lemma 5
+// bounds). The contract keeps budget handling sound everywhere the engine is
+// used: Validate rejects anything that cannot run (so a rejected request
+// never burns budget), Cost returns the ε to reserve before execution, and
+// Execute draws all randomness from a caller-supplied Source. Running a
+// mechanism directly:
+//
+//	mech, _ := freegap.DefaultMechanisms().Get("pipeline/topk")
+//	req := &freegap.PipelineTopKRequest{
+//	    Common: freegap.RequestCommon{Tenant: "me", Epsilon: 1, Answers: counts, Monotonic: true},
+//	    K:      3,
+//	}
+//	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil { ... }
+//	resp, _ := mech.Execute(freegap.NewSource(42), req)
+//
+// Implement and register your own Mechanism and the server serves it at
+// POST /v1/<name> with the same validation, charging, pooling and metrics as
+// the built-ins.
+//
 // # Serving
 //
 // The library also ships as a long-lived, multi-tenant query service. The
-// cmd/dpserver binary serves the mechanisms over HTTP/JSON — POST /v1/topk,
-// /v1/svt and /v1/max — with each tenant drawing from its own privacy budget
-// (tracked by an Accountant created on first use) and receiving a structured
-// 402 budget_exhausted error once it is spent. Embed the same service in a
-// larger program via the facade's server constructors:
+// cmd/dpserver binary mounts one endpoint per registered mechanism — POST
+// /v1/topk, /v1/svt, /v1/max, /v1/pipeline/topk and /v1/pipeline/svt — with
+// each tenant drawing from its own privacy budget (tracked by an Accountant
+// created on first use) and receiving a structured 402 budget_exhausted
+// error once it is spent. POST /v1/batch executes up to MaxBatch requests in
+// one round trip under a single atomic multi-charge: either every item's ε
+// is reserved or none is, so a batch can never overspend what the same
+// requests issued serially could. Embed the same service in a larger program
+// via the facade's server constructors:
 //
 //	srv, _ := freegap.NewServer(freegap.ServerConfig{TenantBudget: 10})
 //	http.ListenAndServe(":8080", srv.Handler())
 //
 // examples/remoteclient drives the full API end-to-end, and
-// GET /v1/tenants/{id}/budget, /healthz and /metrics cover operations.
+// GET /v1/tenants/{id}/budget (budget ledger with per-mechanism breakdown),
+// /healthz and /metrics cover operations.
 package freegap

@@ -1,6 +1,8 @@
 // Remoteclient drives the dpserver HTTP API end-to-end: it runs
 // Noisy-Max-with-Gap, Noisy-Top-K-with-Gap and Adaptive-Sparse-Vector-with-
-// Gap over the wire as a tenant, watches its privacy budget drain through the
+// Gap over the wire as a tenant, runs the paper's full select–measure–refine
+// protocol through the pipeline endpoint, amortizes a round trip with an
+// atomically-charged batch, watches its privacy budget drain through the
 // budget endpoint, and keeps querying until the server answers with the
 // structured budget-exhausted error.
 //
@@ -33,7 +35,7 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		srv, err := freegap.NewServer(freegap.ServerConfig{TenantBudget: 4, Seed: 42, Workers: 1})
+		srv, err := freegap.NewServer(freegap.ServerConfig{TenantBudget: 8, Seed: 42, Workers: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,7 +45,7 @@ func main() {
 		}
 		go func() { _ = srv.Serve(ln) }()
 		base = "http://" + ln.Addr().String()
-		fmt.Printf("started in-process dpserver at %s (tenant budget ε=4)\n\n", base)
+		fmt.Printf("started in-process dpserver at %s (tenant budget ε=8)\n\n", base)
 	}
 
 	products := []string{"apples", "bananas", "cherries", "dates", "eggs", "figs", "grapes", "honey"}
@@ -97,18 +99,75 @@ func main() {
 	}
 	fmt.Printf("budget left: %.2f\n\n", svt.BudgetRemaining)
 
-	// 4. The ledger, as the server sees it.
+	// 4. The full Section 5.2 protocol in one request: select the top three,
+	// measure them, and refine the measurements with the free gaps.
+	var pipe struct {
+		Estimates []struct {
+			Index    int     `json:"index"`
+			Measured float64 `json:"measured"`
+			Refined  float64 `json:"refined"`
+		} `json:"estimates"`
+		TheoreticalErrorRatio float64 `json:"theoretical_error_ratio"`
+		BudgetRemaining       float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/pipeline/topk", map[string]any{
+		"tenant": *tenant, "k": 3, "epsilon": 2.0, "answers": counts, "monotonic": true,
+	}, &pipe)
+	fmt.Println("select–measure–refine pipeline (eps=2.0):")
+	for _, est := range pipe.Estimates {
+		fmt.Printf("  %-9s measured ≈%.0f, gap-refined ≈%.0f\n",
+			products[est.Index], est.Measured, est.Refined)
+	}
+	fmt.Printf("refined-vs-measured error ratio: %.2f — budget left %.2f\n\n",
+		pipe.TheoreticalErrorRatio, pipe.BudgetRemaining)
+
+	// 5. Two more queries in one round trip: the batch is charged atomically
+	// (all-or-nothing), so it can never overspend what serial requests could.
+	var batch struct {
+		Results []struct {
+			Mechanism string          `json:"mechanism"`
+			Response  json.RawMessage `json:"response"`
+		} `json:"results"`
+		EpsilonSpent    float64 `json:"epsilon_spent"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/batch", map[string]any{
+		"tenant": *tenant,
+		"requests": []map[string]any{
+			{"mechanism": "max", "request": map[string]any{
+				"epsilon": 0.5, "answers": counts, "monotonic": true,
+			}},
+			{"mechanism": "svt", "request": map[string]any{
+				"k": 2, "epsilon": 1.0, "threshold": 600.0, "answers": counts,
+				"monotonic": true, "adaptive": true,
+			}},
+		},
+	}, &batch)
+	fmt.Printf("batch of %d requests in one round trip (eps=%.1f total):\n",
+		len(batch.Results), batch.EpsilonSpent)
+	for _, res := range batch.Results {
+		fmt.Printf("  %-4s → %s\n", res.Mechanism, res.Response)
+	}
+	fmt.Printf("budget left: %.2f\n\n", batch.BudgetRemaining)
+
+	// 6. The ledger, as the server sees it — now with the spend broken down
+	// by mechanism.
 	var budget struct {
-		Budget    float64 `json:"budget"`
-		Spent     float64 `json:"spent"`
-		Remaining float64 `json:"remaining"`
-		Charges   int     `json:"charges"`
+		Budget           float64            `json:"budget"`
+		Spent            float64            `json:"spent"`
+		Remaining        float64            `json:"remaining"`
+		Charges          int                `json:"charges"`
+		SpentByMechanism map[string]float64 `json:"spent_by_mechanism"`
 	}
 	mustGet(base+"/v1/tenants/"+*tenant+"/budget", &budget)
-	fmt.Printf("ledger: spent %.2f of %.2f over %d requests, %.2f remaining\n\n",
+	fmt.Printf("ledger: spent %.2f of %.2f over %d charges, %.2f remaining\n",
 		budget.Spent, budget.Budget, budget.Charges, budget.Remaining)
+	for mech, eps := range budget.SpentByMechanism {
+		fmt.Printf("  %-14s ε=%.2f\n", mech, eps)
+	}
+	fmt.Println()
 
-	// 5. Keep spending until the server cuts us off with a structured 402.
+	// 7. Keep spending until the server cuts us off with a structured 402.
 	for i := 0; ; i++ {
 		resp, body := post(base+"/v1/max", map[string]any{
 			"tenant": *tenant, "epsilon": 0.75, "answers": counts, "monotonic": true,

@@ -6,6 +6,7 @@ import (
 	"github.com/freegap/freegap/internal/baseline"
 	"github.com/freegap/freegap/internal/core"
 	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/engine"
 	"github.com/freegap/freegap/internal/pipeline"
 	"github.com/freegap/freegap/internal/postprocess"
 	"github.com/freegap/freegap/internal/rng"
@@ -338,15 +339,94 @@ func RunSVTPipeline(src Source, answers []float64, cfg SVTPipelineConfig, acct *
 }
 
 //
+// The unified mechanism engine (internal/engine).
+//
+
+// Mechanism is one servable DP workload behind the engine's uniform
+// interface: Name, NewRequest, Validate, Cost and Execute. The server's
+// generic handler, the batch executor and the CLIs all dispatch on it, so
+// implementing Mechanism (and registering it) is all it takes to serve a
+// new workload.
+type Mechanism = engine.Mechanism
+
+// MechanismRegistry maps mechanism names to implementations; the server
+// mounts one endpoint per registered name.
+type MechanismRegistry = engine.Registry
+
+// MechanismRequest is the interface satisfied by every mechanism request
+// type (anything embedding RequestCommon).
+type MechanismRequest = engine.Request
+
+// MechanismResponse is the interface satisfied by every mechanism response
+// type (anything embedding engine.Billing).
+type MechanismResponse = engine.Response
+
+// MechanismLimits bounds request sizes at validation time.
+type MechanismLimits = engine.Limits
+
+// RequestCommon holds the request fields shared by every mechanism: tenant,
+// epsilon, answers, monotonicity.
+type RequestCommon = engine.Common
+
+// Engine request/response bodies, shared by the HTTP API and direct engine
+// callers.
+type (
+	// TopKRequest is the topk mechanism's request (POST /v1/topk).
+	TopKRequest = engine.TopKRequest
+	// TopKResponse is the topk mechanism's response.
+	TopKResponse = engine.TopKResponse
+	// MaxRequest is the max mechanism's request (POST /v1/max).
+	MaxRequest = engine.MaxRequest
+	// MaxResponse is the max mechanism's response.
+	MaxResponse = engine.MaxResponse
+	// SVTRequest is the svt mechanism's request (POST /v1/svt).
+	SVTRequest = engine.SVTRequest
+	// SVTResponse is the svt mechanism's response.
+	SVTResponse = engine.SVTResponse
+	// PipelineTopKRequest is the pipeline/topk mechanism's request
+	// (POST /v1/pipeline/topk).
+	PipelineTopKRequest = engine.PipelineTopKRequest
+	// PipelineTopKResponse is the pipeline/topk mechanism's response.
+	PipelineTopKResponse = engine.PipelineTopKResponse
+	// PipelineSVTRequest is the pipeline/svt mechanism's request
+	// (POST /v1/pipeline/svt).
+	PipelineSVTRequest = engine.PipelineSVTRequest
+	// PipelineSVTResponse is the pipeline/svt mechanism's response.
+	PipelineSVTResponse = engine.PipelineSVTResponse
+)
+
+// NewMechanismRegistry returns an empty mechanism registry for callers
+// assembling a custom set of workloads.
+func NewMechanismRegistry() *MechanismRegistry { return engine.NewRegistry() }
+
+// DefaultMechanisms returns a registry with every mechanism the library
+// serves: topk, max, svt, and the paper's end-to-end pipeline/topk and
+// pipeline/svt workflows.
+func DefaultMechanisms() *MechanismRegistry { return engine.DefaultRegistry() }
+
+//
 // Multi-tenant DP query serving (internal/server).
 //
 
-// Server is the multi-tenant HTTP/JSON query service over the free-gap
-// mechanisms: POST /v1/topk, /v1/svt and /v1/max run the mechanisms against
-// per-tenant privacy budgets, GET /v1/tenants/{id}/budget reports a tenant's
-// ledger, and GET /healthz and /metrics serve operations. See cmd/dpserver
-// for the standalone binary.
+// Server is the multi-tenant HTTP/JSON query service over the engine's
+// mechanisms: POST /v1/topk, /v1/svt, /v1/max, /v1/pipeline/topk and
+// /v1/pipeline/svt run the mechanisms against per-tenant privacy budgets,
+// POST /v1/batch executes several of them in one round trip under a single
+// atomic multi-charge, GET /v1/tenants/{id}/budget reports a tenant's ledger
+// with a per-mechanism breakdown, and GET /healthz and /metrics serve
+// operations. See cmd/dpserver for the standalone binary.
 type Server = server.Server
+
+// BatchRequest is the body of POST /v1/batch: up to MaxBatch mechanism
+// requests charged atomically (all-or-nothing) and executed in one round
+// trip.
+type BatchRequest = server.BatchRequest
+
+// BatchItem is one entry of a BatchRequest.
+type BatchItem = server.BatchItem
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse = server.BatchResponse
 
 // ServerConfig configures a Server: listen address, initial per-tenant ε
 // budget, worker-pool size and noise seed.

@@ -8,6 +8,7 @@ package accountant
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -103,18 +104,44 @@ func (a *Accountant) CanSpend(eps float64) bool {
 
 // Spend charges eps against the budget under the given label. It returns
 // ErrBudgetExceeded (and charges nothing) if the budget would be exceeded.
+// It is the one-charge case of SpendBatch, so single and batched requests
+// share one admission rule.
 func (a *Accountant) Spend(label string, eps float64) error {
-	if !(eps > 0) {
-		return fmt.Errorf("%w: %v", ErrInvalidCharge, eps)
+	return a.SpendBatch([]Charge{{Label: label, Epsilon: eps}})
+}
+
+// SpendBatch charges every entry of charges against the budget atomically:
+// either all of them are admitted, or (when their sum would exceed the
+// budget) none are and ErrBudgetExceeded is returned. It is the primitive
+// behind batched serving — a batch reserved in one SpendBatch can never
+// overspend what the same requests charged serially could, and concurrent
+// batches race for the budget as single indivisible units.
+func (a *Accountant) SpendBatch(charges []Charge) error {
+	if len(charges) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrInvalidCharge)
+	}
+	var sum float64
+	for _, c := range charges {
+		if !(c.Epsilon > 0) {
+			return fmt.Errorf("%w: %v (label %q)", ErrInvalidCharge, c.Epsilon, c.Label)
+		}
+		sum += c.Epsilon
+	}
+	if math.IsInf(sum, 0) || math.IsNaN(sum) {
+		return fmt.Errorf("%w: batch total %v", ErrInvalidCharge, sum)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.spent+eps > a.budget+tolerance {
-		return fmt.Errorf("%w: spent %.6g + charge %.6g > budget %.6g",
-			ErrBudgetExceeded, a.spent, eps, a.budget)
+	if a.spent+sum > a.budget+tolerance {
+		kind := "charge"
+		if len(charges) > 1 {
+			kind = "batch charge"
+		}
+		return fmt.Errorf("%w: spent %.6g + %s %.6g > budget %.6g",
+			ErrBudgetExceeded, a.spent, kind, sum, a.budget)
 	}
-	a.spent += eps
-	a.log = append(a.log, Charge{Label: label, Epsilon: eps})
+	a.spent += sum
+	a.log = append(a.log, charges...)
 	return nil
 }
 
@@ -131,6 +158,18 @@ func (a *Accountant) Charges() []Charge {
 	defer a.mu.Unlock()
 	out := make([]Charge, len(a.log))
 	copy(out, a.log)
+	return out
+}
+
+// SpentByLabel aggregates the expenditure log by charge label — the
+// per-mechanism spend breakdown a tenant sees on its budget ledger.
+func (a *Accountant) SpentByLabel() map[string]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]float64, 8)
+	for _, c := range a.log {
+		out[c.Label] += c.Epsilon
+	}
 	return out
 }
 

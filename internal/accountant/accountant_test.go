@@ -173,3 +173,106 @@ func TestSpendNeverExceedsBudgetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpendBatchAllOrNothing(t *testing.T) {
+	a := MustNew(1.0)
+	batch := []Charge{
+		{Label: "topk", Epsilon: 0.3},
+		{Label: "svt", Epsilon: 0.3},
+	}
+	if err := a.SpendBatch(batch); err != nil {
+		t.Fatalf("first batch rejected: %v", err)
+	}
+	if got := a.Spent(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("spent = %v, want 0.6", got)
+	}
+	if got := a.ChargeCount(); got != 2 {
+		t.Fatalf("charge count = %d, want 2", got)
+	}
+
+	// A second identical batch needs 0.6 but only 0.4 remains: nothing at all
+	// may be charged.
+	err := a.SpendBatch(batch)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget batch returned %v, want ErrBudgetExceeded", err)
+	}
+	if got := a.Spent(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("rejected batch changed spend: %v", got)
+	}
+	if got := a.ChargeCount(); got != 2 {
+		t.Fatalf("rejected batch appended to the log: %d charges", got)
+	}
+
+	// A smaller batch that fits is still admitted afterwards.
+	if err := a.SpendBatch([]Charge{{Label: "max", Epsilon: 0.4}}); err != nil {
+		t.Fatalf("fitting batch rejected: %v", err)
+	}
+}
+
+func TestSpendBatchRejectsInvalidCharges(t *testing.T) {
+	a := MustNew(1.0)
+	for _, batch := range [][]Charge{
+		nil,
+		{},
+		{{Label: "ok", Epsilon: 0.1}, {Label: "bad", Epsilon: 0}},
+		{{Label: "bad", Epsilon: -0.5}},
+		{{Label: "bad", Epsilon: math.NaN()}},
+		{{Label: "bad", Epsilon: math.Inf(1)}},
+	} {
+		if err := a.SpendBatch(batch); !errors.Is(err, ErrInvalidCharge) {
+			t.Errorf("SpendBatch(%v) = %v, want ErrInvalidCharge", batch, err)
+		}
+	}
+	if a.Spent() != 0 || a.ChargeCount() != 0 {
+		t.Fatalf("invalid batches charged something: spent %v, %d charges", a.Spent(), a.ChargeCount())
+	}
+}
+
+func TestConcurrentSpendBatchNeverOverdrafts(t *testing.T) {
+	a := MustNew(1.0)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = a.SpendBatch([]Charge{
+					{Label: "a", Epsilon: 0.02},
+					{Label: "b", Epsilon: 0.03},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Spent() > a.Budget()+1e-6 {
+		t.Fatalf("spent %v exceeds budget %v", a.Spent(), a.Budget())
+	}
+	// All-or-nothing: total spend must be a whole number of 0.05 batches.
+	batches := a.Spent() / 0.05
+	if math.Abs(batches-math.Round(batches)) > 1e-6 {
+		t.Fatalf("spent %v is not a whole number of batch charges", a.Spent())
+	}
+	if a.ChargeCount()%2 != 0 {
+		t.Fatalf("charge log holds half a batch: %d entries", a.ChargeCount())
+	}
+}
+
+func TestSpentByLabel(t *testing.T) {
+	a := MustNew(10)
+	_ = a.Spend("topk", 1)
+	_ = a.Spend("svt", 0.5)
+	_ = a.SpendBatch([]Charge{{Label: "topk", Epsilon: 0.25}, {Label: "max", Epsilon: 0.75}})
+	got := a.SpentByLabel()
+	want := map[string]float64{"topk": 1.25, "svt": 0.5, "max": 0.75}
+	if len(got) != len(want) {
+		t.Fatalf("SpentByLabel = %v, want %v", got, want)
+	}
+	for label, eps := range want {
+		if math.Abs(got[label]-eps) > 1e-12 {
+			t.Errorf("SpentByLabel[%q] = %v, want %v", label, got[label], eps)
+		}
+	}
+	if len(MustNew(1).SpentByLabel()) != 0 {
+		t.Error("fresh accountant reports a non-empty breakdown")
+	}
+}

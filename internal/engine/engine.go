@@ -1,0 +1,275 @@
+// Package engine is the unified mechanism-execution layer between the
+// library's differentially private mechanisms and everything that serves
+// them. Each servable workload — the raw free-gap mechanisms and the paper's
+// end-to-end select–measure–refine pipelines alike — implements the one
+// Mechanism interface (Name, NewRequest, Validate, Cost, Execute) and is
+// looked up by name in a Registry, so a caller written once against the
+// interface (the HTTP server's generic handler, the CLIs, the batch
+// executor) serves every mechanism, present and future.
+//
+// The contract mirrors the serving layer's budget discipline:
+//
+//   - Validate must reject every malformed request (including constructor
+//     failures of the underlying mechanism) so that a request which cannot
+//     run never charges budget.
+//   - Cost returns the ε the caller must reserve before Execute runs. For
+//     reservation-style mechanisms (the adaptive Sparse Vector variants may
+//     spend less internally) it is the full reservation, keeping concurrent
+//     callers sound.
+//   - Execute performs the mechanism on a caller-supplied noise source and
+//     returns a Response whose billing fields the caller stamps afterwards
+//     via SetBilling.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// MinEpsilon is the smallest per-request ε accepted. Below it the noise
+// scale is astronomically useless anyway, and admitting near-zero charges
+// would let one tenant grow its accountant's audit log without bound.
+const MinEpsilon = 1e-9
+
+// MaxTenantNameLen bounds tenant identifiers so hostile clients cannot grow
+// registry key space without bound per entry.
+const MaxTenantNameLen = 128
+
+// ErrUnknownMechanism is returned by Registry.Get for unregistered names.
+var ErrUnknownMechanism = errors.New("engine: unknown mechanism")
+
+// Limits bounds request sizes at validation time; the serving layer fills it
+// from its configuration. A zero MaxAnswers means unlimited.
+type Limits struct {
+	// MaxAnswers bounds len(answers) per request.
+	MaxAnswers int
+}
+
+// Common holds the request fields shared by every mechanism: who pays, how
+// much, and over which query answers.
+type Common struct {
+	// Tenant identifies whose privacy budget pays for the query.
+	Tenant string `json:"tenant"`
+	// Epsilon is the privacy budget this request spends (or reserves).
+	Epsilon float64 `json:"epsilon"`
+	// Answers are the true query answers (sensitivity 1 each).
+	Answers []float64 `json:"answers"`
+	// Monotonic declares a monotonic (e.g. counting) query list, halving the
+	// required noise scale.
+	Monotonic bool `json:"monotonic,omitempty"`
+}
+
+// Base returns the shared fields; embedding Common gives every concrete
+// request type this method, which is all the Request interface asks for.
+func (c *Common) Base() *Common { return c }
+
+// validate checks the shared fields against the limits.
+func (c *Common) validate(lim Limits) error {
+	if err := ValidTenant(c.Tenant); err != nil {
+		return err
+	}
+	if !(c.Epsilon >= MinEpsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("epsilon %v must be finite and at least %g", c.Epsilon, MinEpsilon)
+	}
+	if len(c.Answers) == 0 {
+		return errors.New("answers must be non-empty")
+	}
+	if lim.MaxAnswers > 0 && len(c.Answers) > lim.MaxAnswers {
+		return fmt.Errorf("%d answers exceeds the server limit of %d", len(c.Answers), lim.MaxAnswers)
+	}
+	for i, a := range c.Answers {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("answers[%d] = %v is not finite", i, a)
+		}
+	}
+	return nil
+}
+
+// ValidTenant reports whether the tenant id is acceptable.
+func ValidTenant(tenant string) error {
+	if tenant == "" {
+		return errors.New("tenant must be non-empty")
+	}
+	if len(tenant) > MaxTenantNameLen {
+		return fmt.Errorf("tenant id longer than %d bytes", MaxTenantNameLen)
+	}
+	return nil
+}
+
+// Request is a mechanism request: any concrete request type embedding Common.
+type Request interface {
+	Base() *Common
+}
+
+// Billing holds the fields every response reports about what the request
+// cost. Concrete response types embed it and the executing layer stamps it
+// after the charge succeeds.
+type Billing struct {
+	Tenant string `json:"tenant"`
+	// EpsilonSpent is the budget charged to the tenant for this request.
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	// BudgetRemaining is the tenant's unspent budget after this request.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// SetBilling fills the billing fields; it satisfies the Response interface
+// for every response type embedding Billing.
+func (b *Billing) SetBilling(tenant string, epsilonSpent, budgetRemaining float64) {
+	b.Tenant = tenant
+	b.EpsilonSpent = epsilonSpent
+	b.BudgetRemaining = budgetRemaining
+}
+
+// Response is a mechanism response: any concrete response type embedding
+// Billing.
+type Response interface {
+	SetBilling(tenant string, epsilonSpent, budgetRemaining float64)
+}
+
+// Mechanism is one servable DP workload. Implementations are stateless —
+// all run state lives in the request — so one registered instance serves
+// arbitrarily many concurrent executions.
+type Mechanism interface {
+	// Name is the stable identifier the mechanism is registered and routed
+	// under (it becomes the POST /v1/<name> endpoint and the accountant's
+	// charge label).
+	Name() string
+	// NewRequest returns a zero request of the mechanism's concrete request
+	// type, for the caller to decode into.
+	NewRequest() Request
+	// Validate rejects malformed requests. A request that fails Validate
+	// must never be charged or executed.
+	Validate(req Request, lim Limits) error
+	// Cost returns the ε to reserve from the paying tenant before Execute.
+	// It is only meaningful for requests that passed Validate.
+	Cost(req Request) float64
+	// Execute runs the mechanism, drawing noise from src. The returned
+	// Response has its billing fields unset; the caller stamps them.
+	Execute(src rng.Source, req Request) (Response, error)
+}
+
+// Registry maps mechanism names to implementations. It is safe for
+// concurrent use; registration normally happens once at startup.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Mechanism
+}
+
+// NewRegistry returns an empty mechanism registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Mechanism)}
+}
+
+// maxMechanismNameLen bounds registered names; they become URL path
+// segments and metric label values.
+const maxMechanismNameLen = 64
+
+// validMechanismName enforces that a name is safe to embed verbatim in an
+// http.ServeMux pattern ("POST /v1/<name>") and a Prometheus label:
+// slash-separated non-empty segments of [a-z0-9._-]. Rejecting everything
+// else at registration keeps the serving layer's route mounting panic-free.
+func validMechanismName(name string) error {
+	if name == "" {
+		return errors.New("engine: mechanism has an empty name")
+	}
+	if len(name) > maxMechanismNameLen {
+		return fmt.Errorf("engine: mechanism name %q longer than %d bytes", name, maxMechanismNameLen)
+	}
+	segStart := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '/' {
+			if i == segStart {
+				return fmt.Errorf("engine: mechanism name %q has an empty path segment", name)
+			}
+			segStart = i + 1
+			continue
+		}
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("engine: mechanism name %q contains %q (allowed: a-z, 0-9, '.', '_', '-', '/')", name, c)
+		}
+	}
+	return nil
+}
+
+// Register adds m under its name, rejecting duplicates and names that are
+// not route- and label-safe (see validMechanismName).
+func (r *Registry) Register(m Mechanism) error {
+	name := m.Name()
+	if err := validMechanismName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("engine: mechanism %q registered twice", name)
+	}
+	r.byName[name] = m
+	return nil
+}
+
+// MustRegister is Register for static setups known to be valid; it panics on
+// error.
+func (r *Registry) MustRegister(m Mechanism) {
+	if err := r.Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the mechanism registered under name.
+func (r *Registry) Get(name string) (Mechanism, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownMechanism, name, r.namesLocked())
+	}
+	return m, nil
+}
+
+// Names returns the registered mechanism names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+// Mechanisms returns the registered mechanisms in name order.
+func (r *Registry) Mechanisms() []Mechanism {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Mechanism, 0, len(r.byName))
+	for _, name := range r.namesLocked() {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+func (r *Registry) namesLocked() []string {
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRegistry returns a registry with every mechanism the library
+// serves: the three raw free-gap mechanisms (topk, max, svt) and the
+// paper's two end-to-end pipelines (pipeline/topk, pipeline/svt).
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.MustRegister(topkMechanism{})
+	r.MustRegister(maxMechanism{})
+	r.MustRegister(svtMechanism{})
+	r.MustRegister(pipelineTopKMechanism{})
+	r.MustRegister(pipelineSVTMechanism{})
+	return r
+}

@@ -1,0 +1,257 @@
+package engine
+
+// The three raw free-gap mechanisms as engine Mechanisms: thin wrappers that
+// map JSON-shaped requests onto internal/core and back. Validation always
+// includes the core constructor so a request the mechanism itself would
+// reject never reaches the charging step.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// errWrongRequestType reports a Request of the wrong concrete type reaching
+// a mechanism — a programming error in the dispatching layer, not a client
+// fault.
+func errWrongRequestType(mech string, req Request) error {
+	return fmt.Errorf("engine: %s mechanism received a %T request", mech, req)
+}
+
+//
+// topk — Noisy-Top-K-with-Gap (Algorithm 1).
+//
+
+// TopKRequest is the body of POST /v1/topk.
+type TopKRequest struct {
+	Common
+	// K is the number of queries to select.
+	K int `json:"k"`
+}
+
+// SelectionJSON is one selected query in a TopKResponse.
+type SelectionJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Gap is the released noisy gap to the next-ranked query.
+	Gap float64 `json:"gap"`
+}
+
+// TopKResponse is the body of a successful POST /v1/topk.
+type TopKResponse struct {
+	Billing
+	// Selections lists the k selected queries in descending noisy order.
+	Selections []SelectionJSON `json:"selections"`
+}
+
+type topkMechanism struct{}
+
+func (topkMechanism) Name() string        { return "topk" }
+func (topkMechanism) NewRequest() Request { return &TopKRequest{} }
+
+func (topkMechanism) Validate(req Request, lim Limits) error {
+	r, ok := req.(*TopKRequest)
+	if !ok {
+		return errWrongRequestType("topk", req)
+	}
+	if err := r.Common.validate(lim); err != nil {
+		return err
+	}
+	if r.K <= 0 || r.K >= len(r.Answers) {
+		return fmt.Errorf("k = %d must satisfy 1 <= k <= len(answers)-1 = %d", r.K, len(r.Answers)-1)
+	}
+	_, err := core.NewTopKWithGap(r.K, r.Epsilon, r.Monotonic)
+	return err
+}
+
+func (topkMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
+
+func (topkMechanism) Execute(src rng.Source, req Request) (Response, error) {
+	r, ok := req.(*TopKRequest)
+	if !ok {
+		return nil, errWrongRequestType("topk", req)
+	}
+	mech, err := core.NewTopKWithGap(r.K, r.Epsilon, r.Monotonic)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mech.Run(src, r.Answers)
+	if err != nil {
+		return nil, err
+	}
+	out := &TopKResponse{Selections: make([]SelectionJSON, len(res.Selections))}
+	for i, sel := range res.Selections {
+		out.Selections[i] = SelectionJSON{Index: sel.Index, Gap: sel.Gap}
+	}
+	return out, nil
+}
+
+//
+// max — Noisy-Max-with-Gap (the k = 1 special case).
+//
+
+// MaxRequest is the body of POST /v1/max.
+type MaxRequest struct {
+	Common
+}
+
+// MaxResponse is the body of a successful POST /v1/max.
+type MaxResponse struct {
+	Billing
+	// Index is the approximately largest query.
+	Index int `json:"index"`
+	// Gap is the noisy gap to the runner-up.
+	Gap float64 `json:"gap"`
+}
+
+type maxMechanism struct{}
+
+func (maxMechanism) Name() string        { return "max" }
+func (maxMechanism) NewRequest() Request { return &MaxRequest{} }
+
+func (maxMechanism) Validate(req Request, lim Limits) error {
+	r, ok := req.(*MaxRequest)
+	if !ok {
+		return errWrongRequestType("max", req)
+	}
+	if err := r.Common.validate(lim); err != nil {
+		return err
+	}
+	if len(r.Answers) < 2 {
+		return errors.New("max needs at least 2 answers")
+	}
+	return nil
+}
+
+func (maxMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
+
+func (maxMechanism) Execute(src rng.Source, req Request) (Response, error) {
+	r, ok := req.(*MaxRequest)
+	if !ok {
+		return nil, errWrongRequestType("max", req)
+	}
+	res, err := core.MaxWithGap(src, r.Answers, r.Epsilon, r.Monotonic)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxResponse{Index: res.Index, Gap: res.Gap}, nil
+}
+
+//
+// svt — (Adaptive-)Sparse-Vector-with-Gap (Algorithm 2).
+//
+
+// SVTRequest is the body of POST /v1/svt.
+type SVTRequest struct {
+	Common
+	// K is the number of above-threshold answers to provision for.
+	K int `json:"k"`
+	// Threshold is the public threshold.
+	Threshold float64 `json:"threshold"`
+	// Adaptive selects Adaptive-Sparse-Vector-with-Gap (Algorithm 2) instead
+	// of plain Sparse-Vector-with-Gap.
+	Adaptive bool `json:"adaptive,omitempty"`
+}
+
+// SVTAnswerJSON is one above-threshold answer in an SVTResponse.
+type SVTAnswerJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Gap is the released noisy gap above the (noisy) threshold.
+	Gap float64 `json:"gap"`
+	// Estimate is gap + threshold, the selection-stage estimate of the answer.
+	Estimate float64 `json:"estimate"`
+	// Branch names the adaptive branch that answered: below, top or middle.
+	Branch string `json:"branch"`
+}
+
+// SVTResponse is the body of a successful POST /v1/svt.
+type SVTResponse struct {
+	Billing
+	// Above lists the above-threshold answers in stream order.
+	Above []SVTAnswerJSON `json:"above"`
+	// AboveCount is len(Above).
+	AboveCount int `json:"above_count"`
+	// QueriesProcessed is how far into the stream the mechanism got before
+	// stopping.
+	QueriesProcessed int `json:"queries_processed"`
+	// MechanismSpent is the budget the mechanism consumed internally (the
+	// adaptive variant may spend less than the reservation).
+	MechanismSpent float64 `json:"mechanism_spent"`
+}
+
+type svtMechanism struct{}
+
+func (svtMechanism) Name() string        { return "svt" }
+func (svtMechanism) NewRequest() Request { return &SVTRequest{} }
+
+func (svtMechanism) Validate(req Request, lim Limits) error {
+	r, ok := req.(*SVTRequest)
+	if !ok {
+		return errWrongRequestType("svt", req)
+	}
+	if err := r.Common.validate(lim); err != nil {
+		return err
+	}
+	if r.K <= 0 {
+		return fmt.Errorf("k = %d must be positive", r.K)
+	}
+	if math.IsNaN(r.Threshold) || math.IsInf(r.Threshold, 0) {
+		return fmt.Errorf("threshold %v must be finite", r.Threshold)
+	}
+	if !r.Adaptive {
+		_, err := core.NewSVTWithGap(r.K, r.Epsilon, r.Threshold, r.Monotonic)
+		return err
+	}
+	_, err := core.NewAdaptiveSVTWithGap(r.K, r.Epsilon, r.Threshold, r.Monotonic)
+	return err
+}
+
+// Cost is the full reservation: the adaptive variant may spend less
+// internally, but the tenant is charged the reservation so concurrent
+// requests stay sound.
+func (svtMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
+
+func (svtMechanism) Execute(src rng.Source, req Request) (Response, error) {
+	r, ok := req.(*SVTRequest)
+	if !ok {
+		return nil, errWrongRequestType("svt", req)
+	}
+	var (
+		res *core.SVTGapResult
+		err error
+	)
+	if r.Adaptive {
+		mech := &core.AdaptiveSVTWithGap{
+			K: r.K, Epsilon: r.Epsilon, Threshold: r.Threshold, Monotonic: r.Monotonic,
+		}
+		res, err = mech.Run(src, r.Answers)
+	} else {
+		var mech *core.SVTWithGap
+		mech, err = core.NewSVTWithGap(r.K, r.Epsilon, r.Threshold, r.Monotonic)
+		if err == nil {
+			res, err = mech.Run(src, r.Answers)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &SVTResponse{
+		Above:            make([]SVTAnswerJSON, 0, res.AboveCount),
+		AboveCount:       res.AboveCount,
+		QueriesProcessed: len(res.Items),
+		MechanismSpent:   res.BudgetSpent,
+	}
+	for _, it := range res.AboveItems() {
+		out.Above = append(out.Above, SVTAnswerJSON{
+			Index:    it.Index,
+			Gap:      it.Gap,
+			Estimate: it.Gap + r.Threshold,
+			Branch:   it.Branch.String(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package engine
+
+// The paper's two end-to-end workflows (Sections 5.2 and 6.2) as engine
+// Mechanisms, making the full select–measure–refine protocols servable. The
+// executing layer reserves the whole pipeline budget up front (Cost), and
+// the pipeline itself runs with a nil accountant — the reservation already
+// happened one layer up, where concurrent tenants are arbitrated.
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/pipeline"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// validateFraction rejects select fractions outside [0, 1); zero means "use
+// the paper's default split".
+func validateFraction(name string, f float64) error {
+	if f == 0 {
+		return nil
+	}
+	if math.IsNaN(f) || f <= 0 || f >= 1 {
+		return fmt.Errorf("%s = %v must be in (0, 1), or 0 for the default", name, f)
+	}
+	return nil
+}
+
+//
+// pipeline/topk — the Section 5.2 select-then-measure-then-refine protocol.
+//
+
+// PipelineTopKRequest is the body of POST /v1/pipeline/topk.
+type PipelineTopKRequest struct {
+	Common
+	// K is the number of queries to select and measure.
+	K int `json:"k"`
+	// SelectFraction is the share of epsilon spent on selection (0 = the
+	// paper's 0.5 split).
+	SelectFraction float64 `json:"select_fraction,omitempty"`
+}
+
+// PipelineTopKEstimateJSON is one refined estimate in a
+// PipelineTopKResponse.
+type PipelineTopKEstimateJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Measured is the raw Laplace measurement of the query.
+	Measured float64 `json:"measured"`
+	// Refined is the BLUE estimate that also uses the gap information.
+	Refined float64 `json:"refined"`
+	// Gap is the released gap between this query and the next-ranked one.
+	Gap float64 `json:"gap"`
+}
+
+// PipelineTopKResponse is the body of a successful POST /v1/pipeline/topk.
+type PipelineTopKResponse struct {
+	Billing
+	// Estimates lists the k selected queries with raw and gap-refined
+	// estimates, in descending noisy order.
+	Estimates []PipelineTopKEstimateJSON `json:"estimates"`
+	// MeasurementVariance is the per-query variance of the raw measurements.
+	MeasurementVariance float64 `json:"measurement_variance"`
+	// TheoreticalErrorRatio is the Corollary 1 ratio achieved by the refined
+	// estimates relative to the raw measurements.
+	TheoreticalErrorRatio float64 `json:"theoretical_error_ratio"`
+}
+
+type pipelineTopKMechanism struct{}
+
+func (pipelineTopKMechanism) Name() string        { return "pipeline/topk" }
+func (pipelineTopKMechanism) NewRequest() Request { return &PipelineTopKRequest{} }
+
+func (pipelineTopKMechanism) Validate(req Request, lim Limits) error {
+	r, ok := req.(*PipelineTopKRequest)
+	if !ok {
+		return errWrongRequestType("pipeline/topk", req)
+	}
+	if err := r.Common.validate(lim); err != nil {
+		return err
+	}
+	if r.K <= 0 || r.K >= len(r.Answers) {
+		return fmt.Errorf("k = %d must satisfy 1 <= k <= len(answers)-1 = %d", r.K, len(r.Answers)-1)
+	}
+	return validateFraction("select_fraction", r.SelectFraction)
+}
+
+func (pipelineTopKMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
+
+func (pipelineTopKMechanism) Execute(src rng.Source, req Request) (Response, error) {
+	r, ok := req.(*PipelineTopKRequest)
+	if !ok {
+		return nil, errWrongRequestType("pipeline/topk", req)
+	}
+	res, err := pipeline.RunTopK(src, r.Answers, pipeline.TopKConfig{
+		K:              r.K,
+		Epsilon:        r.Epsilon,
+		SelectFraction: r.SelectFraction,
+		Monotonic:      r.Monotonic,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &PipelineTopKResponse{
+		Estimates:             make([]PipelineTopKEstimateJSON, len(res.Estimates)),
+		MeasurementVariance:   res.MeasurementVariance,
+		TheoreticalErrorRatio: res.TheoreticalErrorRatio,
+	}
+	for i, est := range res.Estimates {
+		out.Estimates[i] = PipelineTopKEstimateJSON{
+			Index:    est.Index,
+			Measured: est.Measured,
+			Refined:  est.Refined,
+			Gap:      est.Gap,
+		}
+	}
+	return out, nil
+}
+
+//
+// pipeline/svt — the Section 6.2 threshold protocol.
+//
+
+// PipelineSVTRequest is the body of POST /v1/pipeline/svt.
+type PipelineSVTRequest struct {
+	Common
+	// K is the number of above-threshold answers to provision for.
+	K int `json:"k"`
+	// Threshold is the public threshold.
+	Threshold float64 `json:"threshold"`
+	// SelectFraction is the share of epsilon spent on the Sparse Vector
+	// stage (0 = the paper's 0.5 split).
+	SelectFraction float64 `json:"select_fraction,omitempty"`
+	// Adaptive selects Adaptive-Sparse-Vector-with-Gap instead of plain
+	// Sparse-Vector-with-Gap for the selection stage.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Confidence is the level of the Lemma 5 lower bound attached to each
+	// estimate (0 = the default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// PipelineSVTEstimateJSON is one refined above-threshold estimate in a
+// PipelineSVTResponse.
+type PipelineSVTEstimateJSON struct {
+	// Index is the query's position in the request's answers.
+	Index int `json:"index"`
+	// Branch names the adaptive branch that answered: below, top or middle.
+	Branch string `json:"branch"`
+	// GapEstimate is gap + threshold, the selection-stage estimate.
+	GapEstimate float64 `json:"gap_estimate"`
+	// Measured is the raw Laplace measurement.
+	Measured float64 `json:"measured"`
+	// Combined is the inverse-variance combination of the two.
+	Combined float64 `json:"combined"`
+	// CombinedVariance is the variance of the combined estimate.
+	CombinedVariance float64 `json:"combined_variance"`
+	// LowerBound is the Lemma 5 lower confidence bound on the true answer
+	// derived from the selection stage alone.
+	LowerBound float64 `json:"lower_bound"`
+}
+
+// PipelineSVTResponse is the body of a successful POST /v1/pipeline/svt.
+type PipelineSVTResponse struct {
+	Billing
+	// Estimates lists the refined above-threshold answers in stream order.
+	Estimates []PipelineSVTEstimateJSON `json:"estimates"`
+	// AboveCount is the number of above-threshold answers the selection
+	// stage produced.
+	AboveCount int `json:"above_count"`
+	// MechanismSpent is the budget the pipeline consumed internally (the
+	// adaptive selection stage may spend less than the reservation).
+	MechanismSpent float64 `json:"mechanism_spent"`
+	// SelectionRemaining is the budget the adaptive selection stage left
+	// unspent (zero for the non-adaptive variant).
+	SelectionRemaining float64 `json:"selection_remaining"`
+}
+
+type pipelineSVTMechanism struct{}
+
+func (pipelineSVTMechanism) Name() string        { return "pipeline/svt" }
+func (pipelineSVTMechanism) NewRequest() Request { return &PipelineSVTRequest{} }
+
+func (pipelineSVTMechanism) Validate(req Request, lim Limits) error {
+	r, ok := req.(*PipelineSVTRequest)
+	if !ok {
+		return errWrongRequestType("pipeline/svt", req)
+	}
+	if err := r.Common.validate(lim); err != nil {
+		return err
+	}
+	if r.K <= 0 {
+		return fmt.Errorf("k = %d must be positive", r.K)
+	}
+	if math.IsNaN(r.Threshold) || math.IsInf(r.Threshold, 0) {
+		return fmt.Errorf("threshold %v must be finite", r.Threshold)
+	}
+	if err := validateFraction("select_fraction", r.SelectFraction); err != nil {
+		return err
+	}
+	if r.Confidence != 0 && (math.IsNaN(r.Confidence) || r.Confidence <= 0 || r.Confidence >= 1) {
+		return fmt.Errorf("confidence = %v must be in (0, 1), or 0 for the default", r.Confidence)
+	}
+	return nil
+}
+
+// Cost is the full reservation; the adaptive selection stage may spend less
+// internally, but the tenant is charged the reservation so concurrent
+// requests stay sound.
+func (pipelineSVTMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
+
+func (pipelineSVTMechanism) Execute(src rng.Source, req Request) (Response, error) {
+	r, ok := req.(*PipelineSVTRequest)
+	if !ok {
+		return nil, errWrongRequestType("pipeline/svt", req)
+	}
+	res, err := pipeline.RunSVT(src, r.Answers, pipeline.SVTConfig{
+		K:              r.K,
+		Epsilon:        r.Epsilon,
+		Threshold:      r.Threshold,
+		SelectFraction: r.SelectFraction,
+		Adaptive:       r.Adaptive,
+		Monotonic:      r.Monotonic,
+		Confidence:     r.Confidence,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &PipelineSVTResponse{
+		Estimates:          make([]PipelineSVTEstimateJSON, len(res.Estimates)),
+		AboveCount:         res.AboveCount,
+		MechanismSpent:     res.EpsilonSpent,
+		SelectionRemaining: res.SelectionRemaining,
+	}
+	for i, est := range res.Estimates {
+		out.Estimates[i] = PipelineSVTEstimateJSON{
+			Index:            est.Index,
+			Branch:           est.Branch.String(),
+			GapEstimate:      est.GapEstimate,
+			Measured:         est.Measured,
+			Combined:         est.Combined,
+			CombinedVariance: est.CombinedVariance,
+			LowerBound:       est.LowerBound,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package server
+
+// POST /v1/batch: up to MaxBatch mechanism requests in one round trip,
+// paid for with a single atomic multi-charge against the batch tenant's
+// accountant. The charge is all-or-nothing — every item's cost is reserved
+// in one accountant transaction or the whole batch is refused with a 402 —
+// so a batch can never overspend what the same requests issued serially
+// could, no matter how many batches race for the budget concurrently.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/freegap/freegap/internal/accountant"
+	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// mechBatch is the metrics label for the batch endpoint.
+const mechBatch = "batch"
+
+// batchItem is one decoded, validated batch entry awaiting execution.
+type batchItem struct {
+	mech engine.Mechanism
+	req  engine.Request
+	cost float64
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.hot.inFlight.Inc()
+	defer s.hot.inFlight.Dec()
+	s.finishRequest(mechBatch, s.serveBatch(w, r))
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
+	var req BatchRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	if err := engine.ValidTenant(req.Tenant); err != nil {
+		return badRequest(w, err)
+	}
+	if len(req.Requests) == 0 {
+		return badRequest(w, errors.New("batch holds no requests"))
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		return badRequest(w, fmt.Errorf("batch of %d requests exceeds the server limit of %d", len(req.Requests), s.cfg.MaxBatch))
+	}
+
+	// Stage 1: decode and validate every item. Any failure rejects the whole
+	// batch before a single ε is reserved, keeping the charge all-or-nothing
+	// across validation too.
+	items := make([]batchItem, len(req.Requests))
+	charges := make([]accountant.Charge, len(req.Requests))
+	lim := s.limits()
+	for i, entry := range req.Requests {
+		// The construction-time snapshot, not the live registry: a batch may
+		// name exactly the mechanisms that have endpoints mounted.
+		mech, ok := s.mechByName[entry.Mechanism]
+		if !ok {
+			return badRequest(w, fmt.Errorf("requests[%d]: unknown mechanism %q (valid: %v)", i, entry.Mechanism, s.mechNames))
+		}
+		if len(entry.Request) == 0 {
+			return badRequest(w, fmt.Errorf("requests[%d]: missing request body", i))
+		}
+		mreq := mech.NewRequest()
+		if err := decodeStrictJSON(entry.Request, mreq); err != nil {
+			return badRequest(w, fmt.Errorf("requests[%d]: %v", i, err))
+		}
+		// The batch tenant pays for every item; an item naming a different
+		// tenant is almost certainly a client bug, so reject it loudly
+		// rather than silently re-billing.
+		base := mreq.Base()
+		switch base.Tenant {
+		case "", req.Tenant:
+			base.Tenant = req.Tenant
+		default:
+			return badRequest(w, fmt.Errorf("requests[%d]: tenant %q does not match the batch tenant %q", i, base.Tenant, req.Tenant))
+		}
+		if err := mech.Validate(mreq, lim); err != nil {
+			return badRequest(w, fmt.Errorf("requests[%d]: %v", i, err))
+		}
+		cost := mech.Cost(mreq)
+		items[i] = batchItem{mech: mech, req: mreq, cost: cost}
+		charges[i] = accountant.Charge{Label: mech.Name(), Epsilon: cost}
+	}
+
+	// Stage 2: one atomic multi-charge. Charging under the mechanism labels
+	// (not "batch") keeps the tenant's per-mechanism ledger breakdown exact.
+	remaining, err := s.reg.ChargeBatch(req.Tenant, charges)
+	if code, ok := s.classifyChargeError(w, req.Tenant, remaining, err); !ok {
+		return code
+	}
+
+	// Stage 3: execute the admitted items concurrently across the worker
+	// pool. Execution failures are per-item — the batch's reservation stays
+	// spent, exactly as a serial request's would.
+	results := make([]BatchItemResult, len(items))
+	var total float64
+	var wg sync.WaitGroup
+	for i := range items {
+		it := &items[i]
+		total += it.cost
+		results[i].Mechanism = it.mech.Name()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				resp   engine.Response
+				runErr error
+			)
+			if err := s.pool.do(r.Context(), func(src rng.Source) {
+				resp, runErr = it.mech.Execute(src, it.req)
+			}); err != nil {
+				results[i].Error = batchExecError(err)
+				return
+			}
+			if runErr != nil {
+				results[i].Error = &ErrorBody{Code: CodeInternal, Message: runErr.Error()}
+				return
+			}
+			resp.SetBilling(req.Tenant, it.cost, remaining)
+			results[i].Response = resp
+		}()
+	}
+	wg.Wait()
+
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Tenant:          req.Tenant,
+		Results:         results,
+		EpsilonSpent:    total,
+		BudgetRemaining: remaining,
+	})
+	return "ok"
+}
+
+// batchExecError maps a pool submission failure to a per-item error body.
+func batchExecError(err error) *ErrorBody {
+	switch {
+	case errors.Is(err, errPoolClosed):
+		return &ErrorBody{Code: CodeUnavailable, Message: "server is shutting down"}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return &ErrorBody{Code: CodeCancelled, Message: err.Error()}
+	default:
+		return &ErrorBody{Code: CodeInternal, Message: err.Error()}
+	}
+}
+
+// decodeStrictJSON parses raw into dst with the same strictness as the HTTP
+// body decoder: unknown fields and trailing values are errors.
+func decodeStrictJSON(raw json.RawMessage, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %v", err)
+	}
+	if dec.More() {
+		return errors.New("request holds more than one JSON value")
+	}
+	return nil
+}

@@ -35,9 +35,7 @@ func mustServer(b *testing.B, cfg Config) *Server {
 
 func BenchmarkServerTopK(b *testing.B) {
 	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
-	body, err := json.Marshal(TopKRequest{
-		Tenant: "bench", K: 10, Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true,
-	})
+	body, err := json.Marshal(TopKRequest{Common: Common{Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true}, K: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -57,10 +55,7 @@ func BenchmarkServerTopK(b *testing.B) {
 
 func BenchmarkServerSVTParallel(b *testing.B) {
 	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1})
-	body, err := json.Marshal(SVTRequest{
-		Tenant: "bench", K: 5, Epsilon: 0.1, Threshold: 1500,
-		Answers: benchAnswers(1024), Monotonic: true, Adaptive: true,
-	})
+	body, err := json.Marshal(SVTRequest{Common: Common{Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true}, K: 5, Threshold: 1500, Adaptive: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -82,9 +77,7 @@ func BenchmarkServerSVTParallel(b *testing.B) {
 
 func BenchmarkServerMax(b *testing.B) {
 	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
-	body, err := json.Marshal(MaxRequest{
-		Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true,
-	})
+	body, err := json.Marshal(MaxRequest{Common: Common{Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,4 +93,64 @@ func BenchmarkServerMax(b *testing.B) {
 			b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
 		}
 	}
+}
+
+// BenchmarkServerBatch compares N requests issued as N serial round trips
+// against the same N requests in one POST /v1/batch: the batch pays one
+// decode/charge/encode plus a single accountant transaction instead of N.
+func BenchmarkServerBatch(b *testing.B) {
+	const n = 16
+	answers := benchAnswers(1024)
+
+	serialBody, err := json.Marshal(MaxRequest{
+		Common: Common{Tenant: "bench", Epsilon: 0.1, Answers: answers, Monotonic: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := BatchRequest{Tenant: "bench"}
+	itemBody, err := json.Marshal(MaxRequest{
+		Common: Common{Epsilon: 0.1, Answers: answers, Monotonic: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		batch.Requests = append(batch.Requests, BatchItem{Mechanism: "max", Request: itemBody})
+	}
+	batchBody, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(b *testing.B, h http.Handler, path string, body []byte) {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				post(b, h, "/v1/max", serialBody)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1, MaxBatch: n})
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, "/v1/batch", batchBody)
+		}
+	})
 }

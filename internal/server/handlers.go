@@ -5,21 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/freegap/freegap/internal/accountant"
-	"github.com/freegap/freegap/internal/core"
-	"github.com/freegap/freegap/internal/metrics"
+	"github.com/freegap/freegap/internal/engine"
 	"github.com/freegap/freegap/internal/rng"
-)
-
-// mechanism names accepted by POST /v1/{mechanism}.
-const (
-	mechTopK = "topk"
-	mechSVT  = "svt"
-	mechMax  = "max"
+	"github.com/freegap/freegap/internal/telemetry"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -27,13 +20,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		Tenants:       s.reg.Len(),
 		Workers:       s.cfg.Workers,
+		Mechanisms:    s.mechNames,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.metrics.WritePrometheus(w)
+	_ = s.telemetry.WritePrometheus(w)
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
@@ -53,43 +47,91 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		Remaining:         acct.Remaining(),
 		RemainingFraction: acct.RemainingFraction(),
 		Charges:           acct.ChargeCount(),
+		SpentByMechanism:  acct.SpentByLabel(),
 	})
 }
 
-// handleMechanism dispatches POST /v1/{mechanism} to the mechanism handlers,
-// wrapping them with the in-flight gauge and per-outcome request counters.
-func (s *Server) handleMechanism(w http.ResponseWriter, r *http.Request) {
-	mech := r.PathValue("mechanism")
-	switch mech {
-	case mechTopK, mechSVT, mechMax:
-	default:
-		// The label is pinned to "unknown" rather than the request path:
-		// attacker-chosen label values would grow the metric registry (and
-		// every /metrics scrape) without bound.
-		s.countRequest("unknown", CodeUnknownMechanism)
-		writeError(w, http.StatusNotFound, ErrorBody{
-			Code:    CodeUnknownMechanism,
-			Message: fmt.Sprintf("unknown mechanism %q (valid: topk, svt, max)", mech),
-		})
-		return
+// handleMechanism serves POST /v1/<name> for one registered mechanism. It is
+// the whole serving pipeline, written once for every mechanism the engine
+// knows — decode → validate → charge → pool-execute → encode — wrapped with
+// the in-flight gauge and per-outcome request counters.
+func (s *Server) handleMechanism(mech engine.Mechanism) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.hot.inFlight.Inc()
+		defer s.hot.inFlight.Dec()
+		s.finishRequest(mech.Name(), s.serveMechanism(w, r, mech))
+	}
+}
+
+// serveMechanism runs the generic pipeline and returns the outcome code for
+// the request counters.
+func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech engine.Mechanism) string {
+	req := mech.NewRequest()
+	if code, ok := s.decode(w, r, req); !ok {
+		return code
+	}
+	if err := mech.Validate(req, s.limits()); err != nil {
+		return badRequest(w, err)
 	}
 
-	s.hot.inFlight.Inc()
-	defer s.hot.inFlight.Dec()
-
-	var outcome string
-	switch mech {
-	case mechTopK:
-		outcome = s.serveTopK(w, r)
-	case mechSVT:
-		outcome = s.serveSVT(w, r)
-	case mechMax:
-		outcome = s.serveMax(w, r)
+	// Reserving the cost up front (rather than settling afterwards) is what
+	// keeps concurrent requests from jointly overspending: the accountant
+	// admits or rejects each reservation atomically. Validate ran first, so
+	// a request the mechanism would reject never burns budget.
+	tenant := req.Base().Tenant
+	cost := mech.Cost(req)
+	remaining, code, ok := s.charge(w, tenant, mech.Name(), cost)
+	if !ok {
+		return code
 	}
+
+	var (
+		resp   engine.Response
+		runErr error
+	)
+	if err := s.pool.do(r.Context(), func(src rng.Source) {
+		resp, runErr = mech.Execute(src, req)
+	}); err != nil {
+		return poolError(w, err)
+	}
+	if runErr != nil {
+		return internalError(w, runErr)
+	}
+
+	resp.SetBilling(tenant, cost, remaining)
+	writeJSON(w, http.StatusOK, resp)
+	return "ok"
+}
+
+// handleUnknownMechanism serves every POST under /v1/ that no mechanism or
+// fixed endpoint claimed, however many path segments it has.
+func (s *Server) handleUnknownMechanism(w http.ResponseWriter, r *http.Request) {
+	// The label is pinned to "unknown" rather than the request path:
+	// attacker-chosen label values would grow the metric registry (and
+	// every /metrics scrape) without bound.
+	s.countRequest("unknown", CodeUnknownMechanism)
+	// Report the full registry-style name ("pipeline/median", not "median"),
+	// since that is what the client must fix.
+	name := strings.TrimPrefix(r.URL.Path, "/v1/")
+	writeError(w, http.StatusNotFound, ErrorBody{
+		Code:    CodeUnknownMechanism,
+		Message: fmt.Sprintf("unknown mechanism %q (valid: %v, batch)", name, s.mechNames),
+	})
+}
+
+// limits returns the engine validation limits from the server configuration.
+func (s *Server) limits() engine.Limits {
+	return engine.Limits{MaxAnswers: s.cfg.MaxAnswers}
+}
+
+// finishRequest records the outcome counters shared by every endpoint.
+func (s *Server) finishRequest(mech, outcome string) {
 	s.countRequest(mech, outcome)
 	if outcome == CodeBudgetExhausted {
 		if c, ok := s.hot.exhausted[mech]; ok {
 			c.Inc()
+		} else {
+			s.telemetry.Counter("freegap_budget_exhausted_total", telemetry.L("mechanism", mech)).Inc()
 		}
 	}
 }
@@ -104,167 +146,8 @@ func (s *Server) countRequest(mech, code string) {
 			return
 		}
 	}
-	s.metrics.Counter("freegap_requests_total",
-		metrics.L("mechanism", mech), metrics.L("code", code)).Inc()
-}
-
-// serveTopK handles POST /v1/topk and returns the outcome code for metrics.
-func (s *Server) serveTopK(w http.ResponseWriter, r *http.Request) string {
-	var req TopKRequest
-	if code, ok := s.decode(w, r, &req); !ok {
-		return code
-	}
-	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
-		return badRequest(w, err)
-	}
-	if req.K <= 0 || req.K >= len(req.Answers) {
-		return badRequest(w, fmt.Errorf("k = %d must satisfy 1 <= k <= len(answers)-1 = %d", req.K, len(req.Answers)-1))
-	}
-	mech, err := core.NewTopKWithGap(req.K, req.Epsilon, req.Monotonic)
-	if err != nil {
-		return badRequest(w, err)
-	}
-
-	remaining, code, ok := s.charge(w, req.Tenant, mechTopK, req.Epsilon)
-	if !ok {
-		return code
-	}
-
-	var (
-		res    *core.TopKResult
-		runErr error
-	)
-	if err := s.pool.do(r.Context(), func(src rng.Source) {
-		res, runErr = mech.Run(src, req.Answers)
-	}); err != nil {
-		return poolError(w, err)
-	}
-	if runErr != nil {
-		return internalError(w, runErr)
-	}
-
-	out := TopKResponse{
-		Tenant:          req.Tenant,
-		Selections:      make([]SelectionJSON, len(res.Selections)),
-		EpsilonSpent:    req.Epsilon,
-		BudgetRemaining: remaining,
-	}
-	for i, sel := range res.Selections {
-		out.Selections[i] = SelectionJSON{Index: sel.Index, Gap: sel.Gap}
-	}
-	writeJSON(w, http.StatusOK, out)
-	return "ok"
-}
-
-// serveMax handles POST /v1/max.
-func (s *Server) serveMax(w http.ResponseWriter, r *http.Request) string {
-	var req MaxRequest
-	if code, ok := s.decode(w, r, &req); !ok {
-		return code
-	}
-	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
-		return badRequest(w, err)
-	}
-	if len(req.Answers) < 2 {
-		return badRequest(w, errors.New("max needs at least 2 answers"))
-	}
-
-	remaining, code, ok := s.charge(w, req.Tenant, mechMax, req.Epsilon)
-	if !ok {
-		return code
-	}
-
-	var (
-		res    *core.MaxWithGapResult
-		runErr error
-	)
-	if err := s.pool.do(r.Context(), func(src rng.Source) {
-		res, runErr = core.MaxWithGap(src, req.Answers, req.Epsilon, req.Monotonic)
-	}); err != nil {
-		return poolError(w, err)
-	}
-	if runErr != nil {
-		return internalError(w, runErr)
-	}
-
-	writeJSON(w, http.StatusOK, MaxResponse{
-		Tenant:          req.Tenant,
-		Index:           res.Index,
-		Gap:             res.Gap,
-		EpsilonSpent:    req.Epsilon,
-		BudgetRemaining: remaining,
-	})
-	return "ok"
-}
-
-// serveSVT handles POST /v1/svt.
-func (s *Server) serveSVT(w http.ResponseWriter, r *http.Request) string {
-	var req SVTRequest
-	if code, ok := s.decode(w, r, &req); !ok {
-		return code
-	}
-	if err := s.validateCommon(req.Tenant, req.Epsilon, req.Answers); err != nil {
-		return badRequest(w, err)
-	}
-	if req.K <= 0 {
-		return badRequest(w, fmt.Errorf("k = %d must be positive", req.K))
-	}
-	if math.IsNaN(req.Threshold) || math.IsInf(req.Threshold, 0) {
-		return badRequest(w, fmt.Errorf("threshold %v must be finite", req.Threshold))
-	}
-	// Both mechanisms are constructed before the charge (mirroring serveTopK)
-	// so a constructor rejection can never burn budget.
-	run := func(src rng.Source) (*core.SVTGapResult, error) {
-		mech := &core.AdaptiveSVTWithGap{
-			K: req.K, Epsilon: req.Epsilon, Threshold: req.Threshold, Monotonic: req.Monotonic,
-		}
-		return mech.Run(src, req.Answers)
-	}
-	if !req.Adaptive {
-		mech, err := core.NewSVTWithGap(req.K, req.Epsilon, req.Threshold, req.Monotonic)
-		if err != nil {
-			return badRequest(w, err)
-		}
-		run = func(src rng.Source) (*core.SVTGapResult, error) { return mech.Run(src, req.Answers) }
-	}
-
-	remaining, code, ok := s.charge(w, req.Tenant, mechSVT, req.Epsilon)
-	if !ok {
-		return code
-	}
-
-	var (
-		res    *core.SVTGapResult
-		runErr error
-	)
-	if err := s.pool.do(r.Context(), func(src rng.Source) {
-		res, runErr = run(src)
-	}); err != nil {
-		return poolError(w, err)
-	}
-	if runErr != nil {
-		return internalError(w, runErr)
-	}
-
-	out := SVTResponse{
-		Tenant:           req.Tenant,
-		Above:            make([]SVTAnswerJSON, 0, res.AboveCount),
-		AboveCount:       res.AboveCount,
-		QueriesProcessed: len(res.Items),
-		MechanismSpent:   res.BudgetSpent,
-		EpsilonSpent:     req.Epsilon,
-		BudgetRemaining:  remaining,
-	}
-	for _, it := range res.AboveItems() {
-		out.Above = append(out.Above, SVTAnswerJSON{
-			Index:    it.Index,
-			Gap:      it.Gap,
-			Estimate: it.Gap + req.Threshold,
-			Branch:   it.Branch.String(),
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-	return "ok"
+	s.telemetry.Counter("freegap_requests_total",
+		telemetry.L("mechanism", mech), telemetry.L("code", code)).Inc()
 }
 
 // decode reads and strictly parses the JSON request body into dst. On failure
@@ -290,50 +173,33 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) (string
 	return "", true
 }
 
-// validateCommon checks the fields shared by every mechanism request.
-func (s *Server) validateCommon(tenant string, epsilon float64, answers []float64) error {
-	if err := validTenant(tenant); err != nil {
-		return err
-	}
-	if !(epsilon >= MinEpsilon) || math.IsInf(epsilon, 0) {
-		return fmt.Errorf("epsilon %v must be finite and at least %g", epsilon, MinEpsilon)
-	}
-	if len(answers) == 0 {
-		return errors.New("answers must be non-empty")
-	}
-	if len(answers) > s.cfg.MaxAnswers {
-		return fmt.Errorf("%d answers exceeds the server limit of %d", len(answers), s.cfg.MaxAnswers)
-	}
-	for i, a := range answers {
-		if math.IsNaN(a) || math.IsInf(a, 0) {
-			return fmt.Errorf("answers[%d] = %v is not finite", i, a)
-		}
-	}
-	return nil
-}
-
 // charge reserves eps from the tenant's budget before the mechanism runs.
-// Reserving up front (rather than settling afterwards) is what keeps
-// concurrent requests from jointly overspending: the accountant admits or
-// rejects each reservation atomically. On failure it writes the error
-// response and returns ok = false with the outcome code.
+// On failure it writes the error response and returns ok = false with the
+// outcome code.
 func (s *Server) charge(w http.ResponseWriter, tenant, mech string, eps float64) (remaining float64, outcome string, ok bool) {
 	remaining, err := s.reg.Charge(tenant, mech, eps)
+	outcome, ok = s.classifyChargeError(w, tenant, remaining, err)
+	return remaining, outcome, ok
+}
+
+// classifyChargeError writes the error response for a failed charge (single
+// or batch) and returns its outcome code; a nil error yields ok = true.
+func (s *Server) classifyChargeError(w http.ResponseWriter, tenant string, remaining float64, err error) (outcome string, ok bool) {
 	switch {
 	case err == nil:
-		return remaining, "", true
+		return "", true
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		writeError(w, http.StatusPaymentRequired, ErrorBody{
 			Code:      CodeBudgetExhausted,
 			Message:   fmt.Sprintf("tenant %q: %v", tenant, err),
 			Remaining: &remaining,
 		})
-		return remaining, CodeBudgetExhausted, false
+		return CodeBudgetExhausted, false
 	case errors.Is(err, ErrTenantLimit):
 		writeError(w, http.StatusTooManyRequests, ErrorBody{Code: CodeTenantLimit, Message: err.Error()})
-		return 0, CodeTenantLimit, false
+		return CodeTenantLimit, false
 	default:
-		return 0, badRequest(w, err), false
+		return badRequest(w, err), false
 	}
 }
 

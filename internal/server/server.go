@@ -1,24 +1,34 @@
 // Package server is the multi-tenant DP query service over the library's
 // free-gap mechanisms: a long-lived HTTP/JSON facade that lets many
-// concurrent clients run Noisy-Top-K-with-Gap, Noisy-Max-with-Gap and the
-// Sparse-Vector-with-Gap variants against per-tenant privacy budgets.
+// concurrent clients run the engine's mechanisms — Noisy-Top-K-with-Gap,
+// Noisy-Max-with-Gap, the Sparse-Vector-with-Gap variants and the paper's
+// end-to-end select–measure–refine pipelines — against per-tenant privacy
+// budgets.
 //
 // Endpoints:
 //
 //	POST /v1/topk                  Noisy-Top-K-with-Gap selection
 //	POST /v1/max                   Noisy-Max-with-Gap (k = 1 special case)
 //	POST /v1/svt                   (Adaptive-)Sparse-Vector-with-Gap
-//	GET  /v1/tenants/{id}/budget   a tenant's budget ledger
+//	POST /v1/pipeline/topk         Section 5.2 select–measure–refine pipeline
+//	POST /v1/pipeline/svt          Section 6.2 threshold pipeline
+//	POST /v1/batch                 up to MaxBatch requests, atomically charged
+//	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
 //
+// The mechanism endpoints are not hand-written: the server walks the engine
+// registry and mounts one generic handler (decode → validate → charge →
+// pool-execute → encode) per registered mechanism, so registering a new
+// engine.Mechanism is all it takes to serve a new workload.
+//
 // Each tenant is provisioned a fresh accountant with the configured initial ε
 // budget on first use; every request charges it atomically before the
-// mechanism runs, and an exhausted budget yields a structured 402 response
-// with code "budget_exhausted". Mechanism executions run on a bounded worker
-// pool whose workers each own a private deterministic noise source, keeping
-// the hot path allocation-free and, with Workers = 1 and a fixed Seed, fully
-// reproducible.
+// mechanism runs — batches with a single all-or-nothing multi-charge — and an
+// exhausted budget yields a structured 402 response with code
+// "budget_exhausted". Mechanism executions run on a bounded worker pool whose
+// workers each own a private deterministic noise source, keeping the hot path
+// allocation-free and, with Workers = 1 and a fixed Seed, fully reproducible.
 package server
 
 import (
@@ -32,7 +42,8 @@ import (
 	"runtime"
 	"time"
 
-	"github.com/freegap/freegap/internal/metrics"
+	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/telemetry"
 )
 
 // Defaults applied by Config.withDefaults.
@@ -45,10 +56,11 @@ const (
 	DefaultMaxBodyBytes = 32 << 20
 	// DefaultMaxTenants bounds the number of auto-provisioned tenants.
 	DefaultMaxTenants = 100_000
-	// MinEpsilon is the smallest per-request ε accepted. Below it the noise
-	// scale is astronomically useless anyway, and admitting near-zero charges
-	// would let one tenant grow its accountant's audit log without bound.
-	MinEpsilon = 1e-9
+	// DefaultMaxBatch bounds the number of requests per POST /v1/batch.
+	DefaultMaxBatch = 64
+	// MinEpsilon is the smallest per-request ε accepted (see
+	// engine.MinEpsilon).
+	MinEpsilon = engine.MinEpsilon
 )
 
 // Config configures a Server.
@@ -74,7 +86,22 @@ type Config struct {
 	// DefaultMaxTenants); beyond it, requests from new tenants are rejected
 	// so unauthenticated traffic cannot grow the registry without bound.
 	MaxTenants int
+	// MaxBatch bounds the number of requests per POST /v1/batch (default
+	// DefaultMaxBatch).
+	MaxBatch int
+	// Mechanisms is the engine registry to serve (default
+	// engine.DefaultRegistry()). Callers embedding the server can register
+	// their own engine.Mechanism implementations and have them served and
+	// metered like the built-ins. Register everything before calling New:
+	// routes and hot-path counters are mounted once at construction, so
+	// later registrations are not served.
+	Mechanisms *engine.Registry
 }
+
+// reservedMechanismNames are engine names New rejects: "batch" and "tenants"
+// because their /v1/<name> routes are taken by fixed endpoints, and "unknown"
+// because it is the pinned metric label for unknown-mechanism 404s.
+var reservedMechanismNames = map[string]bool{"batch": true, "tenants": true, "unknown": true}
 
 func (c Config) withDefaults() (Config, error) {
 	if c.TenantBudget == 0 {
@@ -107,6 +134,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxTenants < 0 {
 		return c, fmt.Errorf("server: max tenants %d must be positive", c.MaxTenants)
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBatch < 0 {
+		return c, fmt.Errorf("server: max batch %d must be positive", c.MaxBatch)
+	}
+	if c.Mechanisms == nil {
+		c.Mechanisms = engine.DefaultRegistry()
+	}
 	if c.Seed == 0 {
 		var b [8]byte
 		if _, err := cryptorand.Read(b[:]); err != nil {
@@ -122,42 +158,50 @@ func (c Config) withDefaults() (Config, error) {
 
 // Server is the multi-tenant DP query service.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	pool    *workerPool
-	mux     *http.ServeMux
-	metrics *metrics.CounterSet
-	hot     hotCounters
-	httpSrv *http.Server
-	started time.Time
+	cfg    Config
+	engine *engine.Registry
+	// mechNames and mechByName are the construction-time snapshot of the
+	// engine registry: the mechanisms that actually have routes mounted.
+	// healthz, the unknown-mechanism error and the batch executor all use
+	// the snapshot, not the live registry, so every surface serves exactly
+	// the same mechanism set and never advertises one that would 404.
+	mechNames  []string
+	mechByName map[string]engine.Mechanism
+	reg        *Registry
+	pool       *workerPool
+	mux        *http.ServeMux
+	telemetry  *telemetry.CounterSet
+	hot        hotCounters
+	httpSrv    *http.Server
+	started    time.Time
 }
 
 // hotCounters holds the metric series touched on every request, resolved
 // once at construction so the hot path pays a single atomic add per event
-// instead of a mutex-guarded registry lookup (counters.go documents cached
+// instead of a mutex-guarded registry lookup (telemetry documents cached
 // pointers as the intended hot-path usage).
 type hotCounters struct {
-	inFlight  *metrics.Gauge
-	requests  map[string]map[string]*metrics.Counter // mechanism → outcome code
-	exhausted map[string]*metrics.Counter            // mechanism
+	inFlight  *telemetry.Gauge
+	requests  map[string]map[string]*telemetry.Counter // mechanism → outcome code
+	exhausted map[string]*telemetry.Counter            // mechanism
 }
 
-func newHotCounters(set *metrics.CounterSet) hotCounters {
-	mechanisms := []string{mechTopK, mechSVT, mechMax, "unknown"}
+func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters {
+	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, "unknown")
 	outcomes := []string{"ok", CodeInvalidRequest, CodeUnknownMechanism, CodeBudgetExhausted,
 		CodeTenantLimit, CodeCancelled, CodeRequestTooLarge, CodeUnavailable, CodeInternal}
 	hot := hotCounters{
 		inFlight:  set.Gauge("freegap_in_flight_requests"),
-		requests:  make(map[string]map[string]*metrics.Counter, len(mechanisms)),
-		exhausted: make(map[string]*metrics.Counter, len(mechanisms)),
+		requests:  make(map[string]map[string]*telemetry.Counter, len(mechanisms)),
+		exhausted: make(map[string]*telemetry.Counter, len(mechanisms)),
 	}
 	for _, mech := range mechanisms {
-		hot.requests[mech] = make(map[string]*metrics.Counter, len(outcomes))
+		hot.requests[mech] = make(map[string]*telemetry.Counter, len(outcomes))
 		for _, code := range outcomes {
 			hot.requests[mech][code] = set.Counter("freegap_requests_total",
-				metrics.L("mechanism", mech), metrics.L("code", code))
+				telemetry.L("mechanism", mech), telemetry.L("code", code))
 		}
-		hot.exhausted[mech] = set.Counter("freegap_budget_exhausted_total", metrics.L("mechanism", mech))
+		hot.exhausted[mech] = set.Counter("freegap_budget_exhausted_total", telemetry.L("mechanism", mech))
 	}
 	return hot
 }
@@ -174,13 +218,26 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	mechs := cfg.Mechanisms.Mechanisms()
+	names := make([]string, 0, len(mechs))
+	byName := make(map[string]engine.Mechanism, len(mechs))
+	for _, mech := range mechs {
+		if reservedMechanismNames[mech.Name()] {
+			return nil, fmt.Errorf("server: mechanism name %q is reserved for a fixed endpoint", mech.Name())
+		}
+		names = append(names, mech.Name())
+		byName[mech.Name()] = mech
+	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		pool:    newWorkerPool(cfg.Workers, cfg.Seed),
-		mux:     http.NewServeMux(),
-		metrics: metrics.NewCounterSet(),
-		started: time.Now(),
+		cfg:        cfg,
+		engine:     cfg.Mechanisms,
+		mechNames:  names,
+		mechByName: byName,
+		reg:        reg,
+		pool:       newWorkerPool(cfg.Workers, cfg.Seed),
+		mux:        http.NewServeMux(),
+		telemetry:  telemetry.NewCounterSet(),
+		started:    time.Now(),
 	}
 	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
 	// goroutine) never race on the field.
@@ -188,19 +245,27 @@ func New(cfg Config) (*Server, error) {
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	s.metrics.Help("freegap_requests_total", "DP query requests by mechanism and outcome code.")
-	s.metrics.Help("freegap_budget_exhausted_total", "Requests rejected because the tenant budget was exhausted.")
-	s.metrics.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
-	s.hot = newHotCounters(s.metrics)
+	s.telemetry.Help("freegap_requests_total", "DP query requests by mechanism and outcome code.")
+	s.telemetry.Help("freegap_budget_exhausted_total", "Requests rejected because the tenant budget was exhausted.")
+	s.telemetry.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
+	s.hot = newHotCounters(s.telemetry, s.mechNames)
 	s.routes()
 	return s, nil
 }
 
+// routes mounts the fixed endpoints and one generic mechanism handler per
+// engine registry entry. Literal patterns take precedence over the trailing
+// "POST /v1/" subtree pattern, which only exists to turn every unknown name
+// — single-segment or namespaced — into a structured 404.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/budget", s.handleBudget)
-	s.mux.HandleFunc("POST /v1/{mechanism}", s.handleMechanism)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	for _, name := range s.mechNames {
+		s.mux.Handle("POST /v1/"+name, s.handleMechanism(s.mechByName[name]))
+	}
+	s.mux.HandleFunc("POST /v1/", s.handleUnknownMechanism)
 }
 
 // Handler returns the server's HTTP handler, for mounting under httptest or a
@@ -211,11 +276,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // and by tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Mechanisms exposes the engine registry the server dispatches on. Routes
+// are mounted once at construction, so registering into it after New does
+// not add endpoints — assemble the registry before calling New.
+func (s *Server) Mechanisms() *engine.Registry { return s.engine }
+
 // Config returns the effective configuration after defaulting.
 func (s *Server) Config() Config { return s.cfg }
 
-// Metrics exposes the server's counter registry.
-func (s *Server) Metrics() *metrics.CounterSet { return s.metrics }
+// Metrics exposes the server's telemetry registry.
+func (s *Server) Metrics() *telemetry.CounterSet { return s.telemetry }
 
 // ListenAndServe serves on cfg.Addr until Shutdown or a listener error. Like
 // http.Server.ListenAndServe it returns http.ErrServerClosed after a clean

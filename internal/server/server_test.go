@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/freegap/freegap/internal/engine"
 	"github.com/freegap/freegap/internal/rng"
 )
 
@@ -83,9 +84,7 @@ var testAnswers = []float64{812, 641, 633, 601, 425, 124, 77, 8}
 func TestTopKHappyPathTracksBudget(t *testing.T) {
 	_, ts := newTestServer(t, Config{TenantBudget: 5})
 
-	resp, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{
-		Tenant: "acme", K: 3, Epsilon: 1.0, Answers: testAnswers, Monotonic: true,
-	})
+	resp, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "acme", Epsilon: 1.0, Answers: testAnswers, Monotonic: true}, K: 3})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body = %s", resp.StatusCode, data)
 	}
@@ -111,9 +110,7 @@ func TestTopKHappyPathTracksBudget(t *testing.T) {
 	}
 
 	// A second request draws from the same tenant budget.
-	_, data = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
-		Tenant: "acme", K: 2, Epsilon: 1.5, Answers: testAnswers, Monotonic: true,
-	})
+	_, data = postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "acme", Epsilon: 1.5, Answers: testAnswers, Monotonic: true}, K: 2})
 	out = decodeInto[TopKResponse](t, data)
 	if got, want := out.BudgetRemaining, 2.5; math.Abs(got-want) > 1e-9 {
 		t.Errorf("remaining after second request = %v, want %v", got, want)
@@ -135,10 +132,10 @@ func TestTopKHappyPathTracksBudget(t *testing.T) {
 
 func TestTenantsAreIsolated(t *testing.T) {
 	_, ts := newTestServer(t, Config{TenantBudget: 2})
-	_, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "a", Epsilon: 1.5, Answers: testAnswers})
+	_, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "a", Epsilon: 1.5, Answers: testAnswers}})
 
 	// Tenant b still has a full budget.
-	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "b", Epsilon: 1.5, Answers: testAnswers})
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "b", Epsilon: 1.5, Answers: testAnswers}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("tenant b status = %d, body = %s", resp.StatusCode, data)
 	}
@@ -198,9 +195,7 @@ func TestMalformedAndInvalidRequests(t *testing.T) {
 func TestUnknownMechanismAndTenant(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
-	resp, data := postJSON(t, ts.URL+"/v1/medians", TopKRequest{
-		Tenant: "t", K: 1, Epsilon: 1, Answers: testAnswers,
-	})
+	resp, data := postJSON(t, ts.URL+"/v1/medians", TopKRequest{Common: Common{Tenant: "t", Epsilon: 1, Answers: testAnswers}, K: 1})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown mechanism status = %d, body = %s", resp.StatusCode, data)
 	}
@@ -227,10 +222,7 @@ func TestSVTVariants(t *testing.T) {
 			name = "adaptive"
 		}
 		t.Run(name, func(t *testing.T) {
-			resp, data := postJSON(t, ts.URL+"/v1/svt", SVTRequest{
-				Tenant: "svt-" + name, K: 2, Epsilon: 2.0, Threshold: 500,
-				Answers: testAnswers, Monotonic: true, Adaptive: adaptive,
-			})
+			resp, data := postJSON(t, ts.URL+"/v1/svt", SVTRequest{Common: Common{Tenant: "svt-" + name, Epsilon: 2.0, Answers: testAnswers, Monotonic: true}, K: 2, Threshold: 500, Adaptive: adaptive})
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("status = %d, body = %s", resp.StatusCode, data)
 			}
@@ -276,9 +268,7 @@ func TestBudgetExhaustionUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			raw, _ := json.Marshal(TopKRequest{
-				Tenant: "shared", K: 2, Epsilon: reqEps, Answers: testAnswers, Monotonic: true,
-			})
+			raw, _ := json.Marshal(TopKRequest{Common: Common{Tenant: "shared", Epsilon: reqEps, Answers: testAnswers, Monotonic: true}, K: 2})
 			resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(raw))
 			if err != nil {
 				t.Errorf("POST: %v", err)
@@ -324,7 +314,7 @@ func TestBudgetExhaustionUnderConcurrency(t *testing.T) {
 	}
 
 	// A fresh request with a small epsilon that still fits must succeed.
-	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "shared", Epsilon: 0.05, Answers: testAnswers})
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "shared", Epsilon: 0.05, Answers: testAnswers}})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("residual-budget request: status = %d, body = %s", resp.StatusCode, data)
 	}
@@ -333,9 +323,7 @@ func TestBudgetExhaustionUnderConcurrency(t *testing.T) {
 func TestDeterministicWithFixedSeedAndOneWorker(t *testing.T) {
 	run := func() TopKResponse {
 		_, ts := newTestServer(t, Config{Seed: 7, Workers: 1})
-		_, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{
-			Tenant: "det", K: 3, Epsilon: 1.0, Answers: testAnswers, Monotonic: true,
-		})
+		_, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "det", Epsilon: 1.0, Answers: testAnswers, Monotonic: true}, K: 3})
 		return decodeInto[TopKResponse](t, data)
 	}
 	a, b := run(), run()
@@ -357,12 +345,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 
 	// Generate one success and one budget rejection, then check the counters.
-	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
-		Tenant: "m", K: 1, Epsilon: 1, Answers: testAnswers,
-	})
-	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{
-		Tenant: "m", K: 1, Epsilon: 1e6, Answers: testAnswers,
-	})
+	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "m", Epsilon: 1, Answers: testAnswers}, K: 1})
+	_, _ = postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "m", Epsilon: 1e6, Answers: testAnswers}, K: 1})
 
 	resp, data = getJSON(t, ts.URL+"/metrics")
 	if resp.StatusCode != http.StatusOK {
@@ -448,12 +432,12 @@ func TestRegistry(t *testing.T) {
 func TestTenantLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxTenants: 2})
 	for _, tenant := range []string{"a", "b"} {
-		resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: tenant, Epsilon: 0.1, Answers: testAnswers})
+		resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: tenant, Epsilon: 0.1, Answers: testAnswers}})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("tenant %s: status = %d, body = %s", tenant, resp.StatusCode, data)
 		}
 	}
-	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "c", Epsilon: 0.1, Answers: testAnswers})
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "c", Epsilon: 0.1, Answers: testAnswers}})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third tenant: status = %d, want 429 (body %s)", resp.StatusCode, data)
 	}
@@ -462,7 +446,7 @@ func TestTenantLimit(t *testing.T) {
 		t.Errorf("code = %q, want %q", env.Error.Code, CodeTenantLimit)
 	}
 	// Existing tenants keep working at the cap.
-	resp, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "a", Epsilon: 0.1, Answers: testAnswers})
+	resp, _ = postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "a", Epsilon: 0.1, Answers: testAnswers}})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("existing tenant rejected at the cap: status = %d", resp.StatusCode)
 	}
@@ -470,7 +454,7 @@ func TestTenantLimit(t *testing.T) {
 
 func TestEpsilonBelowMinimumRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Tenant: "tiny", Epsilon: 1e-12, Answers: testAnswers})
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "tiny", Epsilon: 1e-12, Answers: testAnswers}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, data)
 	}
@@ -504,7 +488,7 @@ func TestShutdownBeforeServe(t *testing.T) {
 
 func TestOversizedBodyGets413(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
-	big := TopKRequest{Tenant: "t", K: 1, Epsilon: 1, Answers: make([]float64, 1000)}
+	big := TopKRequest{Common: Common{Tenant: "t", Epsilon: 1, Answers: make([]float64, 1000)}, K: 1}
 	raw, _ := json.Marshal(big)
 	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(raw))
 	if err != nil {
@@ -559,5 +543,361 @@ func TestPoolCloseWithBlockedSender(t *testing.T) {
 	// do after close must fail cleanly too.
 	if err := p.do(context.Background(), func(rng.Source) {}); !errors.Is(err, errPoolClosed) {
 		t.Fatalf("do after close returned %v, want errPoolClosed", err)
+	}
+}
+
+func TestPipelineEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 10})
+
+	resp, data := postJSON(t, ts.URL+"/v1/pipeline/topk", PipelineTopKRequest{
+		Common: Common{Tenant: "p", Epsilon: 2.0, Answers: testAnswers, Monotonic: true}, K: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline/topk status = %d, body = %s", resp.StatusCode, data)
+	}
+	topk := decodeInto[PipelineTopKResponse](t, data)
+	if len(topk.Estimates) != 3 {
+		t.Fatalf("got %d estimates, want 3", len(topk.Estimates))
+	}
+	for _, est := range topk.Estimates {
+		if est.Index < 0 || est.Index >= len(testAnswers) {
+			t.Errorf("estimate index %d out of range", est.Index)
+		}
+	}
+	if !(topk.TheoreticalErrorRatio > 0 && topk.TheoreticalErrorRatio < 1) {
+		t.Errorf("error ratio %v not in (0, 1)", topk.TheoreticalErrorRatio)
+	}
+	// The pipeline reserves its full ε, exactly like a serial select+measure.
+	if math.Abs(topk.EpsilonSpent-2.0) > 1e-9 || math.Abs(topk.BudgetRemaining-8.0) > 1e-9 {
+		t.Errorf("billing = spent %v remaining %v, want 2 and 8", topk.EpsilonSpent, topk.BudgetRemaining)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/pipeline/svt", PipelineSVTRequest{
+		Common: Common{Tenant: "p", Epsilon: 3.0, Answers: testAnswers, Monotonic: true},
+		K:      2, Threshold: 500, Adaptive: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline/svt status = %d, body = %s", resp.StatusCode, data)
+	}
+	svt := decodeInto[PipelineSVTResponse](t, data)
+	if svt.AboveCount != len(svt.Estimates) {
+		t.Errorf("above_count %d != %d estimates", svt.AboveCount, len(svt.Estimates))
+	}
+	for _, est := range svt.Estimates {
+		if est.LowerBound >= est.GapEstimate {
+			t.Errorf("lower bound %v not below gap estimate %v", est.LowerBound, est.GapEstimate)
+		}
+	}
+	if math.Abs(svt.BudgetRemaining-5.0) > 1e-9 {
+		t.Errorf("remaining = %v, want 5 (full reservation charged)", svt.BudgetRemaining)
+	}
+
+	// The ledger breaks the spend down by mechanism.
+	_, data = getJSON(t, ts.URL+"/v1/tenants/p/budget")
+	budget := decodeInto[BudgetResponse](t, data)
+	if math.Abs(budget.SpentByMechanism["pipeline/topk"]-2.0) > 1e-9 ||
+		math.Abs(budget.SpentByMechanism["pipeline/svt"]-3.0) > 1e-9 {
+		t.Errorf("spent_by_mechanism = %v, want pipeline/topk:2 pipeline/svt:3", budget.SpentByMechanism)
+	}
+
+	// Unknown pipeline mechanisms get the structured 404 naming the full
+	// registry-style name the client must fix.
+	resp, data = postJSON(t, ts.URL+"/v1/pipeline/median", PipelineTopKRequest{
+		Common: Common{Tenant: "p", Epsilon: 1, Answers: testAnswers}, K: 1,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown pipeline mechanism status = %d, body = %s", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeUnknownMechanism {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeUnknownMechanism)
+	}
+	if !strings.Contains(env.Error.Message, `"pipeline/median"`) {
+		t.Errorf("404 message %q does not name the full mechanism path", env.Error.Message)
+	}
+}
+
+// renamedMechanism wraps a mechanism under a different registry name.
+type renamedMechanism struct {
+	engine.Mechanism
+	name string
+}
+
+func (m renamedMechanism) Name() string { return m.name }
+
+func TestNewRejectsReservedMechanismNames(t *testing.T) {
+	base, err := engine.DefaultRegistry().Get("max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"batch", "tenants", "unknown"} {
+		reg := engine.NewRegistry()
+		if err := reg.Register(renamedMechanism{base, name}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(Config{Mechanisms: reg}); err == nil {
+			t.Errorf("New accepted a registry with the reserved name %q", name)
+		}
+	}
+}
+
+// TestUnknownNamespacedMechanismGets404 pins the structured 404 for
+// multi-segment names outside the built-in pipeline/ namespace: custom
+// registries may mount namespaced mechanisms, so typos there must get the
+// same error envelope as everywhere else.
+func TestUnknownNamespacedMechanismGets404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/my-org.v2/topk", MaxRequest{
+		Common: Common{Tenant: "t", Epsilon: 1, Answers: testAnswers},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, body = %s", resp.StatusCode, data)
+	}
+	env := decodeInto[ErrorEnvelope](t, data)
+	if env.Error.Code != CodeUnknownMechanism {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeUnknownMechanism)
+	}
+	if !strings.Contains(env.Error.Message, `"my-org.v2/topk"`) {
+		t.Errorf("404 message %q does not name the full mechanism path", env.Error.Message)
+	}
+}
+
+// batchBody builds a /v1/batch body from (mechanism, request) pairs.
+func batchBody(t *testing.T, tenant string, items ...any) BatchRequest {
+	t.Helper()
+	if len(items)%2 != 0 {
+		t.Fatal("batchBody needs (mechanism, request) pairs")
+	}
+	req := BatchRequest{Tenant: tenant}
+	for i := 0; i < len(items); i += 2 {
+		raw, err := json.Marshal(items[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Requests = append(req.Requests, BatchItem{Mechanism: items[i].(string), Request: raw})
+	}
+	return req
+}
+
+func TestBatchHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 10})
+
+	resp, data := postJSON(t, ts.URL+"/v1/batch", batchBody(t, "acme",
+		"max", MaxRequest{Common: Common{Epsilon: 0.5, Answers: testAnswers, Monotonic: true}},
+		"topk", TopKRequest{Common: Common{Epsilon: 1.0, Answers: testAnswers, Monotonic: true}, K: 3},
+		"svt", SVTRequest{Common: Common{Epsilon: 1.5, Answers: testAnswers, Monotonic: true}, K: 2, Threshold: 500, Adaptive: true},
+		"pipeline/topk", PipelineTopKRequest{Common: Common{Epsilon: 2.0, Answers: testAnswers, Monotonic: true}, K: 2},
+	))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body = %s", resp.StatusCode, data)
+	}
+	out := decodeInto[BatchResponse](t, data)
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	wantMechs := []string{"max", "topk", "svt", "pipeline/topk"}
+	for i, res := range out.Results {
+		if res.Mechanism != wantMechs[i] {
+			t.Errorf("results[%d].mechanism = %q, want %q (request order must be preserved)", i, res.Mechanism, wantMechs[i])
+		}
+		if res.Error != nil {
+			t.Errorf("results[%d] failed: %+v", i, res.Error)
+		}
+		if res.Response == nil {
+			t.Errorf("results[%d] has no response", i)
+		}
+	}
+	if math.Abs(out.EpsilonSpent-5.0) > 1e-9 || math.Abs(out.BudgetRemaining-5.0) > 1e-9 {
+		t.Errorf("batch billing = spent %v remaining %v, want 5 and 5", out.EpsilonSpent, out.BudgetRemaining)
+	}
+
+	// One round trip, but the ledger records one charge per item under the
+	// item's own mechanism.
+	_, data = getJSON(t, ts.URL+"/v1/tenants/acme/budget")
+	budget := decodeInto[BudgetResponse](t, data)
+	if budget.Charges != 4 {
+		t.Errorf("charges = %d, want 4", budget.Charges)
+	}
+	if math.Abs(budget.SpentByMechanism["svt"]-1.5) > 1e-9 {
+		t.Errorf("spent_by_mechanism = %v, want svt:1.5", budget.SpentByMechanism)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 10, MaxBatch: 2})
+
+	okItem := MaxRequest{Common: Common{Epsilon: 0.5, Answers: testAnswers}}
+	cases := []struct {
+		name string
+		body BatchRequest
+	}{
+		{"no requests", batchBody(t, "t")},
+		{"unknown mechanism", batchBody(t, "t", "median", okItem)},
+		{"invalid item", batchBody(t, "t", "max", MaxRequest{Common: Common{Epsilon: -1, Answers: testAnswers}})},
+		{"tenant mismatch", batchBody(t, "t", "max", MaxRequest{Common: Common{Tenant: "other", Epsilon: 0.5, Answers: testAnswers}})},
+		{"over max batch", batchBody(t, "t", "max", okItem, "max", okItem, "max", okItem)},
+		{"empty tenant", batchBody(t, "", "max", okItem)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/batch", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, data)
+			}
+			if env := decodeInto[ErrorEnvelope](t, data); env.Error.Code != CodeInvalidRequest {
+				t.Errorf("code = %q, want %q", env.Error.Code, CodeInvalidRequest)
+			}
+		})
+	}
+
+	// A batch with one bad item charges nothing, even for its valid items.
+	resp, data := postJSON(t, ts.URL+"/v1/batch", batchBody(t, "t",
+		"max", okItem,
+		"topk", TopKRequest{Common: Common{Epsilon: 1, Answers: testAnswers}, K: 99},
+	))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch status = %d, body = %s", resp.StatusCode, data)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/v1/tenants/t/budget"); resp.StatusCode != http.StatusNotFound {
+		t.Error("a fully rejected batch provisioned (or charged) the tenant")
+	}
+}
+
+// TestBatchAtomicityUnderConcurrency is the acceptance-criteria storm: many
+// concurrent batches race one tenant's nearly-empty budget. The multi-charge
+// is all-or-nothing, so the admitted spend must be a whole number of batch
+// totals and can never exceed what the same requests issued serially could.
+func TestBatchAtomicityUnderConcurrency(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantBudget: 1.0, Workers: 4})
+
+	const (
+		clients   = 20
+		itemEps   = 0.2
+		batchSize = 3 // 0.6 per batch: exactly one batch fits in ε = 1.0
+	)
+	var ok, exhausted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := BatchRequest{Tenant: "shared"}
+			for j := 0; j < batchSize; j++ {
+				raw, _ := json.Marshal(MaxRequest{Common: Common{Epsilon: itemEps, Answers: testAnswers}})
+				body.Requests = append(body.Requests, BatchItem{Mechanism: "max", Request: raw})
+			}
+			raw, _ := json.Marshal(body)
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				out := decodeInto[BatchResponse](t, data)
+				for i, res := range out.Results {
+					if res.Error != nil || res.Response == nil {
+						t.Errorf("admitted batch item %d failed: %+v", i, res.Error)
+					}
+				}
+				ok.Add(1)
+			case http.StatusPaymentRequired:
+				var env ErrorEnvelope
+				if err := json.Unmarshal(data, &env); err != nil || env.Error.Code != CodeBudgetExhausted {
+					t.Errorf("402 body not a budget_exhausted envelope: %s", data)
+				}
+				exhausted.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ok.Load(); got != 1 {
+		t.Errorf("%d batches admitted, want exactly 1 (ε = 1.0 fits one 0.6 batch)", got)
+	}
+	if got := exhausted.Load(); got != clients-1 {
+		t.Errorf("%d batches rejected, want %d", got, clients-1)
+	}
+	acct, okT := s.Registry().Lookup("shared")
+	if !okT {
+		t.Fatal("tenant not registered")
+	}
+	spent := acct.Spent()
+	if spent > 1.0+1e-9 {
+		t.Errorf("accountant overdrafted: spent %v > budget 1.0", spent)
+	}
+	// Zero partial batches: total spend is a whole number of 0.6 batches and
+	// the charge log holds whole batches only.
+	if math.Abs(spent-0.6) > 1e-9 {
+		t.Errorf("spent %v, want exactly one whole batch (0.6)", spent)
+	}
+	if n := acct.ChargeCount(); n%batchSize != 0 {
+		t.Errorf("charge log holds a partial batch: %d entries", n)
+	}
+
+	// 0.4 remains: a 2-item batch of 0.6 must still be refused whole, while
+	// a 2-item batch of 0.4 fits.
+	tooBig := batchBody(t, "shared",
+		"max", MaxRequest{Common: Common{Epsilon: 0.3, Answers: testAnswers}},
+		"max", MaxRequest{Common: Common{Epsilon: 0.3, Answers: testAnswers}},
+	)
+	if resp, data := postJSON(t, ts.URL+"/v1/batch", tooBig); resp.StatusCode != http.StatusPaymentRequired {
+		t.Errorf("overcommitted batch status = %d, body = %s", resp.StatusCode, data)
+	}
+	fits := batchBody(t, "shared",
+		"max", MaxRequest{Common: Common{Epsilon: 0.2, Answers: testAnswers}},
+		"max", MaxRequest{Common: Common{Epsilon: 0.2, Answers: testAnswers}},
+	)
+	if resp, data := postJSON(t, ts.URL+"/v1/batch", fits); resp.StatusCode != http.StatusOK {
+		t.Errorf("residual-budget batch status = %d, body = %s", resp.StatusCode, data)
+	}
+}
+
+// TestBatchMatchesSerialSpend pins the overspend bound literally: a batch
+// charges its tenant exactly what the same requests issued serially would.
+func TestBatchMatchesSerialSpend(t *testing.T) {
+	run := func(batch bool) float64 {
+		s, ts := newTestServer(t, Config{TenantBudget: 10, Seed: 5, Workers: 1})
+		items := []TopKRequest{
+			{Common: Common{Tenant: "t", Epsilon: 0.7, Answers: testAnswers, Monotonic: true}, K: 2},
+			{Common: Common{Tenant: "t", Epsilon: 0.9, Answers: testAnswers, Monotonic: true}, K: 3},
+		}
+		if batch {
+			body := BatchRequest{Tenant: "t"}
+			for _, it := range items {
+				it.Tenant = ""
+				raw, _ := json.Marshal(it)
+				body.Requests = append(body.Requests, BatchItem{Mechanism: "topk", Request: raw})
+			}
+			if resp, data := postJSON(t, ts.URL+"/v1/batch", body); resp.StatusCode != http.StatusOK {
+				t.Fatalf("batch status = %d, body = %s", resp.StatusCode, data)
+			}
+		} else {
+			for _, it := range items {
+				if resp, data := postJSON(t, ts.URL+"/v1/topk", it); resp.StatusCode != http.StatusOK {
+					t.Fatalf("serial status = %d, body = %s", resp.StatusCode, data)
+				}
+			}
+		}
+		acct, _ := s.Registry().Lookup("t")
+		return acct.Spent()
+	}
+	serial, batched := run(false), run(true)
+	if math.Abs(serial-batched) > 1e-12 {
+		t.Errorf("batch spent %v, serial spent %v — must be identical", batched, serial)
+	}
+}
+
+func TestHealthzListsMechanisms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, data := getJSON(t, ts.URL+"/healthz")
+	health := decodeInto[HealthResponse](t, data)
+	want := []string{"max", "pipeline/svt", "pipeline/topk", "svt", "topk"}
+	if fmt.Sprintf("%v", health.Mechanisms) != fmt.Sprintf("%v", want) {
+		t.Errorf("mechanisms = %v, want %v", health.Mechanisms, want)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/freegap/freegap/internal/accountant"
+	"github.com/freegap/freegap/internal/engine"
 )
 
 // ErrTenantLimit is returned by Get/Charge when provisioning a new tenant
@@ -14,8 +15,9 @@ import (
 var ErrTenantLimit = errors.New("server: tenant limit reached")
 
 // maxTenantNameLen bounds tenant identifiers so hostile clients cannot grow
-// the registry key space without bound per entry.
-const maxTenantNameLen = 128
+// the registry key space without bound per entry; the rule lives in the
+// engine so CLI and batch callers validate identically.
+const maxTenantNameLen = engine.MaxTenantNameLen
 
 // Registry is a concurrency-safe map of tenant id → privacy accountant. An
 // accountant is created with the configured initial budget the first time a
@@ -51,11 +53,8 @@ func (r *Registry) InitialBudget() float64 { return r.budget }
 
 // validTenant reports whether the tenant id is acceptable.
 func validTenant(tenant string) error {
-	if tenant == "" {
-		return errors.New("server: tenant must be non-empty")
-	}
-	if len(tenant) > maxTenantNameLen {
-		return fmt.Errorf("server: tenant id longer than %d bytes", maxTenantNameLen)
+	if err := engine.ValidTenant(tenant); err != nil {
+		return fmt.Errorf("server: %w", err)
 	}
 	return nil
 }
@@ -102,6 +101,21 @@ func (r *Registry) Charge(tenant, label string, eps float64) (remaining float64,
 		return 0, err
 	}
 	if err := a.Spend(label, eps); err != nil {
+		return a.Remaining(), err
+	}
+	return a.Remaining(), nil
+}
+
+// ChargeBatch atomically charges every entry of charges to the tenant,
+// creating the tenant on first use. The multi-charge is all-or-nothing: on
+// accountant.ErrBudgetExceeded nothing was charged. It returns the remaining
+// budget after the attempt.
+func (r *Registry) ChargeBatch(tenant string, charges []accountant.Charge) (remaining float64, err error) {
+	a, err := r.Get(tenant)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.SpendBatch(charges); err != nil {
 		return a.Remaining(), err
 	}
 	return a.Remaining(), nil

@@ -1,107 +1,94 @@
 package server
 
-// Request and response bodies of the dpserver HTTP/JSON API. Every request
-// names a tenant; the server charges that tenant's privacy accountant
-// atomically before running the mechanism, so concurrent clients of the same
-// tenant can never jointly overspend the budget.
+// Request and response bodies of the dpserver HTTP/JSON API. The mechanism
+// request/response types live in internal/engine next to the mechanisms that
+// define them; they are aliased here so API consumers (tests, clients) can
+// keep importing them from the serving layer. Every request names a tenant;
+// the server charges that tenant's privacy accountant atomically before the
+// mechanism runs, so concurrent clients of the same tenant can never jointly
+// overspend the budget.
 
-// TopKRequest is the body of POST /v1/topk.
-type TopKRequest struct {
-	// Tenant identifies whose privacy budget pays for the query.
-	Tenant string `json:"tenant"`
-	// K is the number of queries to select.
-	K int `json:"k"`
-	// Epsilon is the privacy budget this request spends.
-	Epsilon float64 `json:"epsilon"`
-	// Answers are the true query answers (sensitivity 1 each).
-	Answers []float64 `json:"answers"`
-	// Monotonic declares a monotonic (e.g. counting) query list, halving the
-	// required noise scale.
-	Monotonic bool `json:"monotonic,omitempty"`
+import (
+	"encoding/json"
+
+	"github.com/freegap/freegap/internal/engine"
+)
+
+// Mechanism request/response bodies, defined by the engine.
+type (
+	// Common holds the request fields shared by every mechanism request.
+	Common = engine.Common
+	// TopKRequest is the body of POST /v1/topk.
+	TopKRequest = engine.TopKRequest
+	// SelectionJSON is one selected query in a TopKResponse.
+	SelectionJSON = engine.SelectionJSON
+	// TopKResponse is the body of a successful POST /v1/topk.
+	TopKResponse = engine.TopKResponse
+	// MaxRequest is the body of POST /v1/max (the k = 1 special case).
+	MaxRequest = engine.MaxRequest
+	// MaxResponse is the body of a successful POST /v1/max.
+	MaxResponse = engine.MaxResponse
+	// SVTRequest is the body of POST /v1/svt.
+	SVTRequest = engine.SVTRequest
+	// SVTAnswerJSON is one above-threshold answer in an SVTResponse.
+	SVTAnswerJSON = engine.SVTAnswerJSON
+	// SVTResponse is the body of a successful POST /v1/svt.
+	SVTResponse = engine.SVTResponse
+	// PipelineTopKRequest is the body of POST /v1/pipeline/topk.
+	PipelineTopKRequest = engine.PipelineTopKRequest
+	// PipelineTopKResponse is the body of a successful POST /v1/pipeline/topk.
+	PipelineTopKResponse = engine.PipelineTopKResponse
+	// PipelineSVTRequest is the body of POST /v1/pipeline/svt.
+	PipelineSVTRequest = engine.PipelineSVTRequest
+	// PipelineSVTResponse is the body of a successful POST /v1/pipeline/svt.
+	PipelineSVTResponse = engine.PipelineSVTResponse
+)
+
+// BatchItem is one entry of a BatchRequest: the name of a registered
+// mechanism plus its request body. The inner request may leave the tenant
+// empty (the batch tenant pays) but must not name a different tenant.
+type BatchItem struct {
+	// Mechanism is the registered mechanism name, e.g. "topk" or
+	// "pipeline/svt".
+	Mechanism string `json:"mechanism"`
+	// Request is the mechanism's request body.
+	Request json.RawMessage `json:"request"`
 }
 
-// SelectionJSON is one selected query in a TopKResponse.
-type SelectionJSON struct {
-	// Index is the query's position in the request's answers.
-	Index int `json:"index"`
-	// Gap is the released noisy gap to the next-ranked query.
-	Gap float64 `json:"gap"`
+// BatchRequest is the body of POST /v1/batch: up to MaxBatch mechanism
+// requests executed in one round trip and paid for with a single atomic
+// multi-charge — either every item's ε is reserved, or (when the total would
+// exceed the tenant's remaining budget) none is and the whole batch fails
+// with a 402. A batch can therefore never overspend what the same requests
+// issued serially could.
+type BatchRequest struct {
+	// Tenant identifies whose privacy budget pays for every item.
+	Tenant string `json:"tenant"`
+	// Requests are the batched mechanism requests, executed concurrently.
+	Requests []BatchItem `json:"requests"`
 }
 
-// TopKResponse is the body of a successful POST /v1/topk.
-type TopKResponse struct {
+// BatchItemResult is one entry of a BatchResponse: exactly one of Response
+// and Error is set.
+type BatchItemResult struct {
+	// Mechanism echoes the item's mechanism name.
+	Mechanism string `json:"mechanism"`
+	// Response is the mechanism's response body on success.
+	Response any `json:"response,omitempty"`
+	// Error reports an execution failure of this item alone. The item's ε
+	// stays charged — the reservation was admitted before execution, and
+	// refunding would let a client probe for free.
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse struct {
 	Tenant string `json:"tenant"`
-	// Selections lists the k selected queries in descending noisy order.
-	Selections []SelectionJSON `json:"selections"`
-	// EpsilonSpent is the budget charged to the tenant for this request.
+	// Results lists one result per request, in request order.
+	Results []BatchItemResult `json:"results"`
+	// EpsilonSpent is the total ε charged for the batch.
 	EpsilonSpent float64 `json:"epsilon_spent"`
-	// BudgetRemaining is the tenant's unspent budget after this request.
-	BudgetRemaining float64 `json:"budget_remaining"`
-}
-
-// MaxRequest is the body of POST /v1/max (the k = 1 special case).
-type MaxRequest struct {
-	Tenant    string    `json:"tenant"`
-	Epsilon   float64   `json:"epsilon"`
-	Answers   []float64 `json:"answers"`
-	Monotonic bool      `json:"monotonic,omitempty"`
-}
-
-// MaxResponse is the body of a successful POST /v1/max.
-type MaxResponse struct {
-	Tenant string `json:"tenant"`
-	// Index is the approximately largest query.
-	Index int `json:"index"`
-	// Gap is the noisy gap to the runner-up.
-	Gap             float64 `json:"gap"`
-	EpsilonSpent    float64 `json:"epsilon_spent"`
-	BudgetRemaining float64 `json:"budget_remaining"`
-}
-
-// SVTRequest is the body of POST /v1/svt.
-type SVTRequest struct {
-	Tenant string `json:"tenant"`
-	// K is the number of above-threshold answers to provision for.
-	K int `json:"k"`
-	// Epsilon is the privacy budget this request reserves. The adaptive
-	// variant may spend less internally, but the tenant is charged the full
-	// reservation so concurrent requests stay sound.
-	Epsilon float64 `json:"epsilon"`
-	// Threshold is the public threshold.
-	Threshold float64   `json:"threshold"`
-	Answers   []float64 `json:"answers"`
-	Monotonic bool      `json:"monotonic,omitempty"`
-	// Adaptive selects Adaptive-Sparse-Vector-with-Gap (Algorithm 2) instead
-	// of plain Sparse-Vector-with-Gap.
-	Adaptive bool `json:"adaptive,omitempty"`
-}
-
-// SVTAnswerJSON is one above-threshold answer in an SVTResponse.
-type SVTAnswerJSON struct {
-	// Index is the query's position in the request's answers.
-	Index int `json:"index"`
-	// Gap is the released noisy gap above the (noisy) threshold.
-	Gap float64 `json:"gap"`
-	// Estimate is gap + threshold, the selection-stage estimate of the answer.
-	Estimate float64 `json:"estimate"`
-	// Branch names the adaptive branch that answered: below, top or middle.
-	Branch string `json:"branch"`
-}
-
-// SVTResponse is the body of a successful POST /v1/svt.
-type SVTResponse struct {
-	Tenant string `json:"tenant"`
-	// Above lists the above-threshold answers in stream order.
-	Above []SVTAnswerJSON `json:"above"`
-	// AboveCount is len(Above).
-	AboveCount int `json:"above_count"`
-	// QueriesProcessed is how far into the stream the mechanism got before
-	// stopping.
-	QueriesProcessed int `json:"queries_processed"`
-	// MechanismSpent is the budget the mechanism consumed internally (the
-	// adaptive variant may spend less than the reservation).
-	MechanismSpent  float64 `json:"mechanism_spent"`
-	EpsilonSpent    float64 `json:"epsilon_spent"`
+	// BudgetRemaining is the tenant's unspent budget after the batch.
 	BudgetRemaining float64 `json:"budget_remaining"`
 }
 
@@ -118,6 +105,8 @@ type BudgetResponse struct {
 	RemainingFraction float64 `json:"remaining_fraction"`
 	// Charges is the number of admitted requests.
 	Charges int `json:"charges"`
+	// SpentByMechanism breaks Spent down by the mechanism charged for.
+	SpentByMechanism map[string]float64 `json:"spent_by_mechanism"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -127,6 +116,8 @@ type HealthResponse struct {
 	Tenants int `json:"tenants"`
 	// Workers is the size of the mechanism worker pool.
 	Workers int `json:"workers"`
+	// Mechanisms lists the servable mechanism names.
+	Mechanisms []string `json:"mechanisms"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

@@ -1,4 +1,9 @@
-package metrics
+// Package telemetry holds the serving-side observability primitives —
+// counters, gauges and the Prometheus-text registry that renders them. It is
+// deliberately separate from internal/metrics, which implements the paper's
+// Section 7 evaluation metrics (MSE, precision, recall): one package is about
+// operating the service, the other about measuring mechanism quality.
+package telemetry
 
 import (
 	"fmt"
@@ -9,9 +14,8 @@ import (
 	"sync/atomic"
 )
 
-// Counter is a monotonically increasing counter safe for concurrent use. It
-// is the serving-side complement of the statistical metrics in this package:
-// the dpserver increments counters on its hot path and exposes them in the
+// Counter is a monotonically increasing counter safe for concurrent use: the
+// dpserver increments counters on its hot path and exposes them in the
 // Prometheus text exposition format.
 type Counter struct {
 	v atomic.Uint64
