@@ -6,6 +6,7 @@
 //
 //	dpserver -addr :8080 -budget 10 -workers 8
 //	dpserver -addr :8080 -seed 42 -workers 1   # fully deterministic (testing)
+//	dpserver -preload sales=/data/bmspos.dat -preload-synthetic demo=kosarak:100
 //
 // Endpoints (one per mechanism registered in the engine, plus operations):
 //
@@ -15,15 +16,27 @@
 //	POST /v1/pipeline/topk         Section 5.2 select–measure–refine pipeline
 //	POST /v1/pipeline/svt          Section 6.2 threshold pipeline
 //	POST /v1/batch                 batched requests, one atomic multi-charge
+//	POST /v1/datasets              catalogue a dataset (FIMI upload or synthetic)
+//	GET  /v1/datasets              list catalogued datasets
+//	GET  /v1/datasets/{name}       one dataset's stats and counters
 //	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
 //
-// Example request:
+// Example request with inline answers:
 //
 //	curl -s localhost:8080/v1/topk -d '{
 //	  "tenant": "acme", "k": 3, "epsilon": 1.0, "monotonic": true,
 //	  "answers": [812, 641, 633, 601, 425, 124, 77, 8]
+//	}'
+//
+// Example dataset-backed request (the server holds the data — the paper's
+// curator model — and answers counting queries from item counts cached at
+// registration):
+//
+//	curl -s localhost:8080/v1/topk -d '{
+//	  "tenant": "acme", "k": 3, "epsilon": 1.0,
+//	  "dataset": "sales", "queries": {"kind": "all_items"}
 //	}'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
@@ -39,6 +52,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,7 +79,22 @@ func parseConfig(args []string) (freegap.ServerConfig, error) {
 		maxAns     = fs.Int("max-answers", 0, "maximum answers per request (0 = default)")
 		maxBody    = fs.Int64("max-body", 0, "maximum request body bytes (0 = default)")
 		maxTenants = fs.Int("max-tenants", 0, "maximum auto-provisioned tenants (0 = default)")
+		preloads   []freegap.DatasetPreload
 	)
+	fs.Func("preload", "name=path: serve the FIMI-format dataset file under the given name (repeatable)", func(v string) error {
+		p, err := parsePreloadFile(v)
+		if err == nil {
+			preloads = append(preloads, p)
+		}
+		return err
+	})
+	fs.Func("preload-synthetic", "name=kind[:scale[:seed]]: serve a synthetic dataset (bmspos, kosarak or t40i10d100k) under the given name (repeatable)", func(v string) error {
+		p, err := parsePreloadSynthetic(v)
+		if err == nil {
+			preloads = append(preloads, p)
+		}
+		return err
+	})
 	if err := fs.Parse(args); err != nil {
 		return freegap.ServerConfig{}, err
 	}
@@ -79,7 +109,46 @@ func parseConfig(args []string) (freegap.ServerConfig, error) {
 		MaxAnswers:   *maxAns,
 		MaxBodyBytes: *maxBody,
 		MaxTenants:   *maxTenants,
+		Preload:      preloads,
 	}, nil
+}
+
+// parsePreloadFile parses a -preload value of the form name=path.
+func parsePreloadFile(v string) (freegap.DatasetPreload, error) {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return freegap.DatasetPreload{}, fmt.Errorf("-preload %q: want name=path", v)
+	}
+	return freegap.DatasetPreload{Name: name, Path: path}, nil
+}
+
+// parsePreloadSynthetic parses a -preload-synthetic value of the form
+// name=kind[:scale[:seed]].
+func parsePreloadSynthetic(v string) (freegap.DatasetPreload, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return freegap.DatasetPreload{}, fmt.Errorf("-preload-synthetic %q: want name=kind[:scale[:seed]]", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return freegap.DatasetPreload{}, fmt.Errorf("-preload-synthetic %q: want name=kind[:scale[:seed]]", v)
+	}
+	p := freegap.DatasetPreload{Name: name, Synthetic: parts[0]}
+	if len(parts) >= 2 {
+		scale, err := strconv.Atoi(parts[1])
+		if err != nil || scale < 1 {
+			return freegap.DatasetPreload{}, fmt.Errorf("-preload-synthetic %q: bad scale %q", v, parts[1])
+		}
+		p.Scale = scale
+	}
+	if len(parts) == 3 {
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return freegap.DatasetPreload{}, fmt.Errorf("-preload-synthetic %q: bad seed %q", v, parts[2])
+		}
+		p.Seed = seed
+	}
+	return p, nil
 }
 
 // run builds the server from args and serves until ctx is cancelled, then
@@ -101,6 +170,10 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "dpserver listening on %s (per-tenant budget ε=%g, %d workers)\n",
 		ln.Addr(), srv.Config().TenantBudget, srv.Config().Workers)
+	for _, info := range srv.Datasets().List() {
+		fmt.Fprintf(out, "dpserver serving dataset %s (%s): %d records, %d items\n",
+			info.Name, info.Source, info.Records, info.Items)
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

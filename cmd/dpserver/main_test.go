@@ -30,6 +30,115 @@ func TestParseConfig(t *testing.T) {
 	}
 }
 
+func TestParsePreloadFlags(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-preload", "sales=/data/pos.dat",
+		"-preload-synthetic", "demo=kosarak:100:9",
+		"-preload-synthetic", "full=bmspos",
+	})
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if len(cfg.Preload) != 3 {
+		t.Fatalf("preloads = %+v", cfg.Preload)
+	}
+	if p := cfg.Preload[0]; p.Name != "sales" || p.Path != "/data/pos.dat" || p.Synthetic != "" {
+		t.Errorf("file preload = %+v", p)
+	}
+	if p := cfg.Preload[1]; p.Name != "demo" || p.Synthetic != "kosarak" || p.Scale != 100 || p.Seed != 9 {
+		t.Errorf("synthetic preload = %+v", p)
+	}
+	if p := cfg.Preload[2]; p.Name != "full" || p.Synthetic != "bmspos" || p.Scale != 0 || p.Seed != 0 {
+		t.Errorf("synthetic preload = %+v", p)
+	}
+
+	bad := [][]string{
+		{"-preload", "nopath"},
+		{"-preload", "=path"},
+		{"-preload", "name="},
+		{"-preload-synthetic", "demo"},
+		{"-preload-synthetic", "demo=kind:notanumber"},
+		{"-preload-synthetic", "demo=kind:0"},
+		{"-preload-synthetic", "demo=kind:1:notanumber"},
+		{"-preload-synthetic", "demo=kind:1:2:3"},
+	}
+	for _, args := range bad {
+		if _, err := parseConfig(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunServesPreloadedDataset boots the binary entry point with a
+// -preload-synthetic flag and drives a dataset-backed query over HTTP.
+func TestRunServesPreloadedDataset(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-addr", "127.0.0.1:0", "-budget", "50", "-workers", "1", "-seed", "1",
+			"-preload-synthetic", "pos=bmspos:1000:7"}, w)
+		w.Close()
+		done <- err
+	}()
+
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading announce line: %v", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		t.Fatalf("unexpected announce line %q", line)
+	}
+	base := "http://" + fields[3]
+	if line, err = br.ReadString('\n'); err != nil || !strings.Contains(line, "pos") {
+		t.Fatalf("dataset announce line = %q (err %v)", line, err)
+	}
+
+	body := `{"tenant":"cli","k":3,"epsilon":1,"dataset":"pos","queries":{"kind":"all_items"}}`
+	resp, err := http.Post(base+"/v1/topk", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("topk: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status = %d, body = %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Selections []struct {
+			Index int `json:"index"`
+		} `json:"selections"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Selections) != 3 {
+		t.Fatalf("got %d selections, want 3: %s", len(out.Selections), data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+
+	if err := run(context.Background(), []string{"-preload", "bad=/no/such/file.dat"}, os.Stdout); err == nil {
+		t.Error("missing preload file accepted")
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	if err := run(context.Background(), []string{"-budget", "-1"}, os.Stdout); err == nil {
 		t.Error("negative budget accepted")

@@ -82,4 +82,32 @@
 // examples/remoteclient drives the full API end-to-end, and
 // GET /v1/tenants/{id}/budget (budget ledger with per-mechanism breakdown),
 // /healthz and /metrics cover operations.
+//
+// # Datasets
+//
+// Mechanism requests carry their query answers in one of two trust models.
+// With inline answers the client holds the data, computes the true counts
+// itself, and ships them in the request — convenient, but the opposite of
+// the paper's setting. With dataset-backed queries the server is the
+// curator: it holds the transaction database (the DatasetStore catalog) and
+// answers sensitivity-1 counting queries under DP, so raw data never leaves
+// it. A request then names a catalogued dataset and a QuerySpec in place of
+// answers:
+//
+//	{"tenant": "acme", "k": 3, "epsilon": 1.0,
+//	 "dataset": "shop", "queries": {"kind": "all_items"}}
+//
+// QueryAllItems asks for every item's count — the paper's Section 7
+// workload — and QueryItemCount for an explicit item list; resolved counting
+// queries are automatically monotonic and get the halved noise scale.
+// Datasets enter the catalog through POST /v1/datasets (a FIMI-format upload
+// or a synthetic generator spec), ServerConfig.Preload, or cmd/dpserver's
+// -preload/-preload-synthetic flags. Registration precomputes the dataset's
+// item-count vector exactly once; every resolved request — including
+// dataset-backed batch items and pipeline runs — is served from that cached
+// read-only vector, never by rescanning transactions (GET /v1/datasets/{name}
+// exposes the resolutions and count_scans counters that prove it). Unknown
+// names yield a 404 with code "unknown_dataset", malformed dataset/spec
+// combinations a 400 with code "bad_query_spec". Direct engine users get the
+// same resolution step via ResolveMechanismRequest with any QueryResolver.
 package freegap

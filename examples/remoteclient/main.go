@@ -2,9 +2,11 @@
 // Noisy-Max-with-Gap, Noisy-Top-K-with-Gap and Adaptive-Sparse-Vector-with-
 // Gap over the wire as a tenant, runs the paper's full select–measure–refine
 // protocol through the pipeline endpoint, amortizes a round trip with an
-// atomically-charged batch, watches its privacy budget drain through the
-// budget endpoint, and keeps querying until the server answers with the
-// structured budget-exhausted error.
+// atomically-charged batch, catalogues a dataset server-side and queries it
+// by name (no inline answers — the curator holds the data and serves cached
+// item counts), watches its privacy budget drain through the budget
+// endpoint, and keeps querying until the server answers with the structured
+// budget-exhausted error.
 //
 // Point it at a running server:
 //
@@ -150,7 +152,60 @@ func main() {
 	}
 	fmt.Printf("budget left: %.2f\n\n", batch.BudgetRemaining)
 
-	// 6. The ledger, as the server sees it — now with the spend broken down
+	// 6. Move the data server-side: catalogue a dataset (the curator trust
+	// model — the server holds the transactions and precomputes the item
+	// counts once at registration) and query it by name, with no inline
+	// answers in the request at all.
+	var ds struct {
+		Name    string `json:"name"`
+		Records int    `json:"records"`
+		Items   int    `json:"items"`
+	}
+	resp, data := post(base+"/v1/datasets", map[string]any{
+		"name": "shop", "synthetic": map[string]any{"kind": "bmspos", "scale": 2000, "seed": 7},
+	})
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		if err := json.Unmarshal(data, &ds); err != nil {
+			log.Fatalf("decoding dataset response: %v", err)
+		}
+		fmt.Printf("catalogued dataset %q server-side: %d transactions over %d items\n",
+			ds.Name, ds.Records, ds.Items)
+	case http.StatusConflict:
+		// A previous walkthrough against this server already registered it;
+		// the catalog is immutable, so just query the existing entry.
+		mustGet(base+"/v1/datasets/shop", &ds)
+		fmt.Printf("dataset %q already catalogued (%d transactions over %d items) — reusing it\n",
+			ds.Name, ds.Records, ds.Items)
+	default:
+		log.Fatalf("POST /v1/datasets: HTTP %d: %s", resp.StatusCode, data)
+	}
+
+	var dstopk struct {
+		Selections []struct {
+			Index int     `json:"index"`
+			Gap   float64 `json:"gap"`
+		} `json:"selections"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base+"/v1/topk", map[string]any{
+		"tenant": *tenant, "k": 3, "epsilon": 0.5,
+		"dataset": "shop", "queries": map[string]any{"kind": "all_items"},
+	}, &dstopk)
+	fmt.Println("top 3 items of the server-held dataset (eps=0.5, zero answers shipped):")
+	for rank, sel := range dstopk.Selections {
+		fmt.Printf("  #%d item %-5d leads the next candidate by ≈%.0f\n", rank+1, sel.Index, sel.Gap)
+	}
+
+	var dsinfo struct {
+		Resolutions uint64 `json:"resolutions"`
+		CountScans  uint64 `json:"count_scans"`
+	}
+	mustGet(base+"/v1/datasets/shop", &dsinfo)
+	fmt.Printf("dataset ledger: %d resolutions served from %d count scan(s) — cached, never rescanned\n\n",
+		dsinfo.Resolutions, dsinfo.CountScans)
+
+	// 7. The ledger, as the server sees it — now with the spend broken down
 	// by mechanism.
 	var budget struct {
 		Budget           float64            `json:"budget"`
@@ -167,7 +222,7 @@ func main() {
 	}
 	fmt.Println()
 
-	// 7. Keep spending until the server cuts us off with a structured 402.
+	// 8. Keep spending until the server cuts us off with a structured 402.
 	for i := 0; ; i++ {
 		resp, body := post(base+"/v1/max", map[string]any{
 			"tenant": *tenant, "epsilon": 0.75, "answers": counts, "monotonic": true,
@@ -226,7 +281,7 @@ func mustPost(url string, body, out any) {
 		fmt.Printf("server cut us off early: %s\nthe privacy budget is spent — no more answers for this tenant.\n", data)
 		os.Exit(0)
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		log.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
 	}
 	if err := json.Unmarshal(data, out); err != nil {

@@ -11,6 +11,7 @@ import (
 	"github.com/freegap/freegap/internal/postprocess"
 	"github.com/freegap/freegap/internal/rng"
 	"github.com/freegap/freegap/internal/server"
+	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/validate"
 )
 
@@ -269,6 +270,51 @@ func RandomThreshold(src Source, counts []float64, k int) float64 {
 }
 
 //
+// Server-side dataset catalog (internal/store).
+//
+
+// DatasetStore is the server-side catalog of named immutable datasets. Each
+// registration precomputes the dataset's item-count vector once; resolved
+// requests are served from that cached slice, never by rescanning the
+// transactions.
+type DatasetStore = store.Store
+
+// DatasetEntry is one catalogued dataset with its precomputed counts and
+// resolution counters.
+type DatasetEntry = store.Entry
+
+// DatasetInfo summarises a catalogued dataset (stats plus the resolution and
+// scan counters that make the count caching observable).
+type DatasetInfo = store.Info
+
+// DatasetStoreLimits bounds what a DatasetStore accepts: catalog size, item
+// universe, and record count.
+type DatasetStoreLimits = store.Limits
+
+// DatasetPreload describes one dataset to catalogue at server construction:
+// a FIMI-format file or a synthetic generator.
+type DatasetPreload = store.Preload
+
+// ErrUnknownDataset reports a lookup of an uncatalogued dataset name; the
+// server maps it to a 404 with code "unknown_dataset".
+var ErrUnknownDataset = store.ErrUnknownDataset
+
+// NewDatasetStore returns an empty dataset catalog with the default limits.
+func NewDatasetStore() *DatasetStore { return store.New() }
+
+// NewDatasetStoreWithLimits returns an empty dataset catalog with the given
+// limits.
+func NewDatasetStoreWithLimits(lim DatasetStoreLimits) *DatasetStore {
+	return store.NewWithLimits(lim)
+}
+
+// GenerateSyntheticDataset builds one of the calibrated synthetic stand-ins
+// for the paper's datasets by kind: "bmspos", "kosarak" or "t40i10d100k".
+func GenerateSyntheticDataset(kind string, scale int, seed uint64) (*Dataset, error) {
+	return store.GenerateSynthetic(kind, scale, seed)
+}
+
+//
 // Empirical privacy auditing (internal/validate).
 //
 
@@ -365,8 +411,38 @@ type MechanismResponse = engine.Response
 type MechanismLimits = engine.Limits
 
 // RequestCommon holds the request fields shared by every mechanism: tenant,
-// epsilon, answers, monotonicity.
+// epsilon, answers (inline, or resolved from a named dataset and query
+// spec), monotonicity.
 type RequestCommon = engine.Common
+
+// QuerySpec names a counting-query workload over a catalogued dataset, in
+// place of inline answers: {"kind": "all_items"} or {"kind": "item_count",
+// "items": [...]}.
+type QuerySpec = engine.QuerySpec
+
+// QueryResolver turns (dataset, spec) into query answers; the server injects
+// a resolver backed by its DatasetStore, and direct engine callers can
+// inject their own via ResolveMechanismRequest.
+type QueryResolver = engine.Resolver
+
+// Query spec kinds accepted in QuerySpec.Kind.
+const (
+	// QueryAllItems asks for every item's count — the Section 7 workload.
+	QueryAllItems = engine.QueryAllItems
+	// QueryItemCount asks for the counts of an explicit item list.
+	QueryItemCount = engine.QueryItemCount
+)
+
+// ErrBadQuerySpec reports a malformed dataset/query combination; the server
+// maps it to a 400 with code "bad_query_spec".
+var ErrBadQuerySpec = engine.ErrBadQuerySpec
+
+// ResolveMechanismRequest fills a dataset-backed mechanism request's answers
+// in place through the given resolver, as the server does between decoding
+// and validation. It is a no-op for requests carrying inline answers.
+func ResolveMechanismRequest(req MechanismRequest, r QueryResolver) error {
+	return engine.ResolveRequest(req, r)
+}
 
 // Engine request/response bodies, shared by the HTTP API and direct engine
 // callers.

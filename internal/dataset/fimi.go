@@ -9,12 +9,30 @@ import (
 	"strings"
 )
 
+// FIMILimits bounds what the FIMI parser accepts, protecting callers that
+// parse untrusted input: without a MaxItemID cap, the single line
+// "2000000000" would give the parsed database a two-billion-item universe
+// whose count vector costs gigabytes to materialise. Fields that are zero or
+// negative mean unlimited.
+type FIMILimits struct {
+	// MaxRecords bounds the number of transactions.
+	MaxRecords int
+	// MaxItemID bounds the largest acceptable item identifier.
+	MaxItemID int32
+}
+
 // ReadFIMI parses a transaction database in the FIMI workshop text format:
 // one transaction per line, item identifiers separated by single spaces.
 // Blank lines are skipped. This is the format the original BMS-POS, Kosarak
 // and T40I10D100K files are distributed in, so real data can be substituted
 // for the synthetic stand-ins without code changes.
 func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
+	return ReadFIMILimited(r, name, FIMILimits{})
+}
+
+// ReadFIMILimited is ReadFIMI with input limits enforced during the parse,
+// for callers reading untrusted data (the dpserver upload endpoint).
+func ReadFIMILimited(r io.Reader, name string, lim FIMILimits) (*Transactions, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	var records [][]int32
@@ -25,6 +43,9 @@ func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
 		if text == "" {
 			continue
 		}
+		if lim.MaxRecords > 0 && len(records) >= lim.MaxRecords {
+			return nil, fmt.Errorf("dataset: line %d: more than %d records", line, lim.MaxRecords)
+		}
 		fields := strings.Fields(text)
 		record := make([]int32, 0, len(fields))
 		for _, f := range fields {
@@ -34,6 +55,9 @@ func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
 			}
 			if v < 0 {
 				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+			}
+			if lim.MaxItemID > 0 && v > int(lim.MaxItemID) {
+				return nil, fmt.Errorf("dataset: line %d: item id %d exceeds the limit of %d", line, v, lim.MaxItemID)
 			}
 			record = append(record, int32(v))
 		}
@@ -48,12 +72,18 @@ func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
 // ReadFIMIFile opens path and parses it with ReadFIMI, naming the dataset
 // after the file.
 func ReadFIMIFile(path string) (*Transactions, error) {
+	return ReadFIMIFileLimited(path, FIMILimits{})
+}
+
+// ReadFIMIFileLimited is ReadFIMIFile with input limits enforced during the
+// parse.
+func ReadFIMIFileLimited(path string, lim FIMILimits) (*Transactions, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	defer f.Close()
-	return ReadFIMI(f, path)
+	return ReadFIMILimited(f, path, lim)
 }
 
 // WriteFIMI writes the database in the FIMI text format.

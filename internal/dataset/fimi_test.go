@@ -30,6 +30,26 @@ func TestReadFIMIErrors(t *testing.T) {
 	}
 }
 
+func TestReadFIMILimited(t *testing.T) {
+	if _, err := ReadFIMILimited(strings.NewReader("1 2\n3\n4\n"), "t", FIMILimits{MaxRecords: 2}); err == nil {
+		t.Error("record count beyond the limit accepted")
+	}
+	if _, err := ReadFIMILimited(strings.NewReader("1 2000000000\n"), "t", FIMILimits{MaxItemID: 1000}); err == nil {
+		t.Error("item id beyond the limit accepted")
+	}
+	db, err := ReadFIMILimited(strings.NewReader("1 2\n3\n"), "t", FIMILimits{MaxRecords: 2, MaxItemID: 3})
+	if err != nil {
+		t.Fatalf("within limits: %v", err)
+	}
+	if db.NumRecords() != 2 || db.NumItems() != 4 {
+		t.Errorf("db = %d records, %d items", db.NumRecords(), db.NumItems())
+	}
+	// Zero limits mean unlimited, matching plain ReadFIMI.
+	if _, err := ReadFIMILimited(strings.NewReader("1 2\n3\n4\n"), "t", FIMILimits{}); err != nil {
+		t.Errorf("unlimited parse failed: %v", err)
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	db := smallDB()
 	var buf bytes.Buffer

@@ -51,17 +51,26 @@ type Limits struct {
 }
 
 // Common holds the request fields shared by every mechanism: who pays, how
-// much, and over which query answers.
+// much, and over which query answers. The answers come in one of two ways —
+// inline (the client computed them) or resolved server-side by naming a
+// catalogued Dataset plus a QuerySpec, the paper's curator trust model.
 type Common struct {
 	// Tenant identifies whose privacy budget pays for the query.
 	Tenant string `json:"tenant"`
 	// Epsilon is the privacy budget this request spends (or reserves).
 	Epsilon float64 `json:"epsilon"`
-	// Answers are the true query answers (sensitivity 1 each).
-	Answers []float64 `json:"answers"`
+	// Answers are the true query answers (sensitivity 1 each). Leave empty
+	// when Dataset and Queries are set; ResolveRequest fills them before
+	// validation.
+	Answers []float64 `json:"answers,omitempty"`
 	// Monotonic declares a monotonic (e.g. counting) query list, halving the
-	// required noise scale.
+	// required noise scale. Resolved counting queries set it automatically.
 	Monotonic bool `json:"monotonic,omitempty"`
+	// Dataset names a server-side catalogued dataset to answer Queries
+	// against, in place of inline Answers.
+	Dataset string `json:"dataset,omitempty"`
+	// Queries is the counting-query spec resolved against Dataset.
+	Queries *QuerySpec `json:"queries,omitempty"`
 }
 
 // Base returns the shared fields; embedding Common gives every concrete
@@ -77,7 +86,7 @@ func (c *Common) validate(lim Limits) error {
 		return fmt.Errorf("epsilon %v must be finite and at least %g", c.Epsilon, MinEpsilon)
 	}
 	if len(c.Answers) == 0 {
-		return errors.New("answers must be non-empty")
+		return errors.New("answers must be non-empty (inline, or resolved from a dataset and query spec)")
 	}
 	if lim.MaxAnswers > 0 && len(c.Answers) > lim.MaxAnswers {
 		return fmt.Errorf("%d answers exceeds the server limit of %d", len(c.Answers), lim.MaxAnswers)

@@ -1,0 +1,100 @@
+package engine
+
+// Server-side query resolution. A request may, instead of carrying inline
+// answers, name a catalogued dataset and a counting-query spec; the executing
+// layer resolves the spec into answers exactly once, between decoding and
+// validation (decode → resolve → validate → charge → execute), through a
+// Resolver it injects. The engine defines only the contract — the serving
+// layer backs the Resolver with its dataset store — so mechanisms, the batch
+// executor and the CLIs all gain dataset-backed queries without knowing where
+// the data lives.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Query spec kinds accepted in Common.Queries.
+const (
+	// QueryAllItems asks for the count of every item in the dataset's
+	// universe — one sensitivity-1 monotonic counting query per item, the
+	// exact workload of the paper's Section 7.
+	QueryAllItems = "all_items"
+	// QueryItemCount asks for the counts of an explicit item list.
+	QueryItemCount = "item_count"
+)
+
+// ErrBadQuerySpec reports a malformed dataset/query combination: an unknown
+// kind, a missing or superfluous item list, a query spec without a dataset
+// (or vice versa), or inline answers alongside a dataset. Callers map it to
+// the "bad_query_spec" API error code.
+var ErrBadQuerySpec = errors.New("engine: bad query spec")
+
+// QuerySpec names a counting-query workload over a catalogued dataset, in
+// place of inline answers.
+type QuerySpec struct {
+	// Kind selects the workload: QueryAllItems or QueryItemCount.
+	Kind string `json:"kind"`
+	// Items lists the queried item ids for kind "item_count"; it must be
+	// empty for "all_items".
+	Items []int32 `json:"items,omitempty"`
+}
+
+// Validate rejects malformed specs with ErrBadQuerySpec.
+func (q *QuerySpec) Validate() error {
+	switch q.Kind {
+	case QueryAllItems:
+		if len(q.Items) != 0 {
+			return fmt.Errorf("%w: items must be empty for kind %q", ErrBadQuerySpec, QueryAllItems)
+		}
+	case QueryItemCount:
+		if len(q.Items) == 0 {
+			return fmt.Errorf("%w: kind %q needs a non-empty items list", ErrBadQuerySpec, QueryItemCount)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q (valid: %q, %q)", ErrBadQuerySpec, q.Kind, QueryItemCount, QueryAllItems)
+	}
+	return nil
+}
+
+// Resolver turns (dataset, spec) into query answers. The serving layer
+// injects an implementation backed by its dataset catalog; monotonic reports
+// whether the resolved queries form a monotonic list (true for counting
+// queries), letting the mechanisms use the halved noise scale.
+type Resolver interface {
+	Resolve(dataset string, spec *QuerySpec) (answers []float64, monotonic bool, err error)
+}
+
+// ResolveRequest fills a dataset-backed request's answers in place, through
+// r. It is a no-op for requests with inline answers, so the executing layer
+// calls it unconditionally between decode and Validate. A request that names
+// a dataset must carry a query spec and no inline answers; violations return
+// ErrBadQuerySpec, and r's errors (e.g. an unknown dataset) pass through
+// unwrapped so callers can classify them.
+func ResolveRequest(req Request, r Resolver) error {
+	c := req.Base()
+	switch {
+	case c.Dataset == "" && c.Queries == nil:
+		return nil
+	case c.Dataset == "":
+		return fmt.Errorf("%w: a query spec needs a dataset name", ErrBadQuerySpec)
+	case c.Queries == nil:
+		return fmt.Errorf("%w: dataset %q given without a query spec", ErrBadQuerySpec, c.Dataset)
+	case len(c.Answers) != 0:
+		return fmt.Errorf("%w: request carries both inline answers and dataset %q", ErrBadQuerySpec, c.Dataset)
+	case r == nil:
+		return fmt.Errorf("%w: this caller serves no datasets", ErrBadQuerySpec)
+	}
+	if err := c.Queries.Validate(); err != nil {
+		return err
+	}
+	answers, monotonic, err := r.Resolve(c.Dataset, c.Queries)
+	if err != nil {
+		return err
+	}
+	c.Answers = answers
+	// Counting queries are monotonic whether or not the client said so;
+	// never downgrade an explicitly monotonic request.
+	c.Monotonic = c.Monotonic || monotonic
+	return nil
+}

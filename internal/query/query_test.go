@@ -58,6 +58,41 @@ func TestBatchEvaluateMatchesItemCounts(t *testing.T) {
 	}
 }
 
+// TestBatchEvaluateFastPath pins the single-pass item-count evaluation: an
+// all-item-count batch — in any order, with repeats and out-of-universe
+// items — must produce exactly what per-query evaluation produces.
+func TestBatchEvaluateFastPath(t *testing.T) {
+	db := toyDB()
+	queries := []Query{
+		ItemCount{Item: 3},
+		ItemCount{Item: 0},
+		ItemCount{Item: 3},  // repeated
+		ItemCount{Item: 99}, // outside the universe: counts zero
+	}
+	batch := NewBatch(queries, true)
+	got := batch.Evaluate(db)
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		want[i] = q.Evaluate(db)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("answers[%d] = %v, want %v (query %s)", i, got[i], want[i], queries[i].Describe())
+		}
+	}
+}
+
+// TestBatchEvaluateMixedFallsBack checks that a batch holding a non-item-
+// count query still evaluates per query.
+func TestBatchEvaluateMixedFallsBack(t *testing.T) {
+	db := toyDB()
+	batch := NewBatch([]Query{ItemCount{Item: 2}, fixedSensQuery{s: 1}}, false)
+	got := batch.Evaluate(db)
+	if got[0] != 4 || got[1] != 0 {
+		t.Errorf("answers = %v, want [4 0]", got)
+	}
+}
+
 func TestNewBatchTakesMaxSensitivity(t *testing.T) {
 	b := NewBatch([]Query{ItemCount{0}, fixedSensQuery{3}}, false)
 	if b.Sensitivity() != 3 {

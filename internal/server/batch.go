@@ -82,6 +82,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		default:
 			return badRequest(w, fmt.Errorf("requests[%d]: tenant %q does not match the batch tenant %q", i, base.Tenant, req.Tenant))
 		}
+		// Resolve dataset-backed items before validation, like the single
+		// path does; a resolution failure rejects the whole batch with the
+		// item's structured code, keeping the charge all-or-nothing.
+		if err := engine.ResolveRequest(mreq, s.resolver()); err != nil {
+			return s.writeResolveError(w, fmt.Errorf("requests[%d]: %w", i, err))
+		}
 		if err := mech.Validate(mreq, lim); err != nil {
 			return badRequest(w, fmt.Errorf("requests[%d]: %v", i, err))
 		}

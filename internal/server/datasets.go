@@ -1,0 +1,189 @@
+package server
+
+// The dataset API and the query-resolution step. POST /v1/datasets
+// catalogues a dataset (FIMI-format upload or synthetic generator) in the
+// server-side store, precomputing its item-count vector once; GET /v1/datasets
+// and GET /v1/datasets/{name} expose the inventory. Mechanism requests that
+// name a dataset plus a query spec are resolved against the cached counts in
+// the generic pipeline (decode → resolve → validate → charge → execute), so
+// every mechanism — raw, pipeline, and batched — gains dataset-backed
+// queries without per-request transaction scans.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/store"
+	"github.com/freegap/freegap/internal/telemetry"
+)
+
+// mechDatasets is the metrics label for the dataset management endpoints.
+const mechDatasets = "datasets"
+
+// storeResolver adapts the dataset store to the engine's Resolver contract,
+// counting each resolution in the per-dataset telemetry series. Item counts
+// are sensitivity-1 monotonic counting queries, so resolved requests always
+// report monotonic = true and get the halved noise scale.
+type storeResolver struct{ s *Server }
+
+func (r storeResolver) Resolve(name string, spec *engine.QuerySpec) ([]float64, bool, error) {
+	e, err := r.s.datasets.Get(name)
+	if err != nil {
+		return nil, false, err
+	}
+	var answers []float64
+	switch spec.Kind {
+	case engine.QueryAllItems:
+		// The cached slice itself: zero copies, zero scans. Mechanisms treat
+		// answers as read-only, so sharing it across requests is safe.
+		answers = e.ResolveAll()
+	case engine.QueryItemCount:
+		answers, err = e.ResolveItems(spec.Items)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", engine.ErrBadQuerySpec, err)
+		}
+	default:
+		// Unreachable: ResolveRequest validates the spec before calling the
+		// resolver; kept as a guard for direct callers.
+		return nil, false, fmt.Errorf("%w: unknown kind %q", engine.ErrBadQuerySpec, spec.Kind)
+	}
+	r.s.datasetResolvedCounter(name).Inc()
+	return answers, true, nil
+}
+
+// resolver returns the engine Resolver backed by the server's dataset store.
+func (s *Server) resolver() engine.Resolver { return storeResolver{s} }
+
+// resolve fills a dataset-backed request's answers from the catalog. On
+// failure it writes the error response and returns (outcome, false).
+func (s *Server) resolve(w http.ResponseWriter, req engine.Request) (string, bool) {
+	if err := engine.ResolveRequest(req, s.resolver()); err != nil {
+		return s.writeResolveError(w, err), false
+	}
+	return "", true
+}
+
+// writeResolveError maps a resolution failure to its structured error
+// response: unknown datasets are 404s with code "unknown_dataset", malformed
+// dataset/query combinations are 400s with code "bad_query_spec", so clients
+// can branch on machine-readable codes the same way they do for
+// "budget_exhausted".
+func (s *Server) writeResolveError(w http.ResponseWriter, err error) string {
+	switch {
+	case errors.Is(err, store.ErrUnknownDataset):
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return CodeUnknownDataset
+	case errors.Is(err, engine.ErrBadQuerySpec):
+		writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeBadQuerySpec, Message: err.Error()})
+		return CodeBadQuerySpec
+	default:
+		return badRequest(w, err)
+	}
+}
+
+// datasetResolvedCounter returns the per-dataset resolution counter, cached
+// in datasetHot so the resolve path pays one atomic add per event.
+func (s *Server) datasetResolvedCounter(name string) *telemetry.Counter {
+	if c, ok := s.datasetHot.Load(name); ok {
+		return c.(*telemetry.Counter)
+	}
+	return s.registerDatasetTelemetry(name)
+}
+
+// registerDatasetTelemetry provisions (and caches) the telemetry series for
+// one catalogued dataset and refreshes the catalog-size gauge.
+func (s *Server) registerDatasetTelemetry(name string) *telemetry.Counter {
+	c := s.telemetry.Counter("freegap_dataset_resolved_total", telemetry.L("dataset", name))
+	s.datasetHot.Store(name, c)
+	s.telemetry.Gauge("freegap_datasets").Set(int64(s.datasets.Len()))
+	return c
+}
+
+// RegisterDataset catalogues db under name with full serving support:
+// registration in the store plus the per-dataset telemetry series. It is the
+// programmatic equivalent of POST /v1/datasets for callers embedding the
+// server.
+func (s *Server) RegisterDataset(name, source string, db *dataset.Transactions) (*store.Entry, error) {
+	e, err := s.datasets.Register(name, source, db)
+	if err != nil {
+		return nil, err
+	}
+	s.registerDatasetTelemetry(name)
+	return e, nil
+}
+
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	s.countRequest(mechDatasets, s.serveDatasetUpload(w, r))
+}
+
+func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) string {
+	var req DatasetUploadRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	if err := store.ValidName(req.Name); err != nil {
+		return badRequest(w, err)
+	}
+
+	var (
+		db     *dataset.Transactions
+		source string
+	)
+	switch {
+	case req.FIMI != "" && req.Synthetic != nil:
+		return badRequest(w, errors.New("exactly one of fimi and synthetic must be set"))
+	case req.FIMI != "":
+		// The body-size cap already bounds the upload; the parse limits —
+		// the same caps the catalog's Register enforces — keep a small body
+		// from declaring a huge item universe.
+		lim := s.datasets.Limits()
+		parsed, err := dataset.ReadFIMILimited(strings.NewReader(req.FIMI), req.Name, dataset.FIMILimits{
+			MaxRecords: lim.MaxRecords,
+			MaxItemID:  int32(lim.MaxItems) - 1,
+		})
+		if err != nil {
+			return badRequest(w, err)
+		}
+		db, source = parsed, "upload:fimi"
+	case req.Synthetic != nil:
+		generated, err := store.GenerateSynthetic(req.Synthetic.Kind, req.Synthetic.Scale, req.Synthetic.Seed)
+		if err != nil {
+			return badRequest(w, err)
+		}
+		db, source = generated, "synthetic:"+strings.ToLower(req.Synthetic.Kind)
+	default:
+		return badRequest(w, errors.New("exactly one of fimi and synthetic must be set"))
+	}
+
+	entry, err := s.RegisterDataset(req.Name, source, db)
+	if err != nil {
+		if errors.Is(err, store.ErrDatasetExists) {
+			writeError(w, http.StatusConflict, ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
+			return CodeDatasetExists
+		}
+		return badRequest(w, err)
+	}
+	writeJSON(w, http.StatusCreated, entry.Info())
+	return "ok"
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	s.countRequest(mechDatasets, "ok")
+	writeJSON(w, http.StatusOK, DatasetListResponse{Datasets: s.datasets.List()})
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, err := s.datasets.Get(name)
+	if err != nil {
+		s.countRequest(mechDatasets, CodeUnknownDataset)
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return
+	}
+	s.countRequest(mechDatasets, "ok")
+	writeJSON(w, http.StatusOK, entry.Info())
+}

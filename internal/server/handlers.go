@@ -21,6 +21,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tenants:       s.reg.Len(),
 		Workers:       s.cfg.Workers,
 		Mechanisms:    s.mechNames,
+		Datasets:      s.datasets.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
@@ -68,6 +69,12 @@ func (s *Server) handleMechanism(mech engine.Mechanism) http.HandlerFunc {
 func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech engine.Mechanism) string {
 	req := mech.NewRequest()
 	if code, ok := s.decode(w, r, req); !ok {
+		return code
+	}
+	// Dataset-backed requests get their answers filled from the catalog's
+	// cached item counts before validation, so Validate (and therefore the
+	// charge) sees exactly what the mechanism will run on.
+	if code, ok := s.resolve(w, req); !ok {
 		return code
 	}
 	if err := mech.Validate(req, s.limits()); err != nil {

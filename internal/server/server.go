@@ -13,9 +13,20 @@
 //	POST /v1/pipeline/topk         Section 5.2 select–measure–refine pipeline
 //	POST /v1/pipeline/svt          Section 6.2 threshold pipeline
 //	POST /v1/batch                 up to MaxBatch requests, atomically charged
+//	POST /v1/datasets              catalogue a dataset (FIMI upload or synthetic)
+//	GET  /v1/datasets              list the catalogued datasets with stats
+//	GET  /v1/datasets/{name}       one dataset's stats and resolution counters
 //	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
+//
+// Requests to any mechanism endpoint may, instead of carrying inline
+// answers, name a catalogued dataset and a counting-query spec
+// ({"dataset": "sales", "queries": {"kind": "all_items"}}); the server
+// resolves the spec against the dataset's item-count vector — precomputed
+// once at registration, never rescanned per request — before validation and
+// charging. This is the paper's trust model: the curator holds the
+// transaction database and answers counting queries under DP.
 //
 // The mechanism endpoints are not hand-written: the server walks the engine
 // registry and mounts one generic handler (decode → validate → charge →
@@ -40,9 +51,11 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/telemetry"
 )
 
@@ -96,12 +109,22 @@ type Config struct {
 	// routes and hot-path counters are mounted once at construction, so
 	// later registrations are not served.
 	Mechanisms *engine.Registry
+	// Datasets is the server-side dataset catalog that dataset-backed
+	// requests resolve against and the /v1/datasets endpoints manage
+	// (default an empty store.New()). Supply a store built with
+	// store.NewWithLimits to change the catalog limits.
+	Datasets *store.Store
+	// Preload registers datasets into the catalog at construction — FIMI
+	// files or synthetic generators — so the server starts with a served
+	// data inventory (cmd/dpserver fills it from its -preload flags).
+	Preload []store.Preload
 }
 
-// reservedMechanismNames are engine names New rejects: "batch" and "tenants"
-// because their /v1/<name> routes are taken by fixed endpoints, and "unknown"
-// because it is the pinned metric label for unknown-mechanism 404s.
-var reservedMechanismNames = map[string]bool{"batch": true, "tenants": true, "unknown": true}
+// reservedMechanismNames are engine names New rejects: "batch", "tenants"
+// and "datasets" because their /v1/<name> routes are taken by fixed
+// endpoints, and "unknown" because it is the pinned metric label for
+// unknown-mechanism 404s.
+var reservedMechanismNames = map[string]bool{"batch": true, "tenants": true, "datasets": true, "unknown": true}
 
 func (c Config) withDefaults() (Config, error) {
 	if c.TenantBudget == 0 {
@@ -143,6 +166,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mechanisms == nil {
 		c.Mechanisms = engine.DefaultRegistry()
 	}
+	if c.Datasets == nil {
+		c.Datasets = store.New()
+	}
 	if c.Seed == 0 {
 		var b [8]byte
 		if _, err := cryptorand.Read(b[:]); err != nil {
@@ -168,6 +194,11 @@ type Server struct {
 	mechNames  []string
 	mechByName map[string]engine.Mechanism
 	reg        *Registry
+	datasets   *store.Store
+	// datasetHot caches the per-dataset resolution counter (dataset name →
+	// *telemetry.Counter) so the resolve path pays one atomic add instead of
+	// a registry lookup; entries are added as datasets are registered.
+	datasetHot sync.Map
 	pool       *workerPool
 	mux        *http.ServeMux
 	telemetry  *telemetry.CounterSet
@@ -187,9 +218,10 @@ type hotCounters struct {
 }
 
 func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters {
-	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, "unknown")
-	outcomes := []string{"ok", CodeInvalidRequest, CodeUnknownMechanism, CodeBudgetExhausted,
-		CodeTenantLimit, CodeCancelled, CodeRequestTooLarge, CodeUnavailable, CodeInternal}
+	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, mechDatasets, "unknown")
+	outcomes := []string{"ok", CodeInvalidRequest, CodeUnknownMechanism, CodeUnknownDataset,
+		CodeBadQuerySpec, CodeBudgetExhausted, CodeTenantLimit, CodeCancelled,
+		CodeRequestTooLarge, CodeUnavailable, CodeInternal}
 	hot := hotCounters{
 		inFlight:  set.Gauge("freegap_in_flight_requests"),
 		requests:  make(map[string]map[string]*telemetry.Counter, len(mechanisms)),
@@ -234,6 +266,7 @@ func New(cfg Config) (*Server, error) {
 		mechNames:  names,
 		mechByName: byName,
 		reg:        reg,
+		datasets:   cfg.Datasets,
 		pool:       newWorkerPool(cfg.Workers, cfg.Seed),
 		mux:        http.NewServeMux(),
 		telemetry:  telemetry.NewCounterSet(),
@@ -248,7 +281,20 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_requests_total", "DP query requests by mechanism and outcome code.")
 	s.telemetry.Help("freegap_budget_exhausted_total", "Requests rejected because the tenant budget was exhausted.")
 	s.telemetry.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
+	s.telemetry.Help("freegap_datasets", "Datasets in the server-side catalog.")
+	s.telemetry.Help("freegap_dataset_resolved_total", "Query resolutions served from a dataset's cached item counts.")
 	s.hot = newHotCounters(s.telemetry, s.mechNames)
+	// Seed the dataset telemetry with whatever the caller already catalogued,
+	// then apply the preloads.
+	for _, name := range s.datasets.Names() {
+		s.registerDatasetTelemetry(name)
+	}
+	for _, p := range cfg.Preload {
+		if _, err := p.Load(s.datasets); err != nil {
+			return nil, fmt.Errorf("server: preloading dataset %q: %w", p.Name, err)
+		}
+		s.registerDatasetTelemetry(p.Name)
+	}
 	s.routes()
 	return s, nil
 }
@@ -262,6 +308,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/budget", s.handleBudget)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
 	for _, name := range s.mechNames {
 		s.mux.Handle("POST /v1/"+name, s.handleMechanism(s.mechByName[name]))
 	}
@@ -275,6 +324,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the tenant registry (used by the CLI for startup logging
 // and by tests).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Datasets exposes the server-side dataset catalog. Datasets registered
+// directly into it are served, but only registrations made through the
+// server (the /v1/datasets endpoint, Config.Preload, or RegisterDataset) get
+// a per-dataset telemetry series.
+func (s *Server) Datasets() *store.Store { return s.datasets }
 
 // Mechanisms exposes the engine registry the server dispatches on. Routes
 // are mounted once at construction, so registering into it after New does

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 
 	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/store"
 )
 
 // Mechanism request/response bodies, defined by the engine.
@@ -92,6 +93,45 @@ type BatchResponse struct {
 	BudgetRemaining float64 `json:"budget_remaining"`
 }
 
+// QuerySpec is the counting-query spec of a dataset-backed mechanism
+// request, defined by the engine.
+type QuerySpec = engine.QuerySpec
+
+// DatasetInfo summarises one catalogued dataset, as returned by the dataset
+// endpoints.
+type DatasetInfo = store.Info
+
+// DatasetUploadRequest is the body of POST /v1/datasets: exactly one of FIMI
+// (inline transaction data) and Synthetic (a calibrated generator) must be
+// set. The registered dataset is immutable; its item counts are precomputed
+// once so dataset-backed queries never rescan it.
+type DatasetUploadRequest struct {
+	// Name is the catalog key the dataset is registered and queried under.
+	Name string `json:"name"`
+	// FIMI is the transaction data in the FIMI text format: one transaction
+	// per line, space-separated non-negative item ids.
+	FIMI string `json:"fimi,omitempty"`
+	// Synthetic generates one of the paper's calibrated synthetic stand-ins
+	// instead of parsing uploaded data.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+}
+
+// SyntheticSpec names a synthetic dataset generator.
+type SyntheticSpec struct {
+	// Kind is "bmspos", "kosarak" or "t40i10d100k".
+	Kind string `json:"kind"`
+	// Scale divides the generated transaction count (<= 1 means full size).
+	Scale int `json:"scale,omitempty"`
+	// Seed seeds the generator (0 picks a fixed default).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DatasetListResponse is the body of GET /v1/datasets.
+type DatasetListResponse struct {
+	// Datasets lists every catalogued dataset in name order.
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
 // BudgetResponse is the body of GET /v1/tenants/{id}/budget.
 type BudgetResponse struct {
 	Tenant string `json:"tenant"`
@@ -118,6 +158,8 @@ type HealthResponse struct {
 	Workers int `json:"workers"`
 	// Mechanisms lists the servable mechanism names.
 	Mechanisms []string `json:"mechanisms"`
+	// Datasets is the number of catalogued datasets.
+	Datasets int `json:"datasets"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -127,6 +169,9 @@ const (
 	CodeInvalidRequest   = "invalid_request"
 	CodeUnknownMechanism = "unknown_mechanism"
 	CodeUnknownTenant    = "unknown_tenant"
+	CodeUnknownDataset   = "unknown_dataset"
+	CodeBadQuerySpec     = "bad_query_spec"
+	CodeDatasetExists    = "dataset_exists"
 	CodeBudgetExhausted  = "budget_exhausted"
 	CodeTenantLimit      = "tenant_limit"
 	CodeCancelled        = "cancelled"

@@ -1,0 +1,355 @@
+// Package store is the server-side dataset catalog: a concurrency-safe
+// registry of named, immutable transaction databases that the serving layer
+// resolves counting-query workloads against. Registering a dataset — from a
+// FIMI-format upload, a synthetic generator, or a preload file — precomputes
+// its item-count vector exactly once; every resolved request afterwards is
+// served from that cached read-only slice, so the hot path never rescans the
+// transactions. This is the curator trust model of the paper: the server
+// holds the data and answers sensitivity-1 counting queries under DP, instead
+// of clients shipping precomputed answers with every request.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/freegap/freegap/internal/dataset"
+)
+
+// MaxNameLen bounds dataset names; they become URL path segments
+// (GET /v1/datasets/{name}) and telemetry label values.
+const MaxNameLen = 64
+
+// Default catalog limits applied by New.
+const (
+	// DefaultMaxDatasets bounds how many datasets a catalog holds.
+	DefaultMaxDatasets = 1024
+	// DefaultMaxItems bounds the item universe of one dataset. Each distinct
+	// item costs 8 bytes in the cached count vector, so an unbounded upload
+	// containing the single line "2000000000" would otherwise materialise a
+	// multi-gigabyte slice. It deliberately equals the serving layer's
+	// default per-request answer cap (server.DefaultMaxAnswers), so a
+	// catalogued dataset's all_items workload is always servable.
+	DefaultMaxItems = 1 << 20
+	// DefaultMaxRecords bounds the transaction count of one dataset.
+	DefaultMaxRecords = 1 << 24
+)
+
+// Sentinel errors, exposed so callers can map them to API error codes.
+var (
+	// ErrUnknownDataset reports a lookup of an uncatalogued name.
+	ErrUnknownDataset = errors.New("store: unknown dataset")
+	// ErrDatasetExists reports a registration under a taken name.
+	ErrDatasetExists = errors.New("store: dataset already registered")
+)
+
+// Limits bounds what a catalog accepts. Zero fields mean the package
+// defaults, negative fields mean unlimited.
+type Limits struct {
+	// MaxDatasets bounds the number of catalogued datasets.
+	MaxDatasets int
+	// MaxItems bounds a dataset's item universe (max item id + 1).
+	MaxItems int
+	// MaxRecords bounds a dataset's transaction count.
+	MaxRecords int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxDatasets == 0 {
+		l.MaxDatasets = DefaultMaxDatasets
+	}
+	if l.MaxItems == 0 {
+		l.MaxItems = DefaultMaxItems
+	}
+	if l.MaxRecords == 0 {
+		l.MaxRecords = DefaultMaxRecords
+	}
+	return l
+}
+
+// Store is the concurrency-safe dataset catalog. Registration normally
+// happens at startup (preloads) or through the dataset API; lookups happen on
+// every resolved request.
+type Store struct {
+	limits Limits
+	mu     sync.RWMutex
+	byName map[string]*Entry
+}
+
+// New returns an empty catalog with the default limits.
+func New() *Store { return NewWithLimits(Limits{}) }
+
+// NewWithLimits returns an empty catalog with the given limits.
+func NewWithLimits(lim Limits) *Store {
+	return &Store{limits: lim.withDefaults(), byName: make(map[string]*Entry)}
+}
+
+// Limits returns the catalog's effective limits (after defaulting), so
+// ingestion paths (uploads, preloads) can enforce the same caps at parse
+// time that Register enforces at registration.
+func (s *Store) Limits() Limits { return s.limits }
+
+// Entry is one catalogued dataset: the immutable transactions plus the
+// item-count vector precomputed at registration. The counters make the
+// caching observable: CountScans stays at 1 however many requests resolve
+// against the entry.
+type Entry struct {
+	name    string
+	source  string
+	db      *dataset.Transactions
+	counts  []float64     // precomputed once; treated as read-only ever after
+	stats   dataset.Stats // precomputed once; Info would otherwise rescan for MeanLength
+	created time.Time
+
+	resolutions atomic.Uint64 // query resolutions served from the cache
+	scans       atomic.Uint64 // full transaction scans (the registration precompute)
+}
+
+// Info summarises an entry for the dataset API.
+type Info struct {
+	// Name is the catalog key.
+	Name string `json:"name"`
+	// Source records where the dataset came from (e.g. "upload:fimi",
+	// "synthetic:bmspos", "file:/data/kosarak.dat").
+	Source string `json:"source"`
+	// Records is the number of transactions.
+	Records int `json:"records"`
+	// Items is the size of the item universe (max item id + 1).
+	Items int `json:"items"`
+	// MeanLength is the average transaction length.
+	MeanLength float64 `json:"mean_length"`
+	// Resolutions counts query resolutions served from the cached counts.
+	Resolutions uint64 `json:"resolutions"`
+	// CountScans counts full transaction scans; it stays at 1 (the
+	// registration precompute) no matter how many requests resolve.
+	CountScans uint64 `json:"count_scans"`
+	// CreatedAt is the registration time.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// ValidName reports whether name is acceptable as a catalog key: non-empty,
+// at most MaxNameLen bytes of [a-z0-9._-], so it can be embedded verbatim in
+// a route pattern and a Prometheus label.
+func ValidName(name string) error {
+	if name == "" {
+		return errors.New("store: dataset name must be non-empty")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("store: dataset name %q longer than %d bytes", name, MaxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("store: dataset name %q contains %q (allowed: a-z, 0-9, '.', '_', '-')", name, c)
+		}
+	}
+	return nil
+}
+
+// Register catalogues db under name, precomputing its item-count vector. The
+// database must not be mutated by the caller afterwards. source is a short
+// free-form provenance label carried into Info.
+func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry, error) {
+	if err := ValidName(name); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nil, errors.New("store: nil dataset")
+	}
+	if s.limits.MaxRecords > 0 && db.NumRecords() > s.limits.MaxRecords {
+		return nil, fmt.Errorf("store: dataset %q has %d records, exceeding the limit of %d", name, db.NumRecords(), s.limits.MaxRecords)
+	}
+	if s.limits.MaxItems > 0 && db.NumItems() > s.limits.MaxItems {
+		return nil, fmt.Errorf("store: dataset %q has an item universe of %d, exceeding the limit of %d", name, db.NumItems(), s.limits.MaxItems)
+	}
+	// Cheap duplicate pre-check so a taken name fails before the (possibly
+	// expensive) count precompute; the authoritative check re-runs under the
+	// write lock below.
+	s.mu.RLock()
+	_, taken := s.byName[name]
+	full := s.limits.MaxDatasets > 0 && len(s.byName) >= s.limits.MaxDatasets
+	s.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	if full {
+		return nil, fmt.Errorf("store: catalog holds %d datasets, the maximum", s.limits.MaxDatasets)
+	}
+
+	e := &Entry{name: name, source: source, db: db, stats: db.Stats(), created: time.Now()}
+	e.scans.Add(1)
+	e.counts = db.ItemCounts() // the one and only scan for this entry
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	if s.limits.MaxDatasets > 0 && len(s.byName) >= s.limits.MaxDatasets {
+		return nil, fmt.Errorf("store: catalog holds %d datasets, the maximum", s.limits.MaxDatasets)
+	}
+	s.byName[name] = e
+	return e, nil
+}
+
+// Get returns the entry catalogued under name.
+func (s *Store) Get(name string) (*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return e, nil
+}
+
+// Len returns the number of catalogued datasets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
+}
+
+// Names returns the catalogued names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byName))
+	for name := range s.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns every entry's Info in name order.
+func (s *Store) List() []Info {
+	s.mu.RLock()
+	entries := make([]*Entry, 0, len(s.byName))
+	for _, e := range s.byName {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// Name returns the catalog key.
+func (e *Entry) Name() string { return e.name }
+
+// Dataset returns the underlying transactions (read-only by contract).
+func (e *Entry) Dataset() *dataset.Transactions { return e.db }
+
+// Info summarises the entry from the stats precomputed at registration.
+func (e *Entry) Info() Info {
+	return Info{
+		Name:        e.name,
+		Source:      e.source,
+		Records:     e.stats.Records,
+		Items:       e.stats.Items,
+		MeanLength:  e.stats.MeanLength,
+		Resolutions: e.resolutions.Load(),
+		CountScans:  e.scans.Load(),
+		CreatedAt:   e.created,
+	}
+}
+
+// ResolveAll returns the cached item-count vector — one sensitivity-1
+// monotonic counting query per item in the universe, the exact Section 7
+// workload. The returned slice is shared and must not be modified.
+func (e *Entry) ResolveAll() []float64 {
+	e.resolutions.Add(1)
+	return e.counts
+}
+
+// ResolveItems returns the counts of the given items, answered by indexing
+// the cached vector (never by rescanning the transactions). Items beyond the
+// universe legitimately count zero; negative ids are rejected.
+func (e *Entry) ResolveItems(items []int32) ([]float64, error) {
+	out := make([]float64, len(items))
+	for i, it := range items {
+		if it < 0 {
+			return nil, fmt.Errorf("store: items[%d] = %d is negative", i, it)
+		}
+		if int(it) < len(e.counts) {
+			out[i] = e.counts[int(it)]
+		}
+	}
+	e.resolutions.Add(1)
+	return out, nil
+}
+
+// Resolutions returns how many query resolutions the entry has served.
+func (e *Entry) Resolutions() uint64 { return e.resolutions.Load() }
+
+// CountScans returns how many full transaction scans the entry has performed;
+// it stays at 1 (the registration precompute) however many requests resolve.
+func (e *Entry) CountScans() uint64 { return e.scans.Load() }
+
+// GenerateSynthetic builds one of the calibrated synthetic stand-ins for the
+// paper's Section 7 datasets by kind: "bmspos", "kosarak" or "t40i10d100k"
+// (alias "quest"). scale divides the transaction count for fast runs
+// (<= 1 means full size).
+func GenerateSynthetic(kind string, scale int, seed uint64) (*dataset.Transactions, error) {
+	switch strings.ToLower(kind) {
+	case "bmspos":
+		return dataset.BMSPOSConfig().ScaledDown(scale).Generate(seed), nil
+	case "kosarak":
+		return dataset.KosarakConfig().ScaledDown(scale).Generate(seed), nil
+	case "t40i10d100k", "quest":
+		return dataset.T40I10D100KConfig().ScaledDown(scale).Generate(seed), nil
+	default:
+		return nil, fmt.Errorf("store: unknown synthetic dataset kind %q (valid: bmspos, kosarak, t40i10d100k)", kind)
+	}
+}
+
+// Preload describes one dataset to catalogue at server construction: either a
+// FIMI-format file (Path) or a synthetic generator (Synthetic), never both.
+type Preload struct {
+	// Name is the catalog key to register under.
+	Name string
+	// Path is a FIMI-format transaction file to load.
+	Path string
+	// Synthetic is a synthetic dataset kind accepted by GenerateSynthetic.
+	Synthetic string
+	// Scale divides the synthetic transaction count (<= 1 means full size).
+	Scale int
+	// Seed seeds the synthetic generator.
+	Seed uint64
+}
+
+// Load materialises the preload and registers it into s.
+func (p Preload) Load(s *Store) (*Entry, error) {
+	switch {
+	case p.Path != "" && p.Synthetic != "":
+		return nil, fmt.Errorf("store: preload %q names both a file and a synthetic kind", p.Name)
+	case p.Path != "":
+		db, err := dataset.ReadFIMIFileLimited(p.Path, dataset.FIMILimits{
+			MaxRecords: s.limits.MaxRecords,
+			MaxItemID:  int32(s.limits.MaxItems) - 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s.Register(p.Name, "file:"+p.Path, db)
+	case p.Synthetic != "":
+		db, err := GenerateSynthetic(p.Synthetic, p.Scale, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return s.Register(p.Name, "synthetic:"+strings.ToLower(p.Synthetic), db)
+	default:
+		return nil, fmt.Errorf("store: preload %q names neither a file nor a synthetic kind", p.Name)
+	}
+}
