@@ -7,6 +7,8 @@
 //	dpserver -addr :8080 -budget 10 -workers 8
 //	dpserver -addr :8080 -seed 42 -workers 1   # fully deterministic (testing)
 //	dpserver -preload sales=/data/bmspos.dat -preload-synthetic demo=kosarak:100
+//	dpserver -state-dir /var/lib/dpserver          # durable budgets & datasets
+//	dpserver -state-dir /var/lib/dpserver -fsync always
 //
 // Endpoints (one per mechanism registered in the engine, plus operations):
 //
@@ -69,7 +71,17 @@ func main() {
 	}
 }
 
-func parseConfig(args []string) (freegap.ServerConfig, error) {
+// options is the parsed command line: the server configuration plus the
+// durability settings that construct Config.Persist in run.
+type options struct {
+	freegap.ServerConfig
+	// StateDir is the durable state directory; empty means in-memory only.
+	StateDir string
+	// Fsync is the WAL durability mode (batch, always or off).
+	Fsync freegap.FsyncMode
+}
+
+func parseConfig(args []string) (options, error) {
 	fs := flag.NewFlagSet("dpserver", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
@@ -79,6 +91,8 @@ func parseConfig(args []string) (freegap.ServerConfig, error) {
 		maxAns     = fs.Int("max-answers", 0, "maximum answers per request (0 = default)")
 		maxBody    = fs.Int64("max-body", 0, "maximum request body bytes (0 = default)")
 		maxTenants = fs.Int("max-tenants", 0, "maximum auto-provisioned tenants (0 = default)")
+		stateDir   = fs.String("state-dir", "", "directory for durable state (WAL + snapshots); empty = in-memory only, a restart refunds all spent budget")
+		fsyncMode  = fs.String("fsync", "batch", "WAL durability: batch (group fsync off the hot path), always (fsync per charge), off")
 		preloads   []freegap.DatasetPreload
 	)
 	fs.Func("preload", "name=path: serve the FIMI-format dataset file under the given name (repeatable)", func(v string) error {
@@ -96,20 +110,28 @@ func parseConfig(args []string) (freegap.ServerConfig, error) {
 		return err
 	})
 	if err := fs.Parse(args); err != nil {
-		return freegap.ServerConfig{}, err
+		return options{}, err
 	}
 	if fs.NArg() > 0 {
-		return freegap.ServerConfig{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	return freegap.ServerConfig{
-		Addr:         *addr,
-		TenantBudget: *budget,
-		Workers:      *workers,
-		Seed:         *seed,
-		MaxAnswers:   *maxAns,
-		MaxBodyBytes: *maxBody,
-		MaxTenants:   *maxTenants,
-		Preload:      preloads,
+	mode, err := freegap.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return options{}, err
+	}
+	return options{
+		ServerConfig: freegap.ServerConfig{
+			Addr:         *addr,
+			TenantBudget: *budget,
+			Workers:      *workers,
+			Seed:         *seed,
+			MaxAnswers:   *maxAns,
+			MaxBodyBytes: *maxBody,
+			MaxTenants:   *maxTenants,
+			Preload:      preloads,
+		},
+		StateDir: *stateDir,
+		Fsync:    mode,
 	}, nil
 }
 
@@ -155,10 +177,25 @@ func parsePreloadSynthetic(v string) (freegap.DatasetPreload, error) {
 // shuts down gracefully. The actual listen address is announced on out so
 // callers binding to ":0" can discover the port.
 func run(ctx context.Context, args []string, out *os.File) error {
-	cfg, err := parseConfig(args)
+	opts, err := parseConfig(args)
 	if err != nil {
 		return err
 	}
+	cfg := opts.ServerConfig
+	if opts.StateDir != "" {
+		// The server owns the opened log: Shutdown/Close flush, compact and
+		// close it, so a clean exit leaves a snapshot-only state directory.
+		lg, err := freegap.OpenPersist(opts.StateDir, freegap.PersistOptions{Fsync: opts.Fsync})
+		if err != nil {
+			return err
+		}
+		st := lg.State()
+		fmt.Fprintf(out, "dpserver state restored from %s: %d tenants, %d datasets (fsync %s)\n",
+			opts.StateDir, len(st.Tenants), len(st.Datasets), opts.Fsync)
+		cfg.Persist = lg
+	}
+	// NewServer owns cfg.Persist from here on: it closes the log itself on
+	// a construction error, and Shutdown/Close flush and close it.
 	srv, err := freegap.NewServer(cfg)
 	if err != nil {
 		return err
@@ -166,6 +203,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	fmt.Fprintf(out, "dpserver listening on %s (per-tenant budget ε=%g, %d workers)\n",

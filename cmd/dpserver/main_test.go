@@ -220,3 +220,104 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatal("run did not exit after context cancellation")
 	}
 }
+
+func TestParseDurabilityFlags(t *testing.T) {
+	opts, err := parseConfig([]string{"-state-dir", "/var/lib/dpserver", "-fsync", "always"})
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if opts.StateDir != "/var/lib/dpserver" || opts.Fsync != "always" {
+		t.Errorf("options = %+v", opts)
+	}
+	if opts, err := parseConfig(nil); err != nil || opts.StateDir != "" || opts.Fsync != "batch" {
+		t.Errorf("defaults = %+v (err %v)", opts, err)
+	}
+	if _, err := parseConfig([]string{"-fsync", "sometimes"}); err == nil {
+		t.Error("bad fsync mode accepted")
+	}
+}
+
+// TestRunPersistsAcrossRestarts boots the real binary entry point twice on
+// the same -state-dir and checks the spent budget survives the restart.
+func TestRunPersistsAcrossRestarts(t *testing.T) {
+	stateDir := t.TempDir()
+
+	boot := func() (cancel context.CancelFunc, base string, done chan error) {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		ctx, cancelCtx := context.WithCancel(context.Background())
+		done = make(chan error, 1)
+		go func() {
+			err := run(ctx, []string{"-addr", "127.0.0.1:0", "-budget", "5", "-workers", "1", "-seed", "1",
+				"-state-dir", stateDir}, w)
+			w.Close()
+			done <- err
+		}()
+		br := bufio.NewReader(r)
+		// First line announces the restored state, second the listen address.
+		stateLine, err := br.ReadString('\n')
+		if err != nil || !strings.Contains(stateLine, "state restored") {
+			t.Fatalf("state announce line = %q (err %v)", stateLine, err)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading announce line: %v", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			t.Fatalf("unexpected announce line %q", line)
+		}
+		return cancelCtx, "http://" + fields[3], done
+	}
+
+	stop := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after shutdown", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("run did not exit after context cancellation")
+		}
+	}
+
+	cancel1, base1, done1 := boot()
+	body := `{"tenant":"cli","k":2,"epsilon":1.5,"monotonic":true,"answers":[9,8,7,6,5]}`
+	resp, err := http.Post(base1+"/v1/topk", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("topk: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status = %d", resp.StatusCode)
+	}
+	stop(cancel1, done1)
+
+	cancel2, base2, done2 := boot()
+	defer stop(cancel2, done2)
+	resp, err = http.Get(base2 + "/v1/tenants/cli/budget")
+	if err != nil {
+		t.Fatalf("budget: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget status = %d, body = %s (restart refunded the tenant)", resp.StatusCode, data)
+	}
+	var ledger struct {
+		Spent            float64            `json:"spent"`
+		Remaining        float64            `json:"remaining"`
+		SpentByMechanism map[string]float64 `json:"spent_by_mechanism"`
+	}
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if ledger.Spent != 1.5 || ledger.Remaining != 3.5 || ledger.SpentByMechanism["topk"] != 1.5 {
+		t.Errorf("ledger after restart = %+v, want spent 1.5 / remaining 3.5", ledger)
+	}
+}

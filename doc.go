@@ -110,4 +110,44 @@
 // names yield a 404 with code "unknown_dataset", malformed dataset/spec
 // combinations a 400 with code "bad_query_spec". Direct engine users get the
 // same resolution step via ResolveMechanismRequest with any QueryResolver.
+//
+// # Persistence
+//
+// A restart of an in-memory server refunds every tenant's spent ε — a
+// privacy-accounting bug, not just an operational gap. Opening a PersistLog
+// on a state directory and handing it to ServerConfig.Persist makes the
+// privacy-critical state durable:
+//
+//	lg, _ := freegap.OpenPersist("/var/lib/dpserver", freegap.PersistOptions{})
+//	srv, _ := freegap.NewServer(freegap.ServerConfig{TenantBudget: 10, Persist: lg})
+//
+// Every admitted charge batch is journalled to an append-only JSON-lines WAL
+// through a hook on the accountant's commit path — an entry is written iff
+// the charge committed, and a batch's atomic multi-charge is one record, so
+// the all-or-nothing semantics survive a crash mid-batch. Dataset
+// registrations are journalled alongside (uploads as FIMI blobs, synthetic
+// datasets as their deterministic generator spec). The WAL is periodically
+// compacted into an atomically installed snapshot; generation numbers on
+// both make the compaction itself crash-safe. On startup the log replays
+// snapshot + WAL, truncating a torn final write to the last complete record,
+// and the server resumes with the exact spent-budget state (per-mechanism
+// breakdown included) and a rebuilt dataset catalog whose item counts are
+// recomputed exactly once.
+//
+// Durability modes (PersistOptions.Fsync, cmd/dpserver -fsync): FsyncBatch
+// (default) appends to an in-memory buffer drained by a background flusher
+// with grouped fsync, keeping charges off the disk's critical path — the
+// persisted hot path stays within a few percent of the in-memory baseline;
+// FsyncAlways syncs inside every charge; FsyncOff leaves durability to the
+// OS. Shutdown/Close flush, compact and close the log. cmd/dpserver enables
+// all of this with -state-dir.
+//
+// The accountant fails closed: the state directory is flock'ed (on Unix
+// platforms; elsewhere single-instance use is the operator's
+// responsibility) against a second concurrent process (which would
+// double-spend every budget), and a
+// WAL I/O failure marks the log dead — budget-mutating requests are then
+// refused with 503 (healthz reports status "degraded" and metrics raise
+// freegap_persist_failed) instead of admitting charges a restart would
+// refund.
 package freegap

@@ -5,8 +5,9 @@
 // atomically-charged batch, catalogues a dataset server-side and queries it
 // by name (no inline answers — the curator holds the data and serves cached
 // item counts), watches its privacy budget drain through the budget
-// endpoint, and keeps querying until the server answers with the structured
-// budget-exhausted error.
+// endpoint, demonstrates durable state by restarting a WAL-backed server and
+// reading the surviving ledger, and keeps querying until the server answers
+// with the structured budget-exhausted error.
 //
 // Point it at a running server:
 //
@@ -19,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	freegap "github.com/freegap/freegap"
 )
@@ -222,7 +225,16 @@ func main() {
 	}
 	fmt.Println()
 
-	// 8. Keep spending until the server cuts us off with a structured 402.
+	// 8. Durability: a persistent server journals every admitted charge to a
+	// write-ahead log, so a restart resumes with the exact spent budget
+	// instead of silently refunding it. Demonstrated with a private server
+	// pair on a scratch state directory (skipped when talking to a remote
+	// server — its state directory is its own business).
+	if *addr == "" {
+		demonstrateDurability(*tenant, counts)
+	}
+
+	// 9. Keep spending until the server cuts us off with a structured 402.
 	for i := 0; ; i++ {
 		resp, body := post(base+"/v1/max", map[string]any{
 			"tenant": *tenant, "epsilon": 0.75, "answers": counts, "monotonic": true,
@@ -305,4 +317,61 @@ func mustGet(url string, out any) {
 	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
 		log.Fatalf("GET %s: decoding response: %v", url, err)
 	}
+}
+
+// demonstrateDurability boots a persistent dpserver on a scratch state
+// directory, spends budget as tenant, shuts it down cleanly, boots a second
+// server on the same directory and reads the ledger back: the spent budget
+// (and its per-mechanism breakdown) survives the restart.
+func demonstrateDurability(tenant string, counts []float64) {
+	stateDir, err := os.MkdirTemp("", "dpserver-state-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	boot := func() (*freegap.Server, string) {
+		lg, err := freegap.OpenPersist(stateDir, freegap.PersistOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := freegap.NewServer(freegap.ServerConfig{TenantBudget: 4, Seed: 7, Workers: 1, Persist: lg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		return srv, "http://" + ln.Addr().String()
+	}
+	shutdown := func(srv *freegap.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv1, base1 := boot()
+	var first struct {
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	mustPost(base1+"/v1/topk", map[string]any{
+		"tenant": tenant, "k": 3, "epsilon": 1.5, "answers": counts, "monotonic": true,
+	}, &first)
+	fmt.Printf("durable server: spent eps=1.5, %.2f remaining — shutting it down\n", first.BudgetRemaining)
+	shutdown(srv1) // flushes the WAL and compacts it into a snapshot
+
+	srv2, base2 := boot() // same state directory: the ledger is replayed
+	var ledger struct {
+		Spent            float64            `json:"spent"`
+		Remaining        float64            `json:"remaining"`
+		SpentByMechanism map[string]float64 `json:"spent_by_mechanism"`
+	}
+	mustGet(base2+"/v1/tenants/"+tenant+"/budget", &ledger)
+	fmt.Printf("after restart from %s: spent %.2f (topk ε=%.2f), %.2f remaining — nothing was refunded\n\n",
+		stateDir, ledger.Spent, ledger.SpentByMechanism["topk"], ledger.Remaining)
+	shutdown(srv2)
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/freegap/freegap/internal/core"
 	"github.com/freegap/freegap/internal/dataset"
 	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/persist"
 	"github.com/freegap/freegap/internal/pipeline"
 	"github.com/freegap/freegap/internal/postprocess"
 	"github.com/freegap/freegap/internal/rng"
@@ -522,6 +523,51 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 func NewTenantRegistry(initialBudget float64, maxTenants int) (*TenantRegistry, error) {
 	return server.NewRegistry(initialBudget, maxTenants)
 }
+
+//
+// Durable service state (internal/persist).
+//
+
+// PersistLog is the durable state log backing a persistent Server: an
+// append-only JSON-lines WAL of admitted budget charges and dataset
+// registrations, compacted into atomic snapshots. Open one on a state
+// directory with OpenPersist and hand it to ServerConfig.Persist; a
+// restarted server then resumes with the exact spent-budget state (per
+// mechanism) and re-registered datasets of its predecessor.
+type PersistLog = persist.Log
+
+// PersistOptions configures durability: fsync mode, flush cadence and
+// snapshot compaction threshold.
+type PersistOptions = persist.Options
+
+// FsyncMode selects when the WAL is fsynced: FsyncBatch (grouped, off the
+// request hot path — the default), FsyncAlways (per charge) or FsyncOff.
+type FsyncMode = persist.FsyncMode
+
+// Fsync modes accepted by PersistOptions and the dpserver -fsync flag.
+const (
+	FsyncBatch  = persist.FsyncBatch
+	FsyncAlways = persist.FsyncAlways
+	FsyncOff    = persist.FsyncOff
+)
+
+// PersistState is the replayed durable state: per-tenant spending and the
+// dataset records, as returned by PersistLog.State.
+type PersistState = persist.State
+
+// DatasetRecord is one journalled dataset registration.
+type DatasetRecord = persist.DatasetRecord
+
+// OpenPersist opens (creating if necessary) a durable state directory,
+// replaying the snapshot and WAL — recovering a torn tail to the last
+// complete record — and returns the log ready for ServerConfig.Persist.
+func OpenPersist(dir string, opts PersistOptions) (*PersistLog, error) {
+	return persist.Open(dir, opts)
+}
+
+// ParseFsyncMode validates an fsync-mode string ("batch", "always", "off";
+// empty selects the default, FsyncBatch).
+func ParseFsyncMode(s string) (FsyncMode, error) { return persist.ParseFsyncMode(s) }
 
 //
 // Randomness-alignment verification (internal/alignment).

@@ -19,6 +19,51 @@ var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
 // ErrInvalidCharge is returned when a non-positive or NaN charge is requested.
 var ErrInvalidCharge = errors.New("accountant: charge must be a positive finite value")
 
+// BudgetError is the concrete error returned by Spend/SpendBatch when a
+// charge is refused. It wraps ErrBudgetExceeded (errors.Is keeps working) and
+// carries the admission arithmetic, so callers can distinguish a budget that
+// is already exhausted — no positive charge would fit — from a single
+// (possibly batched) charge that is merely too large for what remains.
+type BudgetError struct {
+	// Spent is the budget consumed before the refused charge.
+	Spent float64
+	// Requested is the refused charge (the batch total for SpendBatch).
+	Requested float64
+	// Budget is the configured total budget.
+	Budget float64
+	// Batch records whether the refused admission held more than one charge.
+	Batch bool
+}
+
+// Error reproduces the historical message format, so clients matching on the
+// text keep working.
+func (e *BudgetError) Error() string {
+	kind := "charge"
+	if e.Batch {
+		kind = "batch charge"
+	}
+	return fmt.Sprintf("accountant: privacy budget exceeded: spent %.6g + %s %.6g > budget %.6g",
+		e.Spent, kind, e.Requested, e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) hold for every BudgetError.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Exhausted reports whether the budget was already fully spent when the
+// charge was refused — the smallest admissible charge would also have been
+// rejected — as opposed to this particular charge exceeding a non-trivial
+// remainder (the "would-exceed in batch" case).
+func (e *BudgetError) Exhausted() bool { return e.Spent >= e.Budget-tolerance }
+
+// Remaining returns the unspent budget at refusal time (never negative).
+func (e *BudgetError) Remaining() float64 {
+	r := e.Budget - e.Spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
 // tolerance absorbs floating-point drift when many small charges should sum
 // exactly to the budget (e.g. ε₀ + Σεᵢ = ε in Algorithm 2).
 const tolerance = 1e-9
@@ -29,6 +74,16 @@ type Accountant struct {
 	budget float64
 	spent  float64
 	log    []Charge
+	// restored counts charges folded into the accountant by Restore beyond
+	// the entries materialised in log (a compacted snapshot aggregates the
+	// log by label but preserves the admitted-charge count).
+	restored int
+	// journal, when set, observes every admitted charge batch. It is called
+	// with the accountant's lock held, immediately after the batch commits,
+	// so journal order equals commit order and an entry is journalled iff
+	// the charge was admitted. The callback must be fast and must not call
+	// back into the accountant.
+	journal func(charges []Charge)
 }
 
 // Charge records one budget expenditure for auditability.
@@ -133,23 +188,63 @@ func (a *Accountant) SpendBatch(charges []Charge) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent+sum > a.budget+tolerance {
-		kind := "charge"
-		if len(charges) > 1 {
-			kind = "batch charge"
-		}
-		return fmt.Errorf("%w: spent %.6g + %s %.6g > budget %.6g",
-			ErrBudgetExceeded, a.spent, kind, sum, a.budget)
+		return &BudgetError{Spent: a.spent, Requested: sum, Budget: a.budget, Batch: len(charges) > 1}
 	}
 	a.spent += sum
 	a.log = append(a.log, charges...)
+	if a.journal != nil {
+		a.journal(charges)
+	}
 	return nil
 }
 
-// ChargeCount returns the number of admitted charges without copying the log.
+// SetJournal installs fn as the accountant's charge journal: it is invoked
+// with every admitted charge batch, under the accountant's lock, right after
+// the batch commits. Persistence layers use it to write a WAL entry iff the
+// charge committed. Install the journal before the accountant is shared
+// between goroutines; passing nil removes it.
+func (a *Accountant) SetJournal(fn func(charges []Charge)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.journal = fn
+}
+
+// Restore replaces the accountant's spending state with a previously
+// journalled one: charges become the expenditure log (a compacted snapshot
+// supplies per-label aggregates) and chargeCount the number of originally
+// admitted charges (>= len(charges)). Restoration bypasses the admission
+// check on purpose — if the configured budget shrank between runs the
+// restored spend may exceed it, in which case every further Spend is
+// rejected, which is the safe direction for a privacy accountant. The
+// journal is not invoked: restored charges are already durable.
+func (a *Accountant) Restore(charges []Charge, chargeCount int) error {
+	var sum float64
+	for i, c := range charges {
+		if !(c.Epsilon > 0) || math.IsInf(c.Epsilon, 0) {
+			return fmt.Errorf("%w: restored charge %d: %v (label %q)", ErrInvalidCharge, i, c.Epsilon, c.Label)
+		}
+		sum += c.Epsilon
+	}
+	if math.IsInf(sum, 0) || math.IsNaN(sum) {
+		return fmt.Errorf("%w: restored total %v", ErrInvalidCharge, sum)
+	}
+	if chargeCount < len(charges) {
+		return fmt.Errorf("accountant: restored charge count %d below %d log entries", chargeCount, len(charges))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = sum
+	a.log = append(a.log[:0], charges...)
+	a.restored = chargeCount - len(charges)
+	return nil
+}
+
+// ChargeCount returns the number of admitted charges (including charges
+// folded into a restored snapshot) without copying the log.
 func (a *Accountant) ChargeCount() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.log)
+	return a.restored + len(a.log)
 }
 
 // Charges returns a copy of the expenditure log in order.
@@ -173,12 +268,13 @@ func (a *Accountant) SpentByLabel() map[string]float64 {
 	return out
 }
 
-// Reset clears all spending, keeping the budget.
+// Reset clears all spending (including restored state), keeping the budget.
 func (a *Accountant) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.spent = 0
 	a.log = a.log[:0]
+	a.restored = 0
 }
 
 // Split divides the remaining budget into n equal shares and returns the

@@ -276,3 +276,134 @@ func TestSpentByLabel(t *testing.T) {
 		t.Error("fresh accountant reports a non-empty breakdown")
 	}
 }
+
+func TestBudgetErrorTyped(t *testing.T) {
+	a := MustNew(1)
+	if err := a.Spend("topk", 0.9); err != nil {
+		t.Fatal(err)
+	}
+
+	// Would-exceed: 0.5 doesn't fit the remaining 0.1, but budget remains.
+	err := a.Spend("topk", 0.5)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BudgetError", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("BudgetError does not unwrap to ErrBudgetExceeded")
+	}
+	if be.Exhausted() {
+		t.Errorf("Exhausted() = true with remaining %v", be.Remaining())
+	}
+	if be.Batch {
+		t.Error("single charge flagged as batch")
+	}
+	if math.Abs(be.Remaining()-0.1) > 1e-9 || be.Spent != 0.9 || be.Budget != 1 || be.Requested != 0.5 {
+		t.Errorf("BudgetError = %+v", be)
+	}
+	if want := "accountant: privacy budget exceeded: spent 0.9 + charge 0.5 > budget 1"; err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+
+	// Drain the rest, then assert the exhausted flavour.
+	if err := a.Spend("topk", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	err = a.SpendBatch([]Charge{{Label: "a", Epsilon: 0.1}, {Label: "b", Epsilon: 0.1}})
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BudgetError", err)
+	}
+	if !be.Exhausted() {
+		t.Error("Exhausted() = false on a fully spent budget")
+	}
+	if !be.Batch {
+		t.Error("batch charge not flagged as batch")
+	}
+}
+
+func TestJournalCalledIffCommitted(t *testing.T) {
+	a := MustNew(2)
+	var journalled []Charge
+	a.SetJournal(func(charges []Charge) { journalled = append(journalled, charges...) })
+
+	if err := a.Spend("topk", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("svt", 1.6); err == nil {
+		t.Fatal("over-budget charge admitted")
+	}
+	if err := a.SpendBatch([]Charge{{Label: "a", Epsilon: 0.2}, {Label: "b", Epsilon: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []Charge{{Label: "topk", Epsilon: 0.6}, {Label: "a", Epsilon: 0.2}, {Label: "b", Epsilon: 0.2}}
+	if len(journalled) != len(want) {
+		t.Fatalf("journalled %v, want %v", journalled, want)
+	}
+	for i := range want {
+		if journalled[i] != want[i] {
+			t.Errorf("journalled[%d] = %v, want %v", i, journalled[i], want[i])
+		}
+	}
+
+	a.SetJournal(nil)
+	if err := a.Spend("topk", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(journalled) != 3 {
+		t.Error("journal still called after removal")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	a := MustNew(10)
+	if err := a.Restore([]Charge{{Label: "topk", Epsilon: 3}, {Label: "svt", Epsilon: 1}}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 4 || a.Remaining() != 6 {
+		t.Errorf("spent/remaining = %v/%v, want 4/6", a.Spent(), a.Remaining())
+	}
+	if a.ChargeCount() != 7 {
+		t.Errorf("ChargeCount = %d, want 7 (restored count preserved)", a.ChargeCount())
+	}
+	by := a.SpentByLabel()
+	if by["topk"] != 3 || by["svt"] != 1 {
+		t.Errorf("SpentByLabel = %v", by)
+	}
+	// Further spending continues from the restored state.
+	if err := a.Spend("max", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("max", 0.1); err == nil {
+		t.Error("overdraft admitted after restore")
+	}
+	if a.ChargeCount() != 8 {
+		t.Errorf("ChargeCount = %d, want 8", a.ChargeCount())
+	}
+
+	// Restoring beyond the configured budget is allowed (budget may have
+	// shrunk between runs); everything is then rejected.
+	b := MustNew(1)
+	if err := b.Restore([]Charge{{Label: "topk", Epsilon: 5}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("remaining = %v, want 0", b.Remaining())
+	}
+	if err := b.Spend("topk", 0.001); err == nil {
+		t.Error("spend admitted on an over-restored accountant")
+	}
+
+	// Invalid restores are rejected.
+	if err := MustNew(1).Restore([]Charge{{Label: "x", Epsilon: -1}}, 1); err == nil {
+		t.Error("negative restored charge accepted")
+	}
+	if err := MustNew(1).Restore([]Charge{{Label: "x", Epsilon: 1}}, 0); err == nil {
+		t.Error("charge count below log length accepted")
+	}
+
+	// Reset clears restored state too.
+	a.Reset()
+	if a.Spent() != 0 || a.ChargeCount() != 0 {
+		t.Errorf("after Reset: spent %v, count %d", a.Spent(), a.ChargeCount())
+	}
+}

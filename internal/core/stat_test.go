@@ -1,0 +1,165 @@
+package core
+
+// Statistical acceptance tests for the free-gap mechanisms: the paper's core
+// claim is that the gaps released "for free" are unbiased estimates of the
+// true gaps (Top-K, Section 5) and that gap + threshold is an unbiased
+// estimate of an above-threshold query's true answer (SVT, Section 6.2).
+// The shape/golden tests elsewhere pin the output format; these tests pin
+// the distribution: with a fixed seed and ~10k trials, the empirical means
+// must sit inside a tolerance band derived from the mechanism's own
+// published variance (±5 standard errors — runs are deterministic under the
+// fixed seed, and a correct implementation sits well inside the band), and
+// the empirical gap variance must match GapVariance within a few percent.
+//
+// The true answers are separated by much more than the noise scale, so the
+// probability of a mis-ranked selection (which would make the conditional
+// gap distribution non-trivial) is astronomically small (~exp(-40)), and
+// E[noisy gap] = true gap to far beyond the tolerance band.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+const statTrials = 10_000
+
+func TestTopKGapsStatisticallyUnbiased(t *testing.T) {
+	answers := []float64{500, 430, 370, 320, 280, 240, 100, 50}
+	const (
+		k   = 3
+		eps = 8.0
+	)
+	trueGaps := []float64{70, 60, 50} // answers[i] − answers[i+1] for the top k
+	m, err := NewTopKWithGap(k, eps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXoshiro(12345)
+
+	sums := make([]float64, k)
+	sqSums := make([]float64, k)
+	for trial := 0; trial < statTrials; trial++ {
+		res, err := m.Run(src, answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sel := range res.Selections {
+			if sel.Index != i {
+				t.Fatalf("trial %d: selection %d picked index %d — separations were chosen to make mis-ranking impossible", trial, i, sel.Index)
+			}
+			sums[i] += sel.Gap
+			sqSums[i] += sel.Gap * sel.Gap
+		}
+	}
+
+	n := float64(statTrials)
+	se := math.Sqrt(m.GapVariance() / n)
+	for i, want := range trueGaps {
+		mean := sums[i] / n
+		if math.Abs(mean-want) > 5*se {
+			t.Errorf("gap %d mean = %.4f, want %v ± %.4f (5 SE): biased gap estimate", i, mean, want, 5*se)
+		}
+		variance := sqSums[i]/n - mean*mean
+		if rel := math.Abs(variance-m.GapVariance()) / m.GapVariance(); rel > 0.10 {
+			t.Errorf("gap %d empirical variance = %.4f, want %.4f within 10%% (off by %.1f%%)",
+				i, variance, m.GapVariance(), 100*rel)
+		}
+	}
+}
+
+func TestMaxGapStatisticallyUnbiased(t *testing.T) {
+	answers := []float64{300, 220, 100, 40}
+	const (
+		eps     = 4.0
+		trueGap = 80.0
+	)
+	src := rng.NewXoshiro(99)
+
+	var sum float64
+	for trial := 0; trial < statTrials; trial++ {
+		res, err := MaxWithGap(src, answers, eps, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Index != 0 {
+			t.Fatalf("trial %d: max picked index %d", trial, res.Index)
+		}
+		sum += res.Gap
+	}
+	// Monotonic k = 1: noise scale k/ε, gap variance 2·(2·scale²).
+	scale := 1.0 / eps
+	gapVar := 4 * scale * scale
+	se := math.Sqrt(gapVar / statTrials)
+	if mean := sum / statTrials; math.Abs(mean-trueGap) > 5*se {
+		t.Errorf("max gap mean = %.5f, want %v ± %.5f (5 SE)", mean, trueGap, 5*se)
+	}
+}
+
+// svtStatCase runs one SVT variant for statTrials runs and asserts every
+// above-threshold gap estimate (gap + threshold, the Section 6.2 estimator)
+// is an unbiased estimate of the query's true answer within ±5 standard
+// errors of the result's own published variance.
+func svtStatCase(t *testing.T, run func(src rng.Source) (*SVTGapResult, error), answers []float64, aboveIdx []int, seed uint64) {
+	t.Helper()
+	src := rng.NewXoshiro(seed)
+	sums := make(map[int]float64, len(aboveIdx))
+	variances := make(map[int]float64, len(aboveIdx))
+	for trial := 0; trial < statTrials; trial++ {
+		res, err := run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		estimates, vars, indices := res.GapEstimates()
+		if len(indices) != len(aboveIdx) {
+			t.Fatalf("trial %d: %d above-threshold answers, want %d (answers are far above the threshold)", trial, len(indices), len(aboveIdx))
+		}
+		for j, idx := range indices {
+			if idx != aboveIdx[j] {
+				t.Fatalf("trial %d: above index %d, want %d", trial, idx, aboveIdx[j])
+			}
+			sums[idx] += estimates[j]
+			variances[idx] = vars[j]
+		}
+	}
+	for _, idx := range aboveIdx {
+		want := answers[idx]
+		se := math.Sqrt(variances[idx] / statTrials)
+		if mean := sums[idx] / statTrials; math.Abs(mean-want) > 5*se {
+			t.Errorf("query %d estimate mean = %.4f, want %v ± %.4f (5 SE): biased SVT gap estimate", idx, mean, want, 5*se)
+		}
+	}
+}
+
+func TestSVTGapEstimatesStatisticallyUnbiased(t *testing.T) {
+	answers := []float64{400, 10, 350, 20, 300}
+	const (
+		k         = 3
+		eps       = 6.0
+		threshold = 100.0
+	)
+	m, err := NewSVTWithGap(k, eps, threshold, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svtStatCase(t, func(src rng.Source) (*SVTGapResult, error) {
+		return m.Run(src, answers)
+	}, answers, []int{0, 2, 4}, 2024)
+}
+
+func TestAdaptiveSVTGapEstimatesStatisticallyUnbiased(t *testing.T) {
+	answers := []float64{400, 10, 350, 20, 300}
+	const (
+		k         = 3
+		eps       = 6.0
+		threshold = 100.0
+	)
+	m, err := NewAdaptiveSVTWithGap(k, eps, threshold, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svtStatCase(t, func(src rng.Source) (*SVTGapResult, error) {
+		return m.Run(src, answers)
+	}, answers, []int{0, 2, 4}, 7)
+}

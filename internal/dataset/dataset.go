@@ -35,6 +35,20 @@ func New(name string, records [][]int32) *Transactions {
 	return &Transactions{name: name, records: records, items: int(maxItem) + 1}
 }
 
+// WithUniverse returns a view of the database whose item universe is padded
+// to at least items (ids beyond any observed item simply count zero). The
+// records are shared, not copied. Synthetic generators declare universes
+// larger than the ids their transactions happen to contain; a serialisation
+// round trip through the FIMI text format re-infers the universe from the
+// observed ids alone, and this restores the declared size so counting-query
+// workloads keep their exact shape.
+func (t *Transactions) WithUniverse(items int) *Transactions {
+	if items <= t.items {
+		return t
+	}
+	return &Transactions{name: t.name, records: t.records, items: items}
+}
+
 // Name returns the dataset's display name.
 func (t *Transactions) Name() string { return t.name }
 

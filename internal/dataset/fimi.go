@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -55,6 +56,13 @@ func ReadFIMILimited(r io.Reader, name string, lim FIMILimits) (*Transactions, e
 			}
 			if v < 0 {
 				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+			}
+			// Item ids are int32 throughout; without this check an id above
+			// MaxInt32 would silently overflow negative in the conversion
+			// below and panic the Transactions constructor (found by
+			// FuzzReadFIMI).
+			if v > math.MaxInt32 {
+				return nil, fmt.Errorf("dataset: line %d: item id %d exceeds the int32 range", line, v)
 			}
 			if lim.MaxItemID > 0 && v > int(lim.MaxItemID) {
 				return nil, fmt.Errorf("dataset: line %d: item id %d exceeds the limit of %d", line, v, lim.MaxItemID)

@@ -36,6 +36,13 @@ import (
 // would let one tenant grow its accountant's audit log without bound.
 const MinEpsilon = 1e-9
 
+// MaxEpsilon is the largest per-request ε accepted. Beyond it the noise
+// scale underflows to zero variance, which breaks the pipelines'
+// variance-weighted refinement after the budget was already charged (found
+// by FuzzDecodeRequest with ε = 1e200) — and such a request offers no
+// meaningful privacy in the first place.
+const MaxEpsilon = 1e6
+
 // MaxTenantNameLen bounds tenant identifiers so hostile clients cannot grow
 // registry key space without bound per entry.
 const MaxTenantNameLen = 128
@@ -82,8 +89,8 @@ func (c *Common) validate(lim Limits) error {
 	if err := ValidTenant(c.Tenant); err != nil {
 		return err
 	}
-	if !(c.Epsilon >= MinEpsilon) || math.IsInf(c.Epsilon, 0) {
-		return fmt.Errorf("epsilon %v must be finite and at least %g", c.Epsilon, MinEpsilon)
+	if !(c.Epsilon >= MinEpsilon) || !(c.Epsilon <= MaxEpsilon) {
+		return fmt.Errorf("epsilon %v must be in [%g, %g]", c.Epsilon, MinEpsilon, MaxEpsilon)
 	}
 	if len(c.Answers) == 0 {
 		return errors.New("answers must be non-empty (inline, or resolved from a dataset and query spec)")

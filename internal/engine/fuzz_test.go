@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// FuzzDecodeRequest drives every registered mechanism's request decoding and
+// validation with arbitrary bytes — the exact strict-JSON path the serving
+// layer runs on attacker-chosen request bodies — and executes whatever
+// survives validation. Nothing in the chain may panic: decode rejects or
+// fills the concrete request type, Validate must fence everything Execute
+// cannot handle, and a validated inline request must execute cleanly.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`null`,
+		`42`,
+		`{"tenant":"acme","epsilon":1,"answers":[9,8,7,6],"k":2}`,
+		`{"tenant":"acme","epsilon":1,"answers":[9,8],"monotonic":true}`,
+		`{"tenant":"acme","epsilon":0.5,"answers":[9,8,7],"k":1,"threshold":5,"adaptive":true}`,
+		`{"tenant":"acme","epsilon":1,"k":2,"dataset":"sales","queries":{"kind":"all_items"}}`,
+		`{"tenant":"acme","epsilon":1e309,"answers":[1,2],"k":1}`,
+		`{"tenant":"acme","epsilon":-1,"answers":[1,2],"k":1}`,
+		`{"tenant":"acme","epsilon":1,"answers":[1,"x"],"k":1}`,
+		`{"tenant":"acme","epsilon":1,"answers":[],"k":0}`,
+		`{"tenant":"acme","epsilon":1,"answers":[9e999,-9e999],"k":1}`,
+		`{"tenant":"a","epsilon":1,"answers":[3,2,1],"k":1,"fractions":[0.5,0.5]}`,
+		`{"unknown_field":true}`,
+		`{"tenant":"acme","epsilon":1,"answers":[9,8,7,6],"k":2}{"trailing":1}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	reg := DefaultRegistry()
+	mechs := reg.Mechanisms()
+	lim := Limits{MaxAnswers: 256}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, m := range mechs {
+			req := m.NewRequest()
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(req); err != nil || dec.More() {
+				continue
+			}
+			if err := m.Validate(req, lim); err != nil {
+				continue
+			}
+			base := req.Base()
+			if base.Dataset != "" || base.Queries != nil {
+				// Dataset-backed requests need a resolver; the serving layer
+				// resolves before validation. Execution is exercised on the
+				// inline-answer shape only.
+				continue
+			}
+			cost := m.Cost(req)
+			if !(cost > 0) {
+				t.Fatalf("%s: validated request has non-positive cost %v", m.Name(), cost)
+			}
+			if _, err := m.Execute(rng.NewXoshiro(1), req); err != nil {
+				t.Fatalf("%s: validated request failed to execute: %v", m.Name(), err)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/freegap/freegap/internal/accountant"
+)
+
+// BenchmarkWALReplay measures Open on a WAL left behind by a crash (no
+// snapshot): the cost a restarted server pays before serving. One iteration
+// replays the whole log.
+func BenchmarkWALReplay(b *testing.B) {
+	for _, records := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{Fsync: FsyncOff, FlushInterval: time.Millisecond, CompactEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				tenant := fmt.Sprintf("tenant-%03d", i%128)
+				l.AppendCharge(tenant, []accountant.Charge{{Label: "topk", Epsilon: 0.001}})
+			}
+			if err := l.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Abort(); err != nil { // keep the WAL un-compacted
+				b.Fatal(err)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rl, err := Open(dir, Options{Fsync: FsyncOff, CompactEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := rl.State()
+				if len(st.Tenants) == 0 {
+					b.Fatal("no tenants replayed")
+				}
+				if err := rl.Abort(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendCharge measures the journal hot path alone: the cost a
+// request handler pays per admitted charge with batched fsync.
+func BenchmarkAppendCharge(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncOff, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	charges := []accountant.Charge{{Label: "topk", Epsilon: 0.001}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AppendCharge("bench", charges)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// lockDir is a no-op on platforms without flock; single-instance use of a
+// state directory is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on <dir>/lock, refusing to share
+// a state directory between processes: two servers replaying the same WAL
+// would each hand every tenant its full remaining budget (double-spend) and
+// their interleaved appends and compactions would corrupt the log. The lock
+// is released by closing the returned file — including implicitly when the
+// process dies, so a crash never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/lock", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: state directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -96,10 +96,19 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		charges[i] = accountant.Charge{Label: mech.Name(), Epsilon: cost}
 	}
 
-	// Stage 2: one atomic multi-charge. Charging under the mechanism labels
+	// Stage 2: one atomic multi-charge, refused outright while the durable
+	// journal is dead (fail-closed). Charging under the mechanism labels
 	// (not "batch") keeps the tenant's per-mechanism ledger breakdown exact.
+	if code, ok := s.persistReady(w); !ok {
+		return code
+	}
 	remaining, err := s.reg.ChargeBatch(req.Tenant, charges)
 	if code, ok := s.classifyChargeError(w, req.Tenant, remaining, err); !ok {
+		return code
+	}
+	// Re-check after the charge (see serveMechanism): an FsyncAlways
+	// journal failure during this charge must block the batch's release.
+	if code, ok := s.persistReady(w); !ok {
 		return code
 	}
 

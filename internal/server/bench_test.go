@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/freegap/freegap/internal/persist"
 	"github.com/freegap/freegap/internal/store"
 )
 
@@ -226,4 +227,44 @@ func BenchmarkServerResolvedTopK(b *testing.B) {
 			b.Fatalf("CountScans = %d after %d resolved requests, want 1", got, b.N)
 		}
 	})
+}
+
+// BenchmarkServerTopKPersist runs the exact BenchmarkServerTopK workload
+// against a server journalling every charge into a WAL, in the three fsync
+// modes. The acceptance bar is "memory" vs "persist/batch" (the default
+// mode): group fsync keeps the journal append off the request critical path,
+// so the persisted hot path must stay within ~10% of the in-memory baseline.
+// "persist/always" shows what per-charge fsync costs instead.
+func BenchmarkServerTopKPersist(b *testing.B) {
+	body, err := json.Marshal(TopKRequest{Common: Common{Tenant: "bench", Epsilon: 0.1, Answers: benchAnswers(1024), Monotonic: true}, K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg Config) {
+		s := mustServer(b, cfg)
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+			}
+		}
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		run(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
+	})
+	for _, mode := range []persist.FsyncMode{persist.FsyncBatch, persist.FsyncAlways, persist.FsyncOff} {
+		b.Run("persist/"+string(mode), func(b *testing.B) {
+			lg, err := persist.Open(b.TempDir(), persist.Options{Fsync: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1, Persist: lg})
+		})
+	}
 }

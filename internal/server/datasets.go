@@ -17,6 +17,7 @@ import (
 
 	"github.com/freegap/freegap/internal/dataset"
 	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/persist"
 	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/telemetry"
 )
@@ -104,13 +105,35 @@ func (s *Server) registerDatasetTelemetry(name string) *telemetry.Counter {
 }
 
 // RegisterDataset catalogues db under name with full serving support:
-// registration in the store plus the per-dataset telemetry series. It is the
-// programmatic equivalent of POST /v1/datasets for callers embedding the
-// server.
+// registration in the store, the per-dataset telemetry series, and — on a
+// persistent server — a durable blob + WAL record so the dataset survives a
+// restart. It is the programmatic equivalent of POST /v1/datasets for
+// callers embedding the server. Callers that register the same name on
+// every startup of a persistent server should treat store.ErrDatasetExists
+// as success: after a restart the journal has already restored the dataset.
 func (s *Server) RegisterDataset(name, source string, db *dataset.Transactions) (*store.Entry, error) {
+	return s.registerDataset(name, source, db, nil)
+}
+
+// errDatasetPersist marks a registration that was rolled back because its
+// durable journalling failed; the handler maps it to a 500, not a 400.
+var errDatasetPersist = errors.New("server: dataset registration not persisted")
+
+// registerDataset is RegisterDataset with an optional synthetic-generator
+// spec, which persists as a regeneration record instead of a blob. On a
+// journalling failure the registration is rolled back, so a name is only
+// ever taken by a dataset that will survive a restart — the client can
+// retry once the persistence fault clears.
+func (s *Server) registerDataset(name, source string, db *dataset.Transactions, syn *persist.SyntheticRecord) (*store.Entry, error) {
 	e, err := s.datasets.Register(name, source, db)
 	if err != nil {
 		return nil, err
+	}
+	if err := s.journalDataset(e, syn); err != nil {
+		s.datasets.Remove(name)
+		s.datasetHot.Delete(name)
+		s.telemetry.Gauge("freegap_datasets").Set(int64(s.datasets.Len()))
+		return nil, fmt.Errorf("%w: %v", errDatasetPersist, err)
 	}
 	s.registerDatasetTelemetry(name)
 	return e, nil
@@ -125,6 +148,11 @@ func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) stri
 	if code, ok := s.decode(w, r, &req); !ok {
 		return code
 	}
+	// Fail closed before parsing: a registration on a dead journal would
+	// only be rolled back after the (possibly expensive) parse anyway.
+	if code, ok := s.persistReady(w); !ok {
+		return code
+	}
 	if err := store.ValidName(req.Name); err != nil {
 		return badRequest(w, err)
 	}
@@ -132,6 +160,7 @@ func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) stri
 	var (
 		db     *dataset.Transactions
 		source string
+		syn    *persist.SyntheticRecord
 	)
 	switch {
 	case req.FIMI != "" && req.Synthetic != nil:
@@ -155,16 +184,20 @@ func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) stri
 			return badRequest(w, err)
 		}
 		db, source = generated, "synthetic:"+strings.ToLower(req.Synthetic.Kind)
+		syn = &persist.SyntheticRecord{Kind: req.Synthetic.Kind, Scale: req.Synthetic.Scale, Seed: req.Synthetic.Seed}
 	default:
 		return badRequest(w, errors.New("exactly one of fimi and synthetic must be set"))
 	}
 
-	entry, err := s.RegisterDataset(req.Name, source, db)
-	if err != nil {
-		if errors.Is(err, store.ErrDatasetExists) {
-			writeError(w, http.StatusConflict, ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
-			return CodeDatasetExists
-		}
+	entry, err := s.registerDataset(req.Name, source, db, syn)
+	switch {
+	case errors.Is(err, store.ErrDatasetExists):
+		writeError(w, http.StatusConflict, ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
+		return CodeDatasetExists
+	case errors.Is(err, errDatasetPersist):
+		// Rolled back: an operational fault, not a client one; retryable.
+		return internalError(w, err)
+	case err != nil:
 		return badRequest(w, err)
 	}
 	writeJSON(w, http.StatusCreated, entry.Info())

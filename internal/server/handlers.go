@@ -16,17 +16,57 @@ import (
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		Tenants:       s.reg.Len(),
 		Workers:       s.cfg.Workers,
 		Mechanisms:    s.mechNames,
 		Datasets:      s.datasets.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	// A dead persistence log is a page: the server still answers, but every
+	// new charge is no longer journalled and a restart would refund it.
+	if err := s.persistErr(); err != nil {
+		resp.Status = "degraded"
+		resp.PersistError = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// persistErr reports the durable log's sticky error (nil on an in-memory
+// server).
+func (s *Server) persistErr() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.Err()
+}
+
+// persistReady fails budget-mutating requests closed while the durable log
+// is dead: a charge that can no longer be journalled would be refunded by
+// the next restart, so the privacy accountant refuses it outright (503)
+// rather than silently degrading to in-memory accounting. On failure it
+// writes the error response and returns (outcome, false).
+func (s *Server) persistReady(w http.ResponseWriter) (string, bool) {
+	err := s.persistErr()
+	if err == nil {
+		return "", true
+	}
+	writeError(w, http.StatusServiceUnavailable, ErrorBody{
+		Code:    CodeUnavailable,
+		Message: fmt.Sprintf("durable state log failed, refusing new charges until restart: %v", err),
 	})
+	return CodeUnavailable, false
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.persist != nil {
+		var failed int64
+		if s.persist.Err() != nil {
+			failed = 1
+		}
+		s.telemetry.Gauge("freegap_persist_failed").Set(failed)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.telemetry.WritePrometheus(w)
 }
@@ -81,6 +121,10 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 		return badRequest(w, err)
 	}
 
+	if code, ok := s.persistReady(w); !ok {
+		return code
+	}
+
 	// Reserving the cost up front (rather than settling afterwards) is what
 	// keeps concurrent requests from jointly overspending: the accountant
 	// admits or rejects each reservation atomically. Validate ran first, so
@@ -89,6 +133,14 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 	cost := mech.Cost(req)
 	remaining, code, ok := s.charge(w, tenant, mech.Name(), cost)
 	if !ok {
+		return code
+	}
+	// Re-check after the charge: in FsyncAlways mode the journal write runs
+	// synchronously inside the charge, so a failure there must block THIS
+	// request's release — a charge that never reached disk would be
+	// refunded by the next restart while its DP results were already out.
+	// (The charge stays spent; refusing the release is the safe direction.)
+	if code, ok := s.persistReady(w); !ok {
 		return code
 	}
 
@@ -192,15 +244,21 @@ func (s *Server) charge(w http.ResponseWriter, tenant, mech string, eps float64)
 // classifyChargeError writes the error response for a failed charge (single
 // or batch) and returns its outcome code; a nil error yields ok = true.
 func (s *Server) classifyChargeError(w http.ResponseWriter, tenant string, remaining float64, err error) (outcome string, ok bool) {
+	var budgetErr *accountant.BudgetError
 	switch {
 	case err == nil:
 		return "", true
 	case errors.Is(err, accountant.ErrBudgetExceeded):
-		writeError(w, http.StatusPaymentRequired, ErrorBody{
+		body := ErrorBody{
 			Code:      CodeBudgetExhausted,
 			Message:   fmt.Sprintf("tenant %q: %v", tenant, err),
 			Remaining: &remaining,
-		})
+		}
+		if errors.As(err, &budgetErr) {
+			exhausted := budgetErr.Exhausted()
+			body.Exhausted = &exhausted
+		}
+		writeError(w, http.StatusPaymentRequired, body)
 		return CodeBudgetExhausted, false
 	case errors.Is(err, ErrTenantLimit):
 		writeError(w, http.StatusTooManyRequests, ErrorBody{Code: CodeTenantLimit, Message: err.Error()})

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/persist"
 	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/telemetry"
 )
@@ -116,8 +117,19 @@ type Config struct {
 	Datasets *store.Store
 	// Preload registers datasets into the catalog at construction — FIMI
 	// files or synthetic generators — so the server starts with a served
-	// data inventory (cmd/dpserver fills it from its -preload flags).
+	// data inventory (cmd/dpserver fills it from its -preload flags). With
+	// Persist enabled, a preload whose name was already restored from the
+	// durable state is skipped rather than rejected, so a server that
+	// preloads and persists the same dataset restarts cleanly.
 	Preload []store.Preload
+	// Persist, when set, makes the privacy-critical state durable: the
+	// server restores per-tenant spent budgets and the dataset catalog from
+	// the log at construction, journals every admitted charge and dataset
+	// registration into it while serving, and flushes + compacts it on
+	// Shutdown/Close. Ownership of the log passes to the server
+	// unconditionally: if New fails, it closes the log before returning.
+	// Open the log with persist.Open on the state directory.
+	Persist *persist.Log
 }
 
 // reservedMechanismNames are engine names New rejects: "batch", "tenants"
@@ -205,6 +217,10 @@ type Server struct {
 	hot        hotCounters
 	httpSrv    *http.Server
 	started    time.Time
+	// persist is the durable state log (nil = in-memory only). The server
+	// owns its lifecycle once construction succeeds: Shutdown/Close flush
+	// and close it.
+	persist *persist.Log
 }
 
 // hotCounters holds the metric series touched on every request, resolved
@@ -241,21 +257,44 @@ func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters 
 // New constructs a Server from cfg. The caller owns the server's lifecycle:
 // either mount Handler into an existing http.Server, or use
 // ListenAndServe/Shutdown; call Close when done to stop the worker pool.
+// Ownership of cfg.Persist transfers unconditionally: on a construction
+// error New closes the log itself, so callers never leak its flusher and
+// file descriptor.
 func New(cfg Config) (*Server, error) {
+	// fail routes every error exit, keeping the Persist-ownership promise.
+	fail := func(err error) (*Server, error) {
+		if cfg.Persist != nil {
+			_ = cfg.Persist.Close()
+		}
+		return nil, err
+	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	reg, err := NewRegistry(cfg.TenantBudget, cfg.MaxTenants)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	// Restore the journalled spending state before anything can charge:
+	// a restarted server resumes with the exact spent budget (and
+	// per-mechanism breakdown) every tenant had, so a restart never
+	// refunds spent ε.
+	var restored persist.State
+	if cfg.Persist != nil {
+		restored = cfg.Persist.State()
+		for tenant, ts := range restored.Tenants {
+			if err := reg.RestoreTenant(tenant, ts.Charges, ts.ChargeCount); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	mechs := cfg.Mechanisms.Mechanisms()
 	names := make([]string, 0, len(mechs))
 	byName := make(map[string]engine.Mechanism, len(mechs))
 	for _, mech := range mechs {
 		if reservedMechanismNames[mech.Name()] {
-			return nil, fmt.Errorf("server: mechanism name %q is reserved for a fixed endpoint", mech.Name())
+			return fail(fmt.Errorf("server: mechanism name %q is reserved for a fixed endpoint", mech.Name()))
 		}
 		names = append(names, mech.Name())
 		byName[mech.Name()] = mech
@@ -271,6 +310,7 @@ func New(cfg Config) (*Server, error) {
 		mux:        http.NewServeMux(),
 		telemetry:  telemetry.NewCounterSet(),
 		started:    time.Now(),
+		persist:    cfg.Persist,
 	}
 	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
 	// goroutine) never race on the field.
@@ -283,17 +323,49 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
 	s.telemetry.Help("freegap_datasets", "Datasets in the server-side catalog.")
 	s.telemetry.Help("freegap_dataset_resolved_total", "Query resolutions served from a dataset's cached item counts.")
+	if s.persist != nil {
+		s.telemetry.Help("freegap_persist_failed", "1 when the durable state log has hit an I/O error and charges are no longer journalled.")
+		s.telemetry.Gauge("freegap_persist_failed").Set(0)
+	}
 	s.hot = newHotCounters(s.telemetry, s.mechNames)
 	// Seed the dataset telemetry with whatever the caller already catalogued,
-	// then apply the preloads.
+	// then rebuild the journalled datasets and apply the preloads.
 	for _, name := range s.datasets.Names() {
 		s.registerDatasetTelemetry(name)
 	}
+	for _, rec := range restored.Datasets {
+		if err := s.restoreDataset(rec); err != nil {
+			s.pool.close()
+			return fail(err)
+		}
+	}
+	// Journal new mutations only from here on: everything restored above is
+	// already durable.
+	if s.persist != nil {
+		reg.SetJournal(s.persist)
+	}
 	for _, p := range cfg.Preload {
-		if _, err := p.Load(s.datasets); err != nil {
-			return nil, fmt.Errorf("server: preloading dataset %q: %w", p.Name, err)
+		if s.persist != nil {
+			if _, err := s.datasets.Get(p.Name); err == nil {
+				// Already restored from the durable state; re-preloading
+				// would reject the whole startup with dataset_exists.
+				continue
+			}
+		}
+		entry, err := p.Load(s.datasets)
+		if err != nil {
+			s.pool.close()
+			return fail(fmt.Errorf("server: preloading dataset %q: %w", p.Name, err))
 		}
 		s.registerDatasetTelemetry(p.Name)
+		var syn *persist.SyntheticRecord
+		if p.Synthetic != "" {
+			syn = &persist.SyntheticRecord{Kind: p.Synthetic, Scale: p.Scale, Seed: p.Seed}
+		}
+		if err := s.journalDataset(entry, syn); err != nil {
+			s.pool.close()
+			return fail(err)
+		}
 	}
 	s.routes()
 	return s, nil
@@ -360,18 +432,31 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown gracefully stops a ListenAndServe/Serve server: it drains
-// in-flight HTTP requests (bounded by ctx) and then stops the worker pool.
-// Called before Serve, it marks the server closed so Serve returns
-// http.ErrServerClosed immediately instead of hanging.
+// in-flight HTTP requests (bounded by ctx), stops the worker pool, and
+// flushes + compacts + closes the durable state log, so a clean shutdown
+// leaves a snapshot-only state directory behind. Called before Serve, it
+// marks the server closed so Serve returns http.ErrServerClosed immediately
+// instead of hanging.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
 	}
 	s.pool.close()
+	if s.persist != nil {
+		if perr := s.persist.Close(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	return err
 }
 
-// Close stops the worker pool without touching any HTTP listener. Use it when
-// the server was mounted via Handler.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the worker pool and flushes + closes the durable state log
+// without touching any HTTP listener. Use it when the server was mounted via
+// Handler.
+func (s *Server) Close() {
+	s.pool.close()
+	if s.persist != nil {
+		_ = s.persist.Close()
+	}
+}

@@ -29,6 +29,16 @@ type Registry struct {
 	tenants map[string]*accountant.Accountant
 	// maxTenants caps auto-provisioning; zero means unlimited.
 	maxTenants int
+	// journal, when set, observes every admitted charge batch of every
+	// tenant (see SetJournal).
+	journal ChargeJournal
+}
+
+// ChargeJournal observes admitted charges for durable persistence. The
+// registry installs a per-tenant hook into each accountant so AppendCharge
+// runs iff the charge committed, in per-tenant commit order.
+type ChargeJournal interface {
+	AppendCharge(tenant string, charges []accountant.Charge)
 }
 
 // NewRegistry returns a registry that provisions each new tenant with the
@@ -80,8 +90,58 @@ func (r *Registry) Get(tenant string) (*accountant.Accountant, error) {
 		return nil, fmt.Errorf("%w: %d tenants provisioned", ErrTenantLimit, len(r.tenants))
 	}
 	a = accountant.MustNew(r.budget)
+	r.installJournalLocked(tenant, a)
 	r.tenants[tenant] = a
 	return a, nil
+}
+
+// installJournalLocked wires the registry journal into one accountant.
+// Caller holds r.mu for writing.
+func (r *Registry) installJournalLocked(tenant string, a *accountant.Accountant) {
+	if r.journal == nil {
+		return
+	}
+	j := r.journal
+	a.SetJournal(func(charges []accountant.Charge) { j.AppendCharge(tenant, charges) })
+}
+
+// SetJournal installs j as the registry's charge journal: every tenant
+// accountant — existing and future — reports its admitted charges to it.
+// Install before serving traffic; passing nil removes the hooks.
+func (r *Registry) SetJournal(j ChargeJournal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = j
+	for tenant, a := range r.tenants {
+		if j == nil {
+			a.SetJournal(nil)
+			continue
+		}
+		r.installJournalLocked(tenant, a)
+	}
+}
+
+// RestoreTenant provisions tenant with a previously journalled spending
+// state, bypassing the tenant cap (the tenants existed before the restart).
+// The restored charges themselves are never re-journalled — they are already
+// durable — but future spends of the tenant are. It fails if the tenant was
+// already provisioned.
+func (r *Registry) RestoreTenant(tenant string, charges []accountant.Charge, chargeCount int) error {
+	if err := validTenant(tenant); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[tenant]; ok {
+		return fmt.Errorf("server: tenant %q restored twice", tenant)
+	}
+	a := accountant.MustNew(r.budget)
+	if err := a.Restore(charges, chargeCount); err != nil {
+		return fmt.Errorf("server: restoring tenant %q: %w", tenant, err)
+	}
+	r.installJournalLocked(tenant, a)
+	r.tenants[tenant] = a
+	return nil
 }
 
 // Lookup returns the tenant's accountant without creating one.

@@ -151,7 +151,12 @@ type BudgetResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
+	// Status is "ok", or "degraded" when the durable state log has hit an
+	// I/O error (PersistError carries it): the server still serves, but new
+	// charges are no longer journalled and a restart would refund them.
 	Status string `json:"status"`
+	// PersistError is the durable log's sticky error, when one occurred.
+	PersistError string `json:"persist_error,omitempty"`
 	// Tenants is the number of tenants with a live accountant.
 	Tenants int `json:"tenants"`
 	// Workers is the size of the mechanism worker pool.
@@ -189,6 +194,11 @@ type ErrorBody struct {
 	// Remaining is the tenant's remaining budget; only set for
 	// budget_exhausted errors.
 	Remaining *float64 `json:"remaining,omitempty"`
+	// Exhausted distinguishes the two budget_exhausted flavours: true means
+	// the budget is fully spent (no positive charge would fit), false means
+	// this particular — possibly batched — charge exceeded a non-trivial
+	// remainder. Only set for budget_exhausted errors.
+	Exhausted *bool `json:"exhausted,omitempty"`
 }
 
 // ErrorEnvelope wraps every non-2xx response body.

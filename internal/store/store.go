@@ -199,6 +199,19 @@ func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry,
 	return e, nil
 }
 
+// Remove drops the entry catalogued under name, reporting whether it
+// existed. Catalogued datasets are immutable and stay registered for their
+// lifetime — Remove exists solely so the serving layer can roll back a
+// registration whose durable journalling failed, keeping "registered"
+// equivalent to "survives a restart" on persistent servers.
+func (s *Store) Remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byName[name]
+	delete(s.byName, name)
+	return ok
+}
+
 // Get returns the entry catalogued under name.
 func (s *Store) Get(name string) (*Entry, error) {
 	s.mu.RLock()
