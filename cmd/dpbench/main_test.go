@@ -80,3 +80,29 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunServeBench(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-experiments", "servebench", "-parallel", "2", "-tenants", "4", "-trials", "50"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"servebench", "inline", "resolved", "ops/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("servebench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunServeBenchCSV(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-experiments", "servebench", "-parallel", "2", "-tenants", "4", "-trials", "50", "-format", "csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec") {
+		t.Errorf("servebench csv output missing header:\n%s", out)
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+// The servebench experiment: the server-side parallel benchmark scenarios
+// (internal/server's BenchmarkServerParallelManyTenants) runnable from the
+// command line. It drives the real HTTP handler in-process — no TCP, so the
+// numbers isolate the serving hot path: decode → resolve → validate →
+// charge → pool-execute → encode — with -parallel client goroutines spread
+// round-robin over -tenants tenant budgets, in both the inline-answers and
+// the dataset-resolved trust models.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/freegap/freegap/internal/server"
+	"github.com/freegap/freegap/internal/store"
+)
+
+// serveBenchConfig parameterizes one servebench run.
+type serveBenchConfig struct {
+	// Parallel is the number of concurrent client goroutines.
+	Parallel int
+	// Tenants is the number of distinct tenant budgets the clients spread
+	// over.
+	Tenants int
+	// Requests is the total request count per scenario.
+	Requests int
+	// Seed seeds the server's noise sources.
+	Seed uint64
+	// CSV selects comma-separated output instead of the aligned table.
+	CSV bool
+}
+
+func (c serveBenchConfig) withDefaults() serveBenchConfig {
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 64
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// serveBenchResult is one scenario's outcome.
+type serveBenchResult struct {
+	Scenario  string
+	Requests  int
+	Elapsed   time.Duration
+	OpsPerSec float64
+}
+
+// runServeBench runs both scenarios and writes the report to stdout.
+func runServeBench(cfg serveBenchConfig) error {
+	cfg = cfg.withDefaults()
+	const benchBudget = 1e18
+	answers := make([]float64, 256)
+	for i := range answers {
+		answers[i] = float64((i*2654435761)%10000) / 3
+	}
+
+	inlineBodies := make([][]byte, cfg.Tenants)
+	resolvedBodies := make([][]byte, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		tenant := fmt.Sprintf("tenant-%03d", t)
+		body, err := json.Marshal(map[string]any{
+			"tenant": tenant, "epsilon": 0.01, "answers": answers, "monotonic": true, "k": 5,
+		})
+		if err != nil {
+			return err
+		}
+		inlineBodies[t] = body
+		resolvedBodies[t] = []byte(fmt.Sprintf(
+			`{"tenant":%q,"epsilon":0.01,"k":5,"dataset":"pos","queries":{"kind":"all_items"}}`, tenant))
+	}
+
+	scenario := func(name string, bodies [][]byte, withDataset bool) (serveBenchResult, error) {
+		s, err := server.New(server.Config{TenantBudget: benchBudget, Seed: cfg.Seed})
+		if err != nil {
+			return serveBenchResult{}, err
+		}
+		defer s.Close()
+		if withDataset {
+			db, err := store.GenerateSynthetic("bmspos", 200, 7)
+			if err != nil {
+				return serveBenchResult{}, err
+			}
+			if _, err := s.RegisterDataset("pos", "synthetic:bmspos", db); err != nil {
+				return serveBenchResult{}, err
+			}
+		}
+		h := s.Handler()
+		var next atomic.Int64
+		var failed atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < cfg.Parallel; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				i := g
+				for {
+					n := next.Add(1)
+					if n > int64(cfg.Requests) {
+						return
+					}
+					body := bodies[i%len(bodies)]
+					i++
+					req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						failed.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if n := failed.Load(); n > 0 {
+			return serveBenchResult{}, fmt.Errorf("servebench %s: %d of %d requests failed", name, n, cfg.Requests)
+		}
+		return serveBenchResult{
+			Scenario:  name,
+			Requests:  cfg.Requests,
+			Elapsed:   elapsed,
+			OpsPerSec: float64(cfg.Requests) / elapsed.Seconds(),
+		}, nil
+	}
+
+	results := make([]serveBenchResult, 0, 2)
+	for _, sc := range []struct {
+		name        string
+		bodies      [][]byte
+		withDataset bool
+	}{
+		{"inline", inlineBodies, false},
+		{"resolved", resolvedBodies, true},
+	} {
+		res, err := scenario(sc.name, sc.bodies, sc.withDataset)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	if cfg.CSV {
+		fmt.Fprintf(os.Stdout, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec\n")
+		for _, r := range results {
+			fmt.Fprintf(os.Stdout, "%s,%d,%d,%d,%.3f,%.1f\n",
+				r.Scenario, cfg.Parallel, cfg.Tenants, r.Requests,
+				float64(r.Elapsed.Microseconds())/1000, r.OpsPerSec)
+		}
+		return nil
+	}
+	fmt.Fprintf(os.Stdout, "servebench: parallel server hot path (GOMAXPROCS=%d, %d clients, %d tenants)\n",
+		runtime.GOMAXPROCS(0), cfg.Parallel, cfg.Tenants)
+	fmt.Fprintf(os.Stdout, "%-10s %10s %12s %12s\n", "scenario", "requests", "elapsed", "ops/sec")
+	for _, r := range results {
+		fmt.Fprintf(os.Stdout, "%-10s %10d %12s %12.1f\n",
+			r.Scenario, r.Requests, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+	}
+	return nil
+}

@@ -80,7 +80,7 @@ func run(args []string) error {
 	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
 		return err
 	}
-	resp, err := mech.Execute(src, req)
+	resp, err := mech.Execute(src, req, nil)
 	if err != nil {
 		return err
 	}
@@ -126,7 +126,7 @@ func runPipeline(registry *freegap.MechanismRegistry, src freegap.Source, common
 	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
 		return err
 	}
-	resp, err := mech.Execute(src, req)
+	resp, err := mech.Execute(src, req, nil)
 	if err != nil {
 		return err
 	}

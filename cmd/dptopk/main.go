@@ -70,7 +70,7 @@ func run(args []string) error {
 		if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
 			return err
 		}
-		resp, err := mech.Execute(src, req)
+		resp, err := mech.Execute(src, req, nil)
 		if err != nil {
 			return err
 		}
@@ -88,7 +88,7 @@ func run(args []string) error {
 		if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil {
 			return err
 		}
-		resp, err := mech.Execute(src, req)
+		resp, err := mech.Execute(src, req, nil)
 		if err != nil {
 			return err
 		}

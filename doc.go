@@ -57,7 +57,7 @@
 //	    K:      3,
 //	}
 //	if err := mech.Validate(req, freegap.MechanismLimits{}); err != nil { ... }
-//	resp, _ := mech.Execute(freegap.NewSource(42), req)
+//	resp, _ := mech.Execute(freegap.NewSource(42), req, nil)
 //
 // Implement and register your own Mechanism and the server serves it at
 // POST /v1/<name> with the same validation, charging, pooling and metrics as
@@ -150,4 +150,36 @@
 // refused with 503 (healthz reports status "degraded" and metrics raise
 // freegap_persist_failed) instead of admitting charges a restart would
 // refund.
+//
+// # Concurrency
+//
+// The serving hot path is built to scale with cores: no per-request global
+// locks, no per-request buffer allocations, no scalar noise loops.
+//
+// Budget admission is lock-free — each accountant keeps its spent total in
+// an atomic word and admits a charge with a compare-and-swap loop against
+// the budget; only admitted charges take the commit lock that orders the
+// audit log, the incrementally-maintained per-mechanism aggregation and the
+// durability journal (journalled iff committed, exactly as before). The
+// tenant registry is sharded by tenant-id hash into a power-of-two number
+// of lock domains (≈GOMAXPROCS), with a strict atomic reservation backing
+// the provisioning cap. Telemetry counters and gauges stripe their value
+// over cache-line-padded cells summed at scrape time, leaving the
+// Prometheus text output byte-identical. The dataset catalog publishes an
+// immutable map through an atomic pointer (copy-and-swap on registration),
+// so dataset-backed requests resolve without taking any lock.
+//
+// Mechanism executions draw request-scoped working memory — noise and score
+// buffers plus the responses' variable-length arrays — from a pooled
+// MechanismScratch threaded through the generic pipeline, and fill their
+// noise in vectorized passes (LaplaceVec and friends; Sparse Vector
+// prefills its top-branch noise in chunks). Passing a nil scratch to
+// Mechanism.Execute remains correct, just unpooled. A response built from a
+// scratch aliases its buffers: encode it before reusing the scratch.
+//
+// The invariants the lock-splitting must preserve — Σ admitted charges ==
+// spent, spent never above budget + tolerance, and a journal history that
+// holds exactly the admitted charges — are pinned by -race stress tests
+// (internal/server/stress_test.go), and BenchmarkServerParallelManyTenants
+// (64 tenants × parallel clients) quantifies the multi-core win.
 package freegap

@@ -400,6 +400,17 @@ type Mechanism = engine.Mechanism
 // mounts one endpoint per registered name.
 type MechanismRegistry = engine.Registry
 
+// MechanismScratch holds the pooled request-scoped working memory a
+// Mechanism.Execute draws from: noise and score buffers plus the backing
+// arrays of the response's variable-length fields. Passing nil to Execute is
+// always correct (buffers are allocated fresh); serving layers keep
+// scratches in a sync.Pool and reuse them, releasing each one only after
+// the response built from it has been encoded.
+type MechanismScratch = engine.Scratch
+
+// NewMechanismScratch returns an empty scratch, ready for pooling.
+func NewMechanismScratch() *MechanismScratch { return engine.NewScratch() }
+
 // MechanismRequest is the interface satisfied by every mechanism request
 // type (anything embedding RequestCommon).
 type MechanismRequest = engine.Request

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBudgetExceeded is returned by Spend when a charge would push total
@@ -69,20 +70,38 @@ func (e *BudgetError) Remaining() float64 {
 const tolerance = 1e-9
 
 // Accountant is a thread-safe sequential-composition budget tracker.
+//
+// Admission is lock-free: spent lives in an atomic word (float bits) and a
+// charge is admitted by a compare-and-swap loop against the budget, so
+// concurrent spenders of one tenant never serialize on a mutex just to learn
+// there is room. Only admitted charges take the commit lock, which guards the
+// audit log, the per-label aggregation and the journal hook — so the journal
+// still fires iff the charge committed, in commit-lock order, and a rejected
+// charge costs no lock acquisition at all.
 type Accountant struct {
-	mu     sync.Mutex
+	// budget is immutable after construction and read without synchronization.
 	budget float64
-	spent  float64
-	log    []Charge
+	// spentBits holds math.Float64bits of the total ε charged so far. Spends
+	// only ever move it up (via CAS); Restore and Reset store it directly and
+	// are documented to happen-before any concurrent Spend.
+	spentBits atomic.Uint64
+
+	// commitMu guards everything below. It is taken only on admitted charges
+	// (and by readers of the log/aggregation), never on the admission path.
+	commitMu sync.Mutex
+	log      []Charge
+	// byLabel is the per-label spend aggregation, maintained incrementally on
+	// every commit so budget polls never rescan the log.
+	byLabel map[string]float64
 	// restored counts charges folded into the accountant by Restore beyond
 	// the entries materialised in log (a compacted snapshot aggregates the
 	// log by label but preserves the admitted-charge count).
 	restored int
 	// journal, when set, observes every admitted charge batch. It is called
-	// with the accountant's lock held, immediately after the batch commits,
-	// so journal order equals commit order and an entry is journalled iff
-	// the charge was admitted. The callback must be fast and must not call
-	// back into the accountant.
+	// with the commit lock held, immediately after the batch commits, so
+	// journal order equals commit order and an entry is journalled iff the
+	// charge was admitted. The callback must be fast and must not call back
+	// into the accountant.
 	journal func(charges []Charge)
 }
 
@@ -97,7 +116,7 @@ func New(budget float64) (*Accountant, error) {
 	if !(budget > 0) {
 		return nil, fmt.Errorf("accountant: budget %v must be positive", budget)
 	}
-	return &Accountant{budget: budget}, nil
+	return &Accountant{budget: budget, byLabel: make(map[string]float64, 8)}, nil
 }
 
 // MustNew is New for static configurations known to be valid; it panics on
@@ -110,25 +129,20 @@ func MustNew(budget float64) *Accountant {
 	return a
 }
 
-// Budget returns the configured total budget.
-func (a *Accountant) Budget() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.budget
+// loadSpent returns the current spent total from the atomic word.
+func (a *Accountant) loadSpent() float64 {
+	return math.Float64frombits(a.spentBits.Load())
 }
 
+// Budget returns the configured total budget.
+func (a *Accountant) Budget() float64 { return a.budget }
+
 // Spent returns the total ε charged so far.
-func (a *Accountant) Spent() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent
-}
+func (a *Accountant) Spent() float64 { return a.loadSpent() }
 
 // Remaining returns the unspent budget (never negative).
 func (a *Accountant) Remaining() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	r := a.budget - a.spent
+	r := a.budget - a.loadSpent()
 	if r < 0 {
 		return 0
 	}
@@ -138,13 +152,7 @@ func (a *Accountant) Remaining() float64 {
 // RemainingFraction returns Remaining()/Budget(), the quantity plotted in
 // Figure 4.
 func (a *Accountant) RemainingFraction() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	r := a.budget - a.spent
-	if r < 0 {
-		r = 0
-	}
-	return r / a.budget
+	return a.Remaining() / a.budget
 }
 
 // CanSpend reports whether a charge of eps would be admissible.
@@ -152,9 +160,7 @@ func (a *Accountant) CanSpend(eps float64) bool {
 	if !(eps > 0) {
 		return false
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent+eps <= a.budget+tolerance
+	return a.loadSpent()+eps <= a.budget+tolerance
 }
 
 // Spend charges eps against the budget under the given label. It returns
@@ -171,6 +177,13 @@ func (a *Accountant) Spend(label string, eps float64) error {
 // behind batched serving — a batch reserved in one SpendBatch can never
 // overspend what the same requests charged serially could, and concurrent
 // batches race for the budget as single indivisible units.
+//
+// Admission is a CAS on the spent word: concurrent batches race for the
+// budget without a lock, and exactly the winners whose sum still fits are
+// admitted. The audit log and journal are updated under the commit lock
+// afterwards, so a reader polling Spent may observe an admitted charge a
+// moment before Charges/SpentByLabel reflect it; the two views always agree
+// once in-flight commits drain.
 func (a *Accountant) SpendBatch(charges []Charge) error {
 	if len(charges) == 0 {
 		return fmt.Errorf("%w: empty batch", ErrInvalidCharge)
@@ -185,27 +198,36 @@ func (a *Accountant) SpendBatch(charges []Charge) error {
 	if math.IsInf(sum, 0) || math.IsNaN(sum) {
 		return fmt.Errorf("%w: batch total %v", ErrInvalidCharge, sum)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.spent+sum > a.budget+tolerance {
-		return &BudgetError{Spent: a.spent, Requested: sum, Budget: a.budget, Batch: len(charges) > 1}
+	for {
+		curBits := a.spentBits.Load()
+		cur := math.Float64frombits(curBits)
+		if cur+sum > a.budget+tolerance {
+			return &BudgetError{Spent: cur, Requested: sum, Budget: a.budget, Batch: len(charges) > 1}
+		}
+		if a.spentBits.CompareAndSwap(curBits, math.Float64bits(cur+sum)) {
+			break
+		}
 	}
-	a.spent += sum
+	a.commitMu.Lock()
 	a.log = append(a.log, charges...)
+	for _, c := range charges {
+		a.byLabel[c.Label] += c.Epsilon
+	}
 	if a.journal != nil {
 		a.journal(charges)
 	}
+	a.commitMu.Unlock()
 	return nil
 }
 
 // SetJournal installs fn as the accountant's charge journal: it is invoked
-// with every admitted charge batch, under the accountant's lock, right after
-// the batch commits. Persistence layers use it to write a WAL entry iff the
+// with every admitted charge batch, under the commit lock, right after the
+// batch commits. Persistence layers use it to write a WAL entry iff the
 // charge committed. Install the journal before the accountant is shared
 // between goroutines; passing nil removes it.
 func (a *Accountant) SetJournal(fn func(charges []Charge)) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
 	a.journal = fn
 }
 
@@ -216,7 +238,10 @@ func (a *Accountant) SetJournal(fn func(charges []Charge)) {
 // check on purpose — if the configured budget shrank between runs the
 // restored spend may exceed it, in which case every further Spend is
 // rejected, which is the safe direction for a privacy accountant. The
-// journal is not invoked: restored charges are already durable.
+// journal is not invoked: restored charges are already durable. Restore must
+// happen-before any concurrent Spend (it is a startup operation on a not-yet-
+// shared accountant); racing it against live spends can lose the race's
+// charges from the restored total.
 func (a *Accountant) Restore(charges []Charge, chargeCount int) error {
 	var sum float64
 	for i, c := range charges {
@@ -231,10 +256,14 @@ func (a *Accountant) Restore(charges []Charge, chargeCount int) error {
 	if chargeCount < len(charges) {
 		return fmt.Errorf("accountant: restored charge count %d below %d log entries", chargeCount, len(charges))
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.spent = sum
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
+	a.spentBits.Store(math.Float64bits(sum))
 	a.log = append(a.log[:0], charges...)
+	a.byLabel = make(map[string]float64, 8)
+	for _, c := range charges {
+		a.byLabel[c.Label] += c.Epsilon
+	}
 	a.restored = chargeCount - len(charges)
 	return nil
 }
@@ -242,38 +271,41 @@ func (a *Accountant) Restore(charges []Charge, chargeCount int) error {
 // ChargeCount returns the number of admitted charges (including charges
 // folded into a restored snapshot) without copying the log.
 func (a *Accountant) ChargeCount() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
 	return a.restored + len(a.log)
 }
 
 // Charges returns a copy of the expenditure log in order.
 func (a *Accountant) Charges() []Charge {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
 	out := make([]Charge, len(a.log))
 	copy(out, a.log)
 	return out
 }
 
-// SpentByLabel aggregates the expenditure log by charge label — the
-// per-mechanism spend breakdown a tenant sees on its budget ledger.
+// SpentByLabel returns the per-mechanism spend breakdown a tenant sees on its
+// budget ledger. The aggregation is maintained incrementally at commit time,
+// so a poll costs one small map copy however long the expenditure log is.
 func (a *Accountant) SpentByLabel() map[string]float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[string]float64, 8)
-	for _, c := range a.log {
-		out[c.Label] += c.Epsilon
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
+	out := make(map[string]float64, len(a.byLabel))
+	for label, eps := range a.byLabel {
+		out[label] = eps
 	}
 	return out
 }
 
 // Reset clears all spending (including restored state), keeping the budget.
+// Like Restore, it must not race concurrent Spends.
 func (a *Accountant) Reset() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.spent = 0
+	a.commitMu.Lock()
+	defer a.commitMu.Unlock()
+	a.spentBits.Store(0)
 	a.log = a.log[:0]
+	a.byLabel = make(map[string]float64, 8)
 	a.restored = 0
 }
 
@@ -284,9 +316,7 @@ func (a *Accountant) Split(n int) (float64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("accountant: cannot split into %d shares", n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	r := a.budget - a.spent
+	r := a.budget - a.loadSpent()
 	if r <= 0 {
 		return 0, ErrBudgetExceeded
 	}

@@ -65,3 +65,19 @@ func (n noiser) sample(src rng.Source, scale float64) float64 {
 		return rng.Laplace(src, scale)
 	}
 }
+
+// fill populates dst with independent noise samples at the given scale in one
+// vectorized pass: the Laplace default goes through rng.LaplaceVec (one scale
+// check and one tight loop for the whole buffer), the discrete and staircase
+// distributions fall back to per-element sampling. Draw order is ascending
+// index either way, so a fixed seed produces the same stream as scalar
+// sampling did.
+func (n noiser) fill(src rng.Source, scale float64, dst []float64) {
+	if n.kind == NoiseLaplace {
+		rng.LaplaceVec(src, scale, len(dst), dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = n.sample(src, scale)
+	}
+}

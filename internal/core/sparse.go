@@ -258,10 +258,46 @@ func (m *AdaptiveSVTWithGap) Sigma() float64 { return m.sigma() }
 // al. recommendation when Theta is zero).
 func (m *AdaptiveSVTWithGap) BudgetSplit() float64 { return m.theta() }
 
+// SVTScratch holds the request-scoped buffers one Sparse Vector run needs:
+// the prefilled top-branch noise chunk and the per-query items backing
+// array. Serving layers pool SVTScratch values so the hot path performs no
+// per-request allocations; the zero value is ready to use.
+type SVTScratch struct {
+	topNoise []float64
+	items    []SVTItem
+}
+
+// svtNoiseChunk is how many top-branch noise draws are prefilled per
+// vectorized pass. Chunking (rather than prefilling the whole stream) keeps
+// a run that stops after a handful of queries from drawing noise for a
+// million-query stream it will never process.
+const svtNoiseChunk = 128
+
+// top returns a length-n noise buffer backed by the scratch.
+func (s *SVTScratch) top(n int) []float64 {
+	if cap(s.topNoise) < n {
+		s.topNoise = make([]float64, n)
+	}
+	s.topNoise = s.topNoise[:n]
+	return s.topNoise
+}
+
 // Run processes the query stream. It stops when the remaining budget can no
 // longer cover a worst-case (middle-branch) answer, when MaxAnswers
 // above-threshold answers have been produced, or when the stream ends.
 func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResult, error) {
+	return m.RunScratch(src, answers, nil)
+}
+
+// RunScratch is Run drawing its working memory from scr (nil allocates
+// fresh). The top-branch query noise — drawn for every processed query, so
+// it dominates the run's sampling cost — is prefilled in vectorized chunks;
+// the rarer middle-branch draws stay scalar. Chunked prefill consumes the
+// noise stream in a different order than scalar sampling, so fixed-seed
+// outputs differ from pre-vectorization releases while every sample keeps
+// its exact distribution. The result's Items slice is backed by the scratch:
+// the result must be consumed before scr is reused for another run.
+func (m *AdaptiveSVTWithGap) RunScratch(src rng.Source, answers []float64, scr *SVTScratch) (*SVTGapResult, error) {
 	if len(answers) == 0 {
 		return nil, ErrNoQueries
 	}
@@ -270,6 +306,9 @@ func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResu
 	}
 	if !(m.Epsilon > 0) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, m.Epsilon)
+	}
+	if scr == nil {
+		scr = &SVTScratch{}
 	}
 	eps0, eps1, eps2 := m.budgets()
 	thresholdScale, topScale, middleScale := m.noiseScales()
@@ -286,19 +325,35 @@ func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResu
 			BranchMiddle: rng.LaplaceVariance(thresholdScale) + rng.LaplaceVariance(middleScale),
 		},
 	}
+	items := scr.items[:0]
 	// The threshold charge ε₀ is paid up front; the loop then charges ε₂ or ε₁
 	// per positive answer. Stopping while cost ≤ ε − ε₁ guarantees the total
 	// never exceeds ε (Theorem 4).
 	cost := eps0
 
+	// topAt hands out the prefilled top-branch noise, refilling a chunk at a
+	// time; an early stop abandons at most one chunk's tail.
+	chunkStart, chunkLen := 0, 0
+	topAt := func(i int) float64 {
+		if i >= chunkStart+chunkLen {
+			chunkStart = i
+			chunkLen = len(answers) - i
+			if chunkLen > svtNoiseChunk {
+				chunkLen = svtNoiseChunk
+			}
+			nz.fill(src, topScale, scr.top(chunkLen))
+		}
+		return scr.topNoise[i-chunkStart]
+	}
+
 	for i, q := range answers {
 		if m.MaxAnswers > 0 && result.AboveCount >= m.MaxAnswers {
 			break
 		}
-		xi := nz.sample(src, topScale)
+		xi := topAt(i)
 		topGap := q + xi - noisyThreshold
 		if !math.IsInf(sigma, 1) && topGap >= sigma {
-			result.Items = append(result.Items, SVTItem{
+			items = append(items, SVTItem{
 				Index: i, Above: true, Gap: topGap, Branch: BranchTop, BudgetUsed: eps2,
 			})
 			result.AboveCount++
@@ -307,13 +362,13 @@ func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResu
 			eta := nz.sample(src, middleScale)
 			middleGap := q + eta - noisyThreshold
 			if middleGap >= 0 {
-				result.Items = append(result.Items, SVTItem{
+				items = append(items, SVTItem{
 					Index: i, Above: true, Gap: middleGap, Branch: BranchMiddle, BudgetUsed: eps1,
 				})
 				result.AboveCount++
 				cost += eps1
 			} else {
-				result.Items = append(result.Items, SVTItem{
+				items = append(items, SVTItem{
 					Index: i, Above: false, Branch: BranchBelow, BudgetUsed: 0,
 				})
 			}
@@ -322,6 +377,8 @@ func (m *AdaptiveSVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResu
 			break
 		}
 	}
+	scr.items = items // keep the grown capacity for the next run
+	result.Items = items
 	result.BudgetSpent = cost
 	return result, nil
 }
@@ -394,4 +451,10 @@ func (m *SVTWithGap) adaptive() *AdaptiveSVTWithGap {
 // or the stream/budget is exhausted.
 func (m *SVTWithGap) Run(src rng.Source, answers []float64) (*SVTGapResult, error) {
 	return m.adaptive().Run(src, answers)
+}
+
+// RunScratch is Run drawing its working memory from scr (nil allocates
+// fresh); see AdaptiveSVTWithGap.RunScratch for the buffer-reuse contract.
+func (m *SVTWithGap) RunScratch(src rng.Source, answers []float64, scr *SVTScratch) (*SVTGapResult, error) {
+	return m.adaptive().RunScratch(src, answers, scr)
 }

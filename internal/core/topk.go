@@ -143,10 +143,57 @@ func (r *TopKResult) PerQueryNoiseVariance() float64 {
 	return rng.LaplaceVariance(r.noiseScale)
 }
 
+// TopKScratch holds the request-scoped buffers one Noisy-Top-K run needs:
+// the noisy-score vector, the rank index vector and the selections backing
+// array. Serving layers pool TopKScratch values so the hot path performs no
+// per-request allocations; the zero value is ready to use and the buffers
+// grow amortized to the largest request they have served.
+type TopKScratch struct {
+	noisy      []float64
+	idx        []int
+	selections []Selection
+}
+
+// floats returns a length-n float buffer backed by the scratch.
+func (s *TopKScratch) floats(n int) []float64 {
+	if cap(s.noisy) < n {
+		s.noisy = make([]float64, n)
+	}
+	s.noisy = s.noisy[:n]
+	return s.noisy
+}
+
+// ints returns a length-n int buffer backed by the scratch.
+func (s *TopKScratch) ints(n int) []int {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	s.idx = s.idx[:n]
+	return s.idx
+}
+
+// sels returns a length-n Selection buffer backed by the scratch.
+func (s *TopKScratch) sels(n int) []Selection {
+	if cap(s.selections) < n {
+		s.selections = make([]Selection, n)
+	}
+	s.selections = s.selections[:n]
+	return s.selections
+}
+
 // Run executes the mechanism on the true query answers. It needs k+1 ≤ n
 // queries because the k-th gap is measured against the (k+1)-th largest noisy
 // answer.
 func (m *TopKWithGap) Run(src rng.Source, answers []float64) (*TopKResult, error) {
+	return m.RunScratch(src, answers, nil)
+}
+
+// RunScratch is Run drawing its working memory from scr (nil allocates
+// fresh). The noise vector is filled in one vectorized pass — same draw
+// order as scalar sampling, so fixed-seed outputs are unchanged — and the
+// result's Selections slice is backed by the scratch: the result must be
+// consumed before scr is reused for another run.
+func (m *TopKWithGap) RunScratch(src rng.Source, answers []float64, scr *TopKScratch) (*TopKResult, error) {
 	n := len(answers)
 	if n == 0 {
 		return nil, ErrNoQueries
@@ -157,16 +204,23 @@ func (m *TopKWithGap) Run(src rng.Source, answers []float64) (*TopKResult, error
 	if !(m.Epsilon > 0) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, m.Epsilon)
 	}
+	if scr == nil {
+		scr = &TopKScratch{}
+	}
 	scale := m.NoiseScale()
 	nz := noiser{kind: m.Noise, base: m.DiscreteBase}
 
-	noisy := make([]float64, n)
+	// One vectorized noise pass, then one add pass over the (read-only)
+	// answers. answers may be a slice shared across requests (the dataset
+	// catalog's cached counts), so it is never written.
+	noisy := scr.floats(n)
+	nz.fill(src, scale, noisy)
 	for i, a := range answers {
-		noisy[i] = a + nz.sample(src, scale)
+		noisy[i] += a
 	}
 
 	// arg max_{k+1}: rank of the k+1 largest noisy answers, descending.
-	idx := make([]int, n)
+	idx := scr.ints(n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -174,7 +228,7 @@ func (m *TopKWithGap) Run(src rng.Source, answers []float64) (*TopKResult, error
 	sort.Slice(idx, func(a, b int) bool { return noisy[idx[a]] > noisy[idx[b]] })
 	idx = idx[:top]
 
-	selections := make([]Selection, m.K)
+	selections := scr.sels(m.K)
 	for i := 0; i < m.K; i++ {
 		selections[i] = Selection{
 			Index: idx[i],

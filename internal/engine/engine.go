@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/freegap/freegap/internal/core"
 	"github.com/freegap/freegap/internal/rng"
 )
 
@@ -147,9 +148,53 @@ type Response interface {
 	SetBilling(tenant string, epsilonSpent, budgetRemaining float64)
 }
 
+// Scratch holds the request-scoped working memory one Execute needs — noise
+// and score buffers for the core mechanisms plus the backing arrays of the
+// response's variable-length fields. Serving layers keep Scratch values in a
+// sync.Pool and thread one through each request, so the steady-state hot
+// path performs no per-request buffer allocations; every buffer grows
+// amortized to the largest request it has served. A Scratch must only ever
+// be used by one Execute at a time, and a response built from it must be
+// fully consumed (encoded) before the Scratch is reused, because the
+// response's slices are backed by it.
+type Scratch struct {
+	// TopK backs the topk/max mechanisms (noisy scores, rank index,
+	// selections).
+	TopK core.TopKScratch
+	// SVT backs the Sparse Vector mechanisms (prefilled noise chunk, items).
+	SVT core.SVTScratch
+	// selections backs TopKResponse.Selections.
+	selections []SelectionJSON
+	// svtAnswers backs SVTResponse.Above.
+	svtAnswers []SVTAnswerJSON
+}
+
+// NewScratch returns an empty Scratch (the zero value also works; the
+// constructor exists for pools: sync.Pool{New: func() any { return
+// engine.NewScratch() }}).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// selectionsBuf returns a length-0, capacity-amortized SelectionJSON buffer.
+func (s *Scratch) selectionsBuf(n int) []SelectionJSON {
+	if cap(s.selections) < n {
+		s.selections = make([]SelectionJSON, 0, n)
+	}
+	s.selections = s.selections[:0]
+	return s.selections
+}
+
+// svtAnswersBuf returns a length-0, capacity-amortized SVTAnswerJSON buffer.
+func (s *Scratch) svtAnswersBuf(n int) []SVTAnswerJSON {
+	if cap(s.svtAnswers) < n {
+		s.svtAnswers = make([]SVTAnswerJSON, 0, n)
+	}
+	s.svtAnswers = s.svtAnswers[:0]
+	return s.svtAnswers
+}
+
 // Mechanism is one servable DP workload. Implementations are stateless —
-// all run state lives in the request — so one registered instance serves
-// arbitrarily many concurrent executions.
+// all run state lives in the request and the caller-supplied scratch — so
+// one registered instance serves arbitrarily many concurrent executions.
 type Mechanism interface {
 	// Name is the stable identifier the mechanism is registered and routed
 	// under (it becomes the POST /v1/<name> endpoint and the accountant's
@@ -164,9 +209,12 @@ type Mechanism interface {
 	// Cost returns the ε to reserve from the paying tenant before Execute.
 	// It is only meaningful for requests that passed Validate.
 	Cost(req Request) float64
-	// Execute runs the mechanism, drawing noise from src. The returned
-	// Response has its billing fields unset; the caller stamps them.
-	Execute(src rng.Source, req Request) (Response, error)
+	// Execute runs the mechanism, drawing noise from src and working memory
+	// from scr (nil means allocate fresh — correct, just not pooled). The
+	// returned Response has its billing fields unset; the caller stamps
+	// them. With a non-nil scr the response may share the scratch's backing
+	// arrays: encode it before reusing scr.
+	Execute(src rng.Source, req Request, scr *Scratch) (Response, error)
 }
 
 // Registry maps mechanism names to implementations. It is safe for

@@ -83,7 +83,7 @@ func TestGoldenRequestResponseRoundTrip(t *testing.T) {
 
 			// Execute and round-trip the response through JSON into a fresh
 			// instance of the same concrete type.
-			resp, err := mech.Execute(rng.NewXoshiro(42), req)
+			resp, err := mech.Execute(rng.NewXoshiro(42), req, nil)
 			if err != nil {
 				t.Fatalf("Execute: %v", err)
 			}
@@ -115,7 +115,7 @@ func TestDeterministicExecution(t *testing.T) {
 			if err := decodeStrict(t, golden, req); err != nil {
 				t.Fatal(err)
 			}
-			resp, err := mech.Execute(rng.NewXoshiro(7), req)
+			resp, err := mech.Execute(rng.NewXoshiro(7), req, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +194,7 @@ func TestValidateRejections(t *testing.T) {
 	if err := topk.Validate(big, Limits{}); err == nil {
 		t.Error("topk accepted a MaxRequest")
 	}
-	if _, err := topk.Execute(rng.NewXoshiro(1), big); err == nil {
+	if _, err := topk.Execute(rng.NewXoshiro(1), big, nil); err == nil {
 		t.Error("topk executed a MaxRequest")
 	}
 }
@@ -269,7 +269,7 @@ func TestPipelineResponsesCarryTheProtocolOutputs(t *testing.T) {
 	if err := topk.Validate(req, Limits{}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := topk.Execute(rng.NewXoshiro(3), req)
+	resp, err := topk.Execute(rng.NewXoshiro(3), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestPipelineResponsesCarryTheProtocolOutputs(t *testing.T) {
 	if err := svt.Validate(sreq, Limits{}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = svt.Execute(rng.NewXoshiro(3), sreq)
+	resp, err = svt.Execute(rng.NewXoshiro(3), sreq, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

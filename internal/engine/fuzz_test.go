@@ -62,7 +62,7 @@ func FuzzDecodeRequest(f *testing.F) {
 			if !(cost > 0) {
 				t.Fatalf("%s: validated request has non-positive cost %v", m.Name(), cost)
 			}
-			if _, err := m.Execute(rng.NewXoshiro(1), req); err != nil {
+			if _, err := m.Execute(rng.NewXoshiro(1), req, nil); err != nil {
 				t.Fatalf("%s: validated request failed to execute: %v", m.Name(), err)
 			}
 		}

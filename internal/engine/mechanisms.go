@@ -69,7 +69,7 @@ func (topkMechanism) Validate(req Request, lim Limits) error {
 
 func (topkMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
 
-func (topkMechanism) Execute(src rng.Source, req Request) (Response, error) {
+func (topkMechanism) Execute(src rng.Source, req Request, scr *Scratch) (Response, error) {
 	r, ok := req.(*TopKRequest)
 	if !ok {
 		return nil, errWrongRequestType("topk", req)
@@ -78,15 +78,19 @@ func (topkMechanism) Execute(src rng.Source, req Request) (Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := mech.Run(src, r.Answers)
+	if scr == nil {
+		scr = NewScratch()
+	}
+	res, err := mech.RunScratch(src, r.Answers, &scr.TopK)
 	if err != nil {
 		return nil, err
 	}
-	out := &TopKResponse{Selections: make([]SelectionJSON, len(res.Selections))}
-	for i, sel := range res.Selections {
-		out.Selections[i] = SelectionJSON{Index: sel.Index, Gap: sel.Gap}
+	sels := scr.selectionsBuf(len(res.Selections))
+	for _, sel := range res.Selections {
+		sels = append(sels, SelectionJSON{Index: sel.Index, Gap: sel.Gap})
 	}
-	return out, nil
+	scr.selections = sels
+	return &TopKResponse{Selections: sels}, nil
 }
 
 //
@@ -128,16 +132,25 @@ func (maxMechanism) Validate(req Request, lim Limits) error {
 
 func (maxMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
 
-func (maxMechanism) Execute(src rng.Source, req Request) (Response, error) {
+func (maxMechanism) Execute(src rng.Source, req Request, scr *Scratch) (Response, error) {
 	r, ok := req.(*MaxRequest)
 	if !ok {
 		return nil, errWrongRequestType("max", req)
 	}
-	res, err := core.MaxWithGap(src, r.Answers, r.Epsilon, r.Monotonic)
+	mech, err := core.NewTopKWithGap(1, r.Epsilon, r.Monotonic)
 	if err != nil {
 		return nil, err
 	}
-	return &MaxResponse{Index: res.Index, Gap: res.Gap}, nil
+	if scr == nil {
+		scr = NewScratch()
+	}
+	// The k = 1 special case through the same scratch-backed run as topk;
+	// the selection is copied out, so nothing in the response aliases scr.
+	res, err := mech.RunScratch(src, r.Answers, &scr.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxResponse{Index: res.Selections[0].Index, Gap: res.Selections[0].Gap}, nil
 }
 
 //
@@ -215,10 +228,13 @@ func (svtMechanism) Validate(req Request, lim Limits) error {
 // requests stay sound.
 func (svtMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
 
-func (svtMechanism) Execute(src rng.Source, req Request) (Response, error) {
+func (svtMechanism) Execute(src rng.Source, req Request, scr *Scratch) (Response, error) {
 	r, ok := req.(*SVTRequest)
 	if !ok {
 		return nil, errWrongRequestType("svt", req)
+	}
+	if scr == nil {
+		scr = NewScratch()
 	}
 	var (
 		res *core.SVTGapResult
@@ -228,30 +244,35 @@ func (svtMechanism) Execute(src rng.Source, req Request) (Response, error) {
 		mech := &core.AdaptiveSVTWithGap{
 			K: r.K, Epsilon: r.Epsilon, Threshold: r.Threshold, Monotonic: r.Monotonic,
 		}
-		res, err = mech.Run(src, r.Answers)
+		res, err = mech.RunScratch(src, r.Answers, &scr.SVT)
 	} else {
 		var mech *core.SVTWithGap
 		mech, err = core.NewSVTWithGap(r.K, r.Epsilon, r.Threshold, r.Monotonic)
 		if err == nil {
-			res, err = mech.Run(src, r.Answers)
+			res, err = mech.RunScratch(src, r.Answers, &scr.SVT)
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	out := &SVTResponse{
-		Above:            make([]SVTAnswerJSON, 0, res.AboveCount),
 		AboveCount:       res.AboveCount,
 		QueriesProcessed: len(res.Items),
 		MechanismSpent:   res.BudgetSpent,
 	}
-	for _, it := range res.AboveItems() {
-		out.Above = append(out.Above, SVTAnswerJSON{
+	above := scr.svtAnswersBuf(res.AboveCount)
+	for _, it := range res.Items {
+		if !it.Above {
+			continue
+		}
+		above = append(above, SVTAnswerJSON{
 			Index:    it.Index,
 			Gap:      it.Gap,
 			Estimate: it.Gap + r.Threshold,
 			Branch:   it.Branch.String(),
 		})
 	}
+	scr.svtAnswers = above
+	out.Above = above
 	return out, nil
 }

@@ -87,7 +87,10 @@ func (pipelineTopKMechanism) Validate(req Request, lim Limits) error {
 
 func (pipelineTopKMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
 
-func (pipelineTopKMechanism) Execute(src rng.Source, req Request) (Response, error) {
+// Execute runs the full pipeline. The scratch is accepted for interface
+// symmetry but unused: the pipeline's cost is dominated by its measurement
+// and refinement stages, not request-scoped buffers.
+func (pipelineTopKMechanism) Execute(src rng.Source, req Request, _ *Scratch) (Response, error) {
 	r, ok := req.(*PipelineTopKRequest)
 	if !ok {
 		return nil, errWrongRequestType("pipeline/topk", req)
@@ -208,7 +211,9 @@ func (pipelineSVTMechanism) Validate(req Request, lim Limits) error {
 // requests stay sound.
 func (pipelineSVTMechanism) Cost(req Request) float64 { return req.Base().Epsilon }
 
-func (pipelineSVTMechanism) Execute(src rng.Source, req Request) (Response, error) {
+// Execute runs the full pipeline; see pipelineTopKMechanism.Execute for why
+// the scratch goes unused.
+func (pipelineSVTMechanism) Execute(src rng.Source, req Request, _ *Scratch) (Response, error) {
 	r, ok := req.(*PipelineSVTRequest)
 	if !ok {
 		return nil, errWrongRequestType("pipeline/svt", req)

@@ -178,3 +178,80 @@ func TestLaplaceVariance(t *testing.T) {
 		t.Fatalf("LaplaceVariance(3) = %v, want 18", got)
 	}
 }
+
+// TestLaplaceVecMatchesScalar pins the vectorized sampler to the scalar one:
+// same seed, same draw order, bit-identical samples — the guarantee the
+// serving layer relies on when it swaps scalar loops for vector fills.
+func TestLaplaceVecMatchesScalar(t *testing.T) {
+	const n = 1000
+	scalarSrc, vecSrc := NewXoshiro(99), NewXoshiro(99)
+	scalar := make([]float64, n)
+	for i := range scalar {
+		scalar[i] = Laplace(scalarSrc, 1.5)
+	}
+	vec := LaplaceVec(vecSrc, 1.5, n, nil)
+	for i := range scalar {
+		if scalar[i] != vec[i] {
+			t.Fatalf("sample %d: scalar %v != vec %v", i, scalar[i], vec[i])
+		}
+	}
+}
+
+func TestExponentialVec(t *testing.T) {
+	const n = 200000
+	v := ExponentialVec(NewXoshiro(3), 2.0, n, nil)
+	if len(v) != n {
+		t.Fatalf("len = %d, want %d", len(v), n)
+	}
+	var sum float64
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative exponential sample %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-2.0) > 0.03*2.0 {
+		t.Errorf("mean %v, want ≈ 2.0", mean)
+	}
+	// Scalar equivalence, draw for draw.
+	scalarSrc, vecSrc := NewXoshiro(4), NewXoshiro(4)
+	w := ExponentialVec(vecSrc, 0.7, 100, nil)
+	for i := range w {
+		if s := Exponential(scalarSrc, 0.7); s != w[i] {
+			t.Fatalf("sample %d: scalar %v != vec %v", i, s, w[i])
+		}
+	}
+}
+
+func TestGumbelVec(t *testing.T) {
+	const n = 200000
+	const scale = 1.5
+	v := GumbelVec(NewXoshiro(5), scale, n, nil)
+	// Standard Gumbel mean is the Euler–Mascheroni constant γ, scaled.
+	const euler = 0.5772156649015329
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if mean, want := sum/n, scale*euler; math.Abs(mean-want) > 0.05*math.Abs(want)+0.02 {
+		t.Errorf("mean %v, want ≈ %v", mean, want)
+	}
+	// Scalar equivalence, draw for draw.
+	scalarSrc, vecSrc := NewXoshiro(6), NewXoshiro(6)
+	w := GumbelVec(vecSrc, scale, 100, nil)
+	for i := range w {
+		if s := Gumbel(scalarSrc, scale); s != w[i] {
+			t.Fatalf("sample %d: scalar %v != vec %v", i, s, w[i])
+		}
+	}
+	for _, bad := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for scale %v", bad)
+				}
+			}()
+			GumbelVec(NewXoshiro(1), bad, 1, nil)
+		}()
+	}
+}

@@ -114,8 +114,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 
 	// Stage 3: execute the admitted items concurrently across the worker
 	// pool. Execution failures are per-item — the batch's reservation stays
-	// spent, exactly as a serial request's would.
+	// spent, exactly as a serial request's would. Each item draws its own
+	// scratch from the pool (they run concurrently), and every scratch is
+	// held until the whole batch response is encoded: item responses alias
+	// their scratch's buffers.
 	results := make([]BatchItemResult, len(items))
+	scratches := make([]*engine.Scratch, len(items))
 	var total float64
 	var wg sync.WaitGroup
 	for i := range items {
@@ -125,12 +129,14 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scr := scratchPool.Get().(*engine.Scratch)
+			scratches[i] = scr
 			var (
 				resp   engine.Response
 				runErr error
 			)
 			if err := s.pool.do(r.Context(), func(src rng.Source) {
-				resp, runErr = it.mech.Execute(src, it.req)
+				resp, runErr = it.mech.Execute(src, it.req, scr)
 			}); err != nil {
 				results[i].Error = batchExecError(err)
 				return
@@ -151,6 +157,11 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		EpsilonSpent:    total,
 		BudgetRemaining: remaining,
 	})
+	for _, scr := range scratches {
+		if scr != nil {
+			scratchPool.Put(scr)
+		}
+	}
 	return "ok"
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/freegap/freegap/internal/accountant"
@@ -14,6 +15,13 @@ import (
 	"github.com/freegap/freegap/internal/rng"
 	"github.com/freegap/freegap/internal/telemetry"
 )
+
+// scratchPool recycles the request-scoped working memory of mechanism
+// executions — noise and score buffers plus the responses' variable-length
+// backing arrays — so the steady-state hot path allocates no per-request
+// buffers. A scratch is released only after the response built from it has
+// been encoded (the response aliases the scratch's arrays).
+var scratchPool = sync.Pool{New: func() any { return engine.NewScratch() }}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
@@ -71,6 +79,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.telemetry.WritePrometheus(w)
 }
 
+// handleBudget serves a tenant's budget ledger. The default response is the
+// aggregated snapshot — atomic spent/remaining reads plus the accountant's
+// incrementally-maintained per-mechanism map — so polling it costs O(number
+// of mechanisms), not O(number of charges). ?log=1 opts in to the raw
+// per-charge log for audit tooling that actually wants it.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	tenant := r.PathValue("id")
 	acct, ok := s.reg.Lookup(tenant)
@@ -81,7 +94,7 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, BudgetResponse{
+	resp := BudgetResponse{
 		Tenant:            tenant,
 		Budget:            acct.Budget(),
 		Spent:             acct.Spent(),
@@ -89,7 +102,15 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		RemainingFraction: acct.RemainingFraction(),
 		Charges:           acct.ChargeCount(),
 		SpentByMechanism:  acct.SpentByLabel(),
-	})
+	}
+	if r.URL.Query().Get("log") == "1" {
+		charges := acct.Charges()
+		resp.Log = make([]ChargeJSON, len(charges))
+		for i, c := range charges {
+			resp.Log[i] = ChargeJSON{Mechanism: c.Label, Epsilon: c.Epsilon}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMechanism serves POST /v1/<name> for one registered mechanism. It is
@@ -144,12 +165,17 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 		return code
 	}
 
+	// The scratch is returned to the pool when this function exits — after
+	// writeJSON has encoded the response that aliases its buffers.
+	scr := scratchPool.Get().(*engine.Scratch)
+	defer scratchPool.Put(scr)
+
 	var (
 		resp   engine.Response
 		runErr error
 	)
 	if err := s.pool.do(r.Context(), func(src rng.Source) {
-		resp, runErr = mech.Execute(src, req)
+		resp, runErr = mech.Execute(src, req, scr)
 	}); err != nil {
 		return poolError(w, err)
 	}

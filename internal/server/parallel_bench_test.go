@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/freegap/freegap/internal/store"
+)
+
+// BenchmarkServerParallelManyTenants is the multi-core scaling benchmark: 64
+// tenants hammered by parallel clients (GOMAXPROCS × b.SetParallelism), each
+// request picking its tenant round-robin so every accountant shard, registry
+// shard and telemetry cell stays warm. The "inline" variant ships a 256-item
+// answer vector per request; the "resolved" variant names a catalogued
+// dataset, so the request body is tiny and the serving cost is pure
+// dispatch + charge + mechanism. The single-mutex baseline serializes every
+// request of every tenant on four global locks (accountant, registry,
+// telemetry, store); the sharded hot path should scale with cores instead.
+func BenchmarkServerParallelManyTenants(b *testing.B) {
+	const tenants = 64
+	answers := benchAnswers(256)
+
+	// One pre-marshalled body per tenant, so the benchmark loop does no
+	// JSON encoding of its own.
+	inlineBodies := make([][]byte, tenants)
+	for t := 0; t < tenants; t++ {
+		body, err := json.Marshal(TopKRequest{
+			Common: Common{Tenant: fmt.Sprintf("tenant-%02d", t), Epsilon: 0.01, Answers: answers, Monotonic: true},
+			K:      5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inlineBodies[t] = body
+	}
+	resolvedBodies := make([][]byte, tenants)
+	for t := 0; t < tenants; t++ {
+		resolvedBodies[t] = []byte(fmt.Sprintf(
+			`{"tenant":"tenant-%02d","epsilon":0.01,"k":5,"dataset":"pos","queries":{"kind":"all_items"}}`, t))
+	}
+
+	run := func(b *testing.B, bodies [][]byte, withDataset bool) {
+		s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1})
+		if withDataset {
+			db, err := store.GenerateSynthetic("bmspos", 200, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.RegisterDataset("pos", "synthetic:bmspos", db); err != nil {
+				b.Fatal(err)
+			}
+		}
+		h := s.Handler()
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Each goroutine walks the tenant ring from its own offset so
+			// concurrent requests spread across tenants, the many-tenant
+			// contention profile a production server sees.
+			i := next.Add(1)
+			for pb.Next() {
+				body := bodies[i%tenants]
+				i++
+				req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+				}
+			}
+		})
+	}
+
+	b.Run("inline", func(b *testing.B) { run(b, inlineBodies, false) })
+	b.Run("resolved", func(b *testing.B) { run(b, resolvedBodies, true) })
+}

@@ -901,3 +901,58 @@ func TestHealthzListsMechanisms(t *testing.T) {
 		t.Errorf("mechanisms = %v, want %v", health.Mechanisms, want)
 	}
 }
+
+// TestBudgetLogOptIn pins the budget endpoint's two shapes: the default
+// response serves the aggregated snapshot with no raw log, and ?log=1 opts
+// in to the full per-charge history in admission order.
+func TestBudgetLogOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 10})
+
+	for i, eps := range []float64{1.5, 0.5} {
+		resp, data := postJSON(t, ts.URL+"/v1/topk", TopKRequest{Common: Common{Tenant: "audit", Epsilon: eps, Answers: testAnswers, Monotonic: true}, K: 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d, body = %s", i, resp.StatusCode, data)
+		}
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/max", MaxRequest{Common: Common{Tenant: "audit", Epsilon: 0.25, Answers: testAnswers}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("max status = %d, body = %s", resp.StatusCode, data)
+	}
+
+	// Default: aggregated snapshot only, no log field.
+	_, data = getJSON(t, ts.URL+"/v1/tenants/audit/budget")
+	budget := decodeInto[BudgetResponse](t, data)
+	if budget.Log != nil {
+		t.Errorf("default budget response carries a log: %+v", budget.Log)
+	}
+	if got := budget.SpentByMechanism["topk"]; math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("spent_by_mechanism[topk] = %v, want 2.0", got)
+	}
+	if budget.Charges != 3 {
+		t.Errorf("charges = %d, want 3", budget.Charges)
+	}
+
+	// ?log=1: the raw per-charge history in admission order.
+	_, data = getJSON(t, ts.URL+"/v1/tenants/audit/budget?log=1")
+	budget = decodeInto[BudgetResponse](t, data)
+	want := []ChargeJSON{
+		{Mechanism: "topk", Epsilon: 1.5},
+		{Mechanism: "topk", Epsilon: 0.5},
+		{Mechanism: "max", Epsilon: 0.25},
+	}
+	if len(budget.Log) != len(want) {
+		t.Fatalf("log = %+v, want %+v", budget.Log, want)
+	}
+	for i := range want {
+		if budget.Log[i] != want[i] {
+			t.Errorf("log[%d] = %+v, want %+v", i, budget.Log[i], want[i])
+		}
+	}
+	var logSum float64
+	for _, c := range budget.Log {
+		logSum += c.Epsilon
+	}
+	if math.Abs(logSum-budget.Spent) > 1e-9 {
+		t.Errorf("Σ log = %v, spent = %v", logSum, budget.Spent)
+	}
+}

@@ -3,8 +3,10 @@ package server
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/freegap/freegap/internal/accountant"
 	"github.com/freegap/freegap/internal/engine"
@@ -19,20 +21,64 @@ var ErrTenantLimit = errors.New("server: tenant limit reached")
 // engine so CLI and batch callers validate identically.
 const maxTenantNameLen = engine.MaxTenantNameLen
 
+// maxRegistryShards caps the shard count; beyond this the per-shard maps are
+// so sparsely contended that more shards only waste memory.
+const maxRegistryShards = 256
+
+// registryShardCount picks the shard count for a new registry: GOMAXPROCS
+// rounded up to a power of two (so the hash → shard mapping is a mask, not a
+// division), capped at maxRegistryShards.
+func registryShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	if shards > maxRegistryShards {
+		shards = maxRegistryShards
+	}
+	return shards
+}
+
+// registryShard is one lock domain of the registry: tenants whose ids hash
+// here never contend with tenants hashed elsewhere. The pad keeps adjacent
+// shards' mutexes off one cache line.
+type registryShard struct {
+	mu      sync.RWMutex
+	tenants map[string]*accountant.Accountant
+	_       [64]byte
+}
+
 // Registry is a concurrency-safe map of tenant id → privacy accountant. An
 // accountant is created with the configured initial budget the first time a
 // tenant issues a request, and every subsequent request is charged against it
 // atomically, so concurrent clients of the same tenant draw from one budget.
+//
+// The map is sharded by tenant-id hash into GOMAXPROCS-ish lock domains, so
+// lookups (the per-request fast path) and creations for distinct tenants
+// never serialize on one global mutex; the only registry-wide shared state
+// is the atomic tenant count backing the provisioning cap.
 type Registry struct {
-	mu      sync.RWMutex
-	budget  float64
-	tenants map[string]*accountant.Accountant
+	budget float64
 	// maxTenants caps auto-provisioning; zero means unlimited.
 	maxTenants int
+	// count is the live tenant total across all shards, reserved by CAS
+	// before an insert so the cap stays strict however many shards race.
+	count  atomic.Int64
+	shards []registryShard
+	mask   uint64
 	// journal, when set, observes every admitted charge batch of every
-	// tenant (see SetJournal).
-	journal ChargeJournal
+	// tenant (see SetJournal). It is read lock-free on the (rare) tenant
+	// creation path and written by SetJournal before serving.
+	journal atomic.Pointer[journalBox]
 }
+
+// journalBox wraps the journal interface so it can live in an
+// atomic.Pointer (interfaces are two words and cannot be stored atomically).
+type journalBox struct{ j ChargeJournal }
 
 // ChargeJournal observes admitted charges for durable persistence. The
 // registry installs a per-tenant hook into each accountant so AppendCharge
@@ -51,15 +97,39 @@ func NewRegistry(initialBudget float64, maxTenants int) (*Registry, error) {
 	if maxTenants < 0 {
 		return nil, fmt.Errorf("server: max tenants %d must not be negative", maxTenants)
 	}
-	return &Registry{
+	n := registryShardCount()
+	r := &Registry{
 		budget:     initialBudget,
-		tenants:    make(map[string]*accountant.Accountant),
 		maxTenants: maxTenants,
-	}, nil
+		shards:     make([]registryShard, n),
+		mask:       uint64(n - 1),
+	}
+	for i := range r.shards {
+		r.shards[i].tenants = make(map[string]*accountant.Accountant)
+	}
+	return r, nil
 }
 
 // InitialBudget returns the ε budget new tenants are provisioned with.
 func (r *Registry) InitialBudget() float64 { return r.budget }
+
+// NumShards returns the registry's shard count (exposed for tests and
+// startup logging).
+func (r *Registry) NumShards() int { return len(r.shards) }
+
+// shardFor hashes the tenant id (FNV-1a) onto its shard.
+func (r *Registry) shardFor(tenant string) *registryShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime64
+	}
+	return &r.shards[h&r.mask]
+}
 
 // validTenant reports whether the tenant id is acceptable.
 func validTenant(tenant string) error {
@@ -69,39 +139,56 @@ func validTenant(tenant string) error {
 	return nil
 }
 
+// reserveSlot reserves one tenant slot against the cap (strictly: a CAS loop,
+// so racing creators in different shards can never jointly overshoot).
+func (r *Registry) reserveSlot(enforceCap bool) error {
+	for {
+		c := r.count.Load()
+		if enforceCap && r.maxTenants > 0 && c >= int64(r.maxTenants) {
+			return fmt.Errorf("%w: %d tenants provisioned", ErrTenantLimit, c)
+		}
+		if r.count.CompareAndSwap(c, c+1) {
+			return nil
+		}
+	}
+}
+
 // Get returns the tenant's accountant, creating it with the initial budget on
 // first use.
 func (r *Registry) Get(tenant string) (*accountant.Accountant, error) {
 	if err := validTenant(tenant); err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	a, ok := r.tenants[tenant]
-	r.mu.RUnlock()
+	sh := r.shardFor(tenant)
+	sh.mu.RLock()
+	a, ok := sh.tenants[tenant]
+	sh.mu.RUnlock()
 	if ok {
 		return a, nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if a, ok := r.tenants[tenant]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if a, ok := sh.tenants[tenant]; ok {
 		return a, nil
 	}
-	if r.maxTenants > 0 && len(r.tenants) >= r.maxTenants {
-		return nil, fmt.Errorf("%w: %d tenants provisioned", ErrTenantLimit, len(r.tenants))
+	if err := r.reserveSlot(true); err != nil {
+		return nil, err
 	}
 	a = accountant.MustNew(r.budget)
-	r.installJournalLocked(tenant, a)
-	r.tenants[tenant] = a
+	r.installJournal(tenant, a)
+	sh.tenants[tenant] = a
 	return a, nil
 }
 
-// installJournalLocked wires the registry journal into one accountant.
-// Caller holds r.mu for writing.
-func (r *Registry) installJournalLocked(tenant string, a *accountant.Accountant) {
-	if r.journal == nil {
+// installJournal wires the registry journal (if any) into one accountant.
+// Caller holds the tenant's shard lock for writing.
+func (r *Registry) installJournal(tenant string, a *accountant.Accountant) {
+	box := r.journal.Load()
+	if box == nil || box.j == nil {
+		a.SetJournal(nil)
 		return
 	}
-	j := r.journal
+	j := box.j
 	a.SetJournal(func(charges []accountant.Charge) { j.AppendCharge(tenant, charges) })
 }
 
@@ -109,15 +196,14 @@ func (r *Registry) installJournalLocked(tenant string, a *accountant.Accountant)
 // accountant — existing and future — reports its admitted charges to it.
 // Install before serving traffic; passing nil removes the hooks.
 func (r *Registry) SetJournal(j ChargeJournal) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.journal = j
-	for tenant, a := range r.tenants {
-		if j == nil {
-			a.SetJournal(nil)
-			continue
+	r.journal.Store(&journalBox{j: j})
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for tenant, a := range sh.tenants {
+			r.installJournal(tenant, a)
 		}
-		r.installJournalLocked(tenant, a)
+		sh.mu.Unlock()
 	}
 }
 
@@ -130,25 +216,30 @@ func (r *Registry) RestoreTenant(tenant string, charges []accountant.Charge, cha
 	if err := validTenant(tenant); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.tenants[tenant]; ok {
+	sh := r.shardFor(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.tenants[tenant]; ok {
 		return fmt.Errorf("server: tenant %q restored twice", tenant)
 	}
 	a := accountant.MustNew(r.budget)
 	if err := a.Restore(charges, chargeCount); err != nil {
 		return fmt.Errorf("server: restoring tenant %q: %w", tenant, err)
 	}
-	r.installJournalLocked(tenant, a)
-	r.tenants[tenant] = a
+	if err := r.reserveSlot(false); err != nil {
+		return err
+	}
+	r.installJournal(tenant, a)
+	sh.tenants[tenant] = a
 	return nil
 }
 
 // Lookup returns the tenant's accountant without creating one.
 func (r *Registry) Lookup(tenant string) (*accountant.Accountant, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a, ok := r.tenants[tenant]
+	sh := r.shardFor(tenant)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.tenants[tenant]
 	return a, ok
 }
 
@@ -182,20 +273,19 @@ func (r *Registry) ChargeBatch(tenant string, charges []accountant.Charge) (rema
 }
 
 // Len returns the number of live tenants.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.tenants)
-}
+func (r *Registry) Len() int { return int(r.count.Load()) }
 
 // Tenants returns the live tenant ids, sorted.
 func (r *Registry) Tenants() []string {
-	r.mu.RLock()
-	out := make([]string, 0, len(r.tenants))
-	for t := range r.tenants {
-		out = append(out, t)
+	out := make([]string, 0, r.Len())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for t := range sh.tenants {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -145,8 +145,24 @@ type BudgetResponse struct {
 	RemainingFraction float64 `json:"remaining_fraction"`
 	// Charges is the number of admitted requests.
 	Charges int `json:"charges"`
-	// SpentByMechanism breaks Spent down by the mechanism charged for.
+	// SpentByMechanism breaks Spent down by the mechanism charged for. It is
+	// served from the accountant's incrementally-maintained aggregation, so a
+	// budget poll never materializes the charge log.
 	SpentByMechanism map[string]float64 `json:"spent_by_mechanism"`
+	// Log is the raw per-charge expenditure log, present only when the
+	// request opted in with ?log=1 (copying the full log on every poll is
+	// exactly the cost the default response avoids). A restored-from-snapshot
+	// tenant's log may be shorter than Charges: compaction aggregates by
+	// mechanism but preserves the admitted-charge count.
+	Log []ChargeJSON `json:"log,omitempty"`
+}
+
+// ChargeJSON is one admitted charge in a BudgetResponse log.
+type ChargeJSON struct {
+	// Mechanism is the charge label (the mechanism name billed under).
+	Mechanism string `json:"mechanism"`
+	// Epsilon is the ε charged.
+	Epsilon float64 `json:"epsilon"`
 }
 
 // HealthResponse is the body of GET /healthz.

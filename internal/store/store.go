@@ -72,13 +72,23 @@ func (l Limits) withDefaults() Limits {
 	return l
 }
 
+// catalog is one immutable generation of the store's name → entry mapping.
+// Readers load the current generation atomically and walk it without any
+// lock; writers build the next generation under the write mutex and swap the
+// pointer (RCU-style), so a registration never blocks a resolving request.
+type catalog = map[string]*Entry
+
 // Store is the concurrency-safe dataset catalog. Registration normally
-// happens at startup (preloads) or through the dataset API; lookups happen on
-// every resolved request.
+// happens at startup (preloads) or through the dataset API; lookups happen
+// on every resolved request, which is why they are lock-free: Get is an
+// atomic pointer load plus a read of an immutable map.
 type Store struct {
 	limits Limits
-	mu     sync.RWMutex
-	byName map[string]*Entry
+	// writeMu serializes Register/Remove (the copy-and-swap writers).
+	writeMu sync.Mutex
+	// byName points at the current immutable catalog generation. Never
+	// mutated in place; always replaced wholesale under writeMu.
+	byName atomic.Pointer[catalog]
 }
 
 // New returns an empty catalog with the default limits.
@@ -86,8 +96,14 @@ func New() *Store { return NewWithLimits(Limits{}) }
 
 // NewWithLimits returns an empty catalog with the given limits.
 func NewWithLimits(lim Limits) *Store {
-	return &Store{limits: lim.withDefaults(), byName: make(map[string]*Entry)}
+	s := &Store{limits: lim.withDefaults()}
+	empty := make(catalog)
+	s.byName.Store(&empty)
+	return s
 }
+
+// snapshot returns the current immutable catalog generation.
+func (s *Store) snapshot() catalog { return *s.byName.Load() }
 
 // Limits returns the catalog's effective limits (after defaulting), so
 // ingestion paths (uploads, preloads) can enforce the same caps at parse
@@ -172,14 +188,11 @@ func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry,
 	// Cheap duplicate pre-check so a taken name fails before the (possibly
 	// expensive) count precompute; the authoritative check re-runs under the
 	// write lock below.
-	s.mu.RLock()
-	_, taken := s.byName[name]
-	full := s.limits.MaxDatasets > 0 && len(s.byName) >= s.limits.MaxDatasets
-	s.mu.RUnlock()
-	if taken {
+	cur := s.snapshot()
+	if _, taken := cur[name]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	if full {
+	if s.limits.MaxDatasets > 0 && len(cur) >= s.limits.MaxDatasets {
 		return nil, fmt.Errorf("store: catalog holds %d datasets, the maximum", s.limits.MaxDatasets)
 	}
 
@@ -187,15 +200,21 @@ func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry,
 	e.scans.Add(1)
 	e.counts = db.ItemCounts() // the one and only scan for this entry
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byName[name]; ok {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur = s.snapshot()
+	if _, ok := cur[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	if s.limits.MaxDatasets > 0 && len(s.byName) >= s.limits.MaxDatasets {
+	if s.limits.MaxDatasets > 0 && len(cur) >= s.limits.MaxDatasets {
 		return nil, fmt.Errorf("store: catalog holds %d datasets, the maximum", s.limits.MaxDatasets)
 	}
-	s.byName[name] = e
+	next := make(catalog, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = e
+	s.byName.Store(&next)
 	return e, nil
 }
 
@@ -205,18 +224,27 @@ func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry,
 // registration whose durable journalling failed, keeping "registered"
 // equivalent to "survives a restart" on persistent servers.
 func (s *Store) Remove(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.byName[name]
-	delete(s.byName, name)
-	return ok
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snapshot()
+	if _, ok := cur[name]; !ok {
+		return false
+	}
+	next := make(catalog, len(cur)-1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.byName.Store(&next)
+	return true
 }
 
-// Get returns the entry catalogued under name.
+// Get returns the entry catalogued under name. It takes no lock: the lookup
+// reads the current immutable catalog generation through an atomic pointer,
+// so dataset-backed requests never contend with registrations.
 func (s *Store) Get(name string) (*Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.byName[name]
+	e, ok := s.snapshot()[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
@@ -224,18 +252,13 @@ func (s *Store) Get(name string) (*Entry, error) {
 }
 
 // Len returns the number of catalogued datasets.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byName)
-}
+func (s *Store) Len() int { return len(s.snapshot()) }
 
 // Names returns the catalogued names, sorted.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byName))
-	for name := range s.byName {
+	cur := s.snapshot()
+	out := make([]string, 0, len(cur))
+	for name := range cur {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -244,12 +267,11 @@ func (s *Store) Names() []string {
 
 // List returns every entry's Info in name order.
 func (s *Store) List() []Info {
-	s.mu.RLock()
-	entries := make([]*Entry, 0, len(s.byName))
-	for _, e := range s.byName {
+	cur := s.snapshot()
+	entries := make([]*Entry, 0, len(cur))
+	for _, e := range cur {
 		entries = append(entries, e)
 	}
-	s.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	out := make([]Info, len(entries))
 	for i, e := range entries {

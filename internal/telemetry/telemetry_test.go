@@ -90,3 +90,61 @@ func TestCounterSetConcurrent(t *testing.T) {
 		t.Fatalf("concurrent count = %d, want 8000", got)
 	}
 }
+
+// TestStripedCountersSumExactly hammers one counter and one gauge from many
+// goroutines and verifies the scrape-time sum is exact: striping may spread
+// the increments over cells, but it must never lose or double-count one.
+func TestStripedCountersSumExactly(t *testing.T) {
+	set := NewCounterSet()
+	c := set.Counter("stripe_test_total")
+	g := set.Gauge("stripe_test_inflight")
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Inc()
+				if j%2 == 0 {
+					g.Dec()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(goroutines*perG); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), int64(goroutines*(perG-perG/2)); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge after Set = %d, want 7", got)
+	}
+}
+
+// TestZeroValueCounterAndGauge pins the zero-value fallback: un-striped
+// instances constructed directly still count correctly.
+func TestZeroValueCounterAndGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := c.Value(); got != 5 {
+		t.Errorf("zero-value counter = %d, want 5", got)
+	}
+	if got := g.Value(); got != 1 {
+		t.Errorf("zero-value gauge = %d, want 1", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Errorf("zero-value gauge after Set = %d, want -3", got)
+	}
+}
