@@ -12,6 +12,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/bits"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -23,6 +25,59 @@ import (
 	"github.com/freegap/freegap/internal/server"
 	"github.com/freegap/freegap/internal/store"
 )
+
+// latHist is an HDR-style client-side latency histogram: 24 base-2 octaves
+// from 1µs up, each split into 32 linear sub-buckets, so quantile estimates
+// carry ~3% relative error across the whole range at a fixed 768-counter
+// footprint. Atomic counters let every client goroutine observe lock-free.
+type latHist struct {
+	counts [latOctaves * latSubBuckets]atomic.Uint64
+	over   atomic.Uint64
+	n      atomic.Uint64
+}
+
+const (
+	latOctaves    = 24 // 1µs .. ~8.4s
+	latSubBuckets = 32
+)
+
+func (h *latHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	if us < 1 {
+		us = 1
+	}
+	h.n.Add(1)
+	e := bits.Len64(us) - 1
+	if e >= latOctaves {
+		h.over.Add(1)
+		return
+	}
+	sub := (us - 1<<e) * latSubBuckets >> e
+	h.counts[e*latSubBuckets+int(sub)].Add(1)
+}
+
+// quantile returns the upper bound of the sub-bucket holding the q-quantile.
+func (h *latHist) quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			e, sub := i/latSubBuckets, i%latSubBuckets
+			lo := float64(uint64(1) << e)
+			us := lo * (1 + float64(sub+1)/latSubBuckets)
+			return time.Duration(us * float64(time.Microsecond))
+		}
+	}
+	return time.Duration(1) << latOctaves * time.Microsecond
+}
 
 // serveBenchConfig parameterizes one servebench run.
 type serveBenchConfig struct {
@@ -61,6 +116,8 @@ type serveBenchResult struct {
 	Requests  int
 	Elapsed   time.Duration
 	OpsPerSec float64
+	// P50/P95/P99 are client-side request latency quantiles.
+	P50, P95, P99 time.Duration
 }
 
 // runServeBench runs both scenarios and writes the report to stdout.
@@ -105,6 +162,7 @@ func runServeBench(cfg serveBenchConfig) error {
 		h := s.Handler()
 		var next atomic.Int64
 		var failed atomic.Int64
+		var lat latHist
 		start := time.Now()
 		var wg sync.WaitGroup
 		for g := 0; g < cfg.Parallel; g++ {
@@ -121,7 +179,9 @@ func runServeBench(cfg serveBenchConfig) error {
 					i++
 					req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
 					w := httptest.NewRecorder()
+					t0 := time.Now()
 					h.ServeHTTP(w, req)
+					lat.observe(time.Since(t0))
 					if w.Code != http.StatusOK {
 						failed.Add(1)
 					}
@@ -138,6 +198,9 @@ func runServeBench(cfg serveBenchConfig) error {
 			Requests:  cfg.Requests,
 			Elapsed:   elapsed,
 			OpsPerSec: float64(cfg.Requests) / elapsed.Seconds(),
+			P50:       lat.quantile(0.50),
+			P95:       lat.quantile(0.95),
+			P99:       lat.quantile(0.99),
 		}, nil
 	}
 
@@ -158,20 +221,24 @@ func runServeBench(cfg serveBenchConfig) error {
 	}
 
 	if cfg.CSV {
-		fmt.Fprintf(os.Stdout, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec\n")
+		fmt.Fprintf(os.Stdout, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec,p50_us,p95_us,p99_us\n")
 		for _, r := range results {
-			fmt.Fprintf(os.Stdout, "%s,%d,%d,%d,%.3f,%.1f\n",
+			fmt.Fprintf(os.Stdout, "%s,%d,%d,%d,%.3f,%.1f,%.1f,%.1f,%.1f\n",
 				r.Scenario, cfg.Parallel, cfg.Tenants, r.Requests,
-				float64(r.Elapsed.Microseconds())/1000, r.OpsPerSec)
+				float64(r.Elapsed.Microseconds())/1000, r.OpsPerSec,
+				float64(r.P50.Nanoseconds())/1e3, float64(r.P95.Nanoseconds())/1e3,
+				float64(r.P99.Nanoseconds())/1e3)
 		}
 		return nil
 	}
 	fmt.Fprintf(os.Stdout, "servebench: parallel server hot path (GOMAXPROCS=%d, %d clients, %d tenants)\n",
 		runtime.GOMAXPROCS(0), cfg.Parallel, cfg.Tenants)
-	fmt.Fprintf(os.Stdout, "%-10s %10s %12s %12s\n", "scenario", "requests", "elapsed", "ops/sec")
+	fmt.Fprintf(os.Stdout, "%-10s %10s %12s %12s %10s %10s %10s\n",
+		"scenario", "requests", "elapsed", "ops/sec", "p50", "p95", "p99")
 	for _, r := range results {
-		fmt.Fprintf(os.Stdout, "%-10s %10d %12s %12.1f\n",
-			r.Scenario, r.Requests, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+		fmt.Fprintf(os.Stdout, "%-10s %10d %12s %12.1f %10s %10s %10s\n",
+			r.Scenario, r.Requests, r.Elapsed.Round(time.Millisecond), r.OpsPerSec,
+			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 //	dpserver -preload sales=/data/bmspos.dat -preload-synthetic demo=kosarak:100
 //	dpserver -state-dir /var/lib/dpserver          # durable budgets & datasets
 //	dpserver -state-dir /var/lib/dpserver -fsync always
+//	dpserver -access-log -slow-ms 250 -debug       # JSON access logs + pprof
 //
 // Endpoints (one per mechanism registered in the engine, plus operations):
 //
@@ -50,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -93,6 +95,9 @@ func parseConfig(args []string) (options, error) {
 		maxTenants = fs.Int("max-tenants", 0, "maximum auto-provisioned tenants (0 = default)")
 		stateDir   = fs.String("state-dir", "", "directory for durable state (WAL + snapshots); empty = in-memory only, a restart refunds all spent budget")
 		fsyncMode  = fs.String("fsync", "batch", "WAL durability: batch (group fsync off the hot path), always (fsync per charge), off")
+		debug      = fs.Bool("debug", false, "mount /debug/pprof and runtime gauges on /metrics")
+		accessLog  = fs.Bool("access-log", false, "log one structured JSON record per request to stderr")
+		slowMs     = fs.Int("slow-ms", 0, "log requests slower than this many milliseconds even without -access-log (0 = 1000, negative disables)")
 		preloads   []freegap.DatasetPreload
 	)
 	fs.Func("preload", "name=path: serve the FIMI-format dataset file under the given name (repeatable)", func(v string) error {
@@ -119,19 +124,30 @@ func parseConfig(args []string) (options, error) {
 	if err != nil {
 		return options{}, err
 	}
+	cfg := freegap.ServerConfig{
+		Addr:         *addr,
+		TenantBudget: *budget,
+		Workers:      *workers,
+		Seed:         *seed,
+		MaxAnswers:   *maxAns,
+		MaxBodyBytes: *maxBody,
+		MaxTenants:   *maxTenants,
+		Preload:      preloads,
+		Debug:        *debug,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	switch {
+	case *slowMs < 0:
+		cfg.SlowRequestThreshold = -1
+	case *slowMs > 0:
+		cfg.SlowRequestThreshold = time.Duration(*slowMs) * time.Millisecond
+	}
 	return options{
-		ServerConfig: freegap.ServerConfig{
-			Addr:         *addr,
-			TenantBudget: *budget,
-			Workers:      *workers,
-			Seed:         *seed,
-			MaxAnswers:   *maxAns,
-			MaxBodyBytes: *maxBody,
-			MaxTenants:   *maxTenants,
-			Preload:      preloads,
-		},
-		StateDir: *stateDir,
-		Fsync:    mode,
+		ServerConfig: cfg,
+		StateDir:     *stateDir,
+		Fsync:        mode,
 	}, nil
 }
 

@@ -182,4 +182,23 @@
 // holds exactly the admitted charges — are pinned by -race stress tests
 // (internal/server/stress_test.go), and BenchmarkServerParallelManyTenants
 // (64 tenants × parallel clients) quantifies the multi-core win.
+//
+// # Observability
+//
+// Every request is served inside a trace context: the server adopts or
+// generates an X-Request-ID, echoes it on every response (and inside error
+// JSON bodies as request_id), and attributes the request's latency to the
+// pipeline stages decode → resolve → validate → charge → execute → encode
+// with nothing unattributed — append ?trace=1 to any mechanism or batch
+// request for the inline breakdown, whose stage durations sum exactly to
+// the reported total. /metrics exposes per-mechanism and per-stage latency
+// histograms (striped over cache-line-padded cells like the counters, so an
+// observation is a few atomic adds with no lock or allocation), durability
+// health (fsync and compaction latency, WAL queue depth and generation),
+// per-tenant remaining-ε gauges sampled at scrape time, admission CAS-retry
+// totals, and build/uptime info. ServerConfig.AccessLog emits one log/slog
+// JSON record per request; requests slower than
+// ServerConfig.SlowRequestThreshold are logged even without it. See
+// cmd/dpserver's -access-log, -slow-ms and -debug flags (the latter gates
+// /debug/pprof, off by default).
 package freegap

@@ -85,6 +85,11 @@ type Accountant struct {
 	// only ever move it up (via CAS); Restore and Reset store it directly and
 	// are documented to happen-before any concurrent Spend.
 	spentBits atomic.Uint64
+	// casRetries counts admission CAS loop iterations that lost the race and
+	// had to retry — the direct observable of same-tenant admission
+	// contention. It only moves on contended spends, so the uncontended hot
+	// path never touches it.
+	casRetries atomic.Uint64
 
 	// commitMu guards everything below. It is taken only on admitted charges
 	// (and by readers of the log/aggregation), never on the admission path.
@@ -207,6 +212,7 @@ func (a *Accountant) SpendBatch(charges []Charge) error {
 		if a.spentBits.CompareAndSwap(curBits, math.Float64bits(cur+sum)) {
 			break
 		}
+		a.casRetries.Add(1)
 	}
 	a.commitMu.Lock()
 	a.log = append(a.log, charges...)
@@ -267,6 +273,13 @@ func (a *Accountant) Restore(charges []Charge, chargeCount int) error {
 	a.restored = chargeCount - len(charges)
 	return nil
 }
+
+// CASRetries returns how many admission compare-and-swap attempts lost a
+// race and retried. A value persistently large relative to the admitted
+// charge count means many concurrent spenders are hammering this one
+// tenant's budget word; the serving layer aggregates it across tenants at
+// metrics-scrape time.
+func (a *Accountant) CASRetries() uint64 { return a.casRetries.Load() }
 
 // ChargeCount returns the number of admitted charges (including charges
 // folded into a restored snapshot) without copying the log.

@@ -132,7 +132,15 @@ type Billing struct {
 	EpsilonSpent float64 `json:"epsilon_spent"`
 	// BudgetRemaining is the tenant's unspent budget after this request.
 	BudgetRemaining float64 `json:"budget_remaining"`
+	// Trace carries the serving layer's stage-timing breakdown when the
+	// client opted in with ?trace=1; nil (and omitted) otherwise.
+	Trace any `json:"trace,omitempty"`
 }
+
+// SetTrace attaches an inline trace payload to the response. The serving
+// layer discovers it by interface assertion, so embedding Billing is all a
+// response type needs to support ?trace=1.
+func (b *Billing) SetTrace(t any) { b.Trace = t }
 
 // SetBilling fills the billing fields; it satisfies the Response interface
 // for every response type embedding Billing.

@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/freegap/freegap/internal/accountant"
@@ -250,6 +251,44 @@ type Log struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// metrics holds the optional observability hooks (atomic so SetMetrics
+	// cannot race the already-running flusher goroutine).
+	metrics atomic.Pointer[Metrics]
+}
+
+// Metrics holds optional observability hooks the serving layer wires into
+// the log — the WAL and snapshotting were previously a black box at runtime,
+// and fsync stalls are the classic hidden tail-latency source. Every field
+// may be nil. Callbacks must be fast and must not call back into the log.
+type Metrics struct {
+	// ObserveFsync is called with the duration of every WAL write+fsync
+	// drain (the batched group fsync, or the synchronous FsyncAlways write).
+	ObserveFsync func(d time.Duration)
+	// ObserveCompaction is called with the duration of every snapshot
+	// compaction (marshal, atomic install, WAL truncate).
+	ObserveCompaction func(d time.Duration)
+}
+
+// SetMetrics installs the observability hooks. Safe to call at any time;
+// typically once, right after Open.
+func (l *Log) SetMetrics(m Metrics) { l.metrics.Store(&m) }
+
+// Pending returns the number of journalled records buffered in memory
+// awaiting the next drain to disk — the WAL queue depth. A persistently
+// large value means the flusher is not keeping up with admission traffic.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// Generation returns the current WAL segment generation; it increments on
+// every snapshot compaction, so it doubles as a compaction counter.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
 }
 
 // Open opens (creating if necessary) the state directory, loads the
@@ -696,6 +735,7 @@ func (l *Log) drainIO(sync bool) {
 	l.pending = 0
 	l.mu.Unlock()
 
+	start := time.Now()
 	var err error
 	if len(l.drainBuf) > 0 {
 		if _, werr := l.f.Write(l.drainBuf); werr != nil {
@@ -706,6 +746,9 @@ func (l *Log) drainIO(sync bool) {
 		if serr := l.f.Sync(); serr != nil {
 			err = fmt.Errorf("persist: syncing WAL: %w", serr)
 		}
+	}
+	if m := l.metrics.Load(); m != nil && m.ObserveFsync != nil {
+		m.ObserveFsync(time.Since(start))
 	}
 	if err != nil {
 		l.stickyErr(err)
@@ -787,6 +830,12 @@ func (l *Log) compactIO() {
 		l.mu.Unlock()
 		return
 	}
+	start := time.Now()
+	defer func() {
+		if m := l.metrics.Load(); m != nil && m.ObserveCompaction != nil {
+			m.ObserveCompaction(time.Since(start))
+		}
+	}()
 	nextGen := l.gen + 1
 	snap := snapshotJSON{
 		Version: 1,

@@ -1,0 +1,63 @@
+package server
+
+// Structured access logging. One slog record per API request, carrying the
+// request id, tenant, endpoint label, dataset, response status and size, the
+// ε charged, and the total plus per-stage latencies in microseconds. With
+// Config.AccessLog set every request is logged; without it the server still
+// emits records for requests slower than the slow-request threshold, so an
+// operator who never configured logging gets tail-latency forensics for
+// free.
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// DefaultSlowRequestThreshold is the slow-request logging threshold applied
+// when Config.SlowRequestThreshold is zero.
+const DefaultSlowRequestThreshold = time.Second
+
+// defaultSlowLogger is the fallback destination for slow-request records on
+// servers with no configured access logger: JSON lines on stderr, matching
+// what an explicitly configured slog.Logger would typically emit.
+var defaultSlowLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+// logRequest emits one access-log record for a finished request. Reads only
+// fields the pipeline has already settled, so it runs after the response is
+// written and never adds latency inside the traced span.
+func (s *Server) logRequest(t *traceWriter, label, outcome string, total time.Duration, slow bool) {
+	logger := s.accessLog
+	level := slog.LevelInfo
+	msg := "request"
+	if slow {
+		level = slog.LevelWarn
+		msg = "slow request"
+		if logger == nil {
+			logger = defaultSlowLogger
+		}
+	}
+	attrs := make([]slog.Attr, 0, 12+numStages)
+	attrs = append(attrs,
+		slog.String("request_id", t.reqID),
+		slog.String("mechanism", label),
+		slog.String("tenant", t.tenant),
+		slog.Int("status", t.status),
+		slog.String("code", outcome),
+		slog.Int("bytes", t.bytes),
+		slog.Float64("total_us", micros(total)),
+	)
+	if t.dataset != "" {
+		attrs = append(attrs, slog.String("dataset", t.dataset))
+	}
+	if t.eps != 0 {
+		attrs = append(attrs, slog.Float64("epsilon", t.eps))
+	}
+	for st, d := range t.stages {
+		if d > 0 {
+			attrs = append(attrs, slog.Float64(stageNames[st]+"_us", micros(d)))
+		}
+	}
+	logger.LogAttrs(context.Background(), level, msg, attrs...)
+}

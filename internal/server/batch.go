@@ -34,14 +34,19 @@ type batchItem struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.hot.inFlight.Inc()
 	defer s.hot.inFlight.Dec()
-	s.finishRequest(mechBatch, s.serveBatch(w, r))
+	t := s.beginTrace(w, r)
+	outcome := s.serveBatch(t, r)
+	s.finishTrace(t, mechBatch, outcome)
+	s.finishRequest(mechBatch, outcome)
 }
 
-func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
+func (s *Server) serveBatch(w *traceWriter, r *http.Request) string {
 	var req BatchRequest
 	if code, ok := s.decode(w, r, &req); !ok {
 		return code
 	}
+	w.mark(stageDecode)
+	w.tenant = req.Tenant
 	if err := engine.ValidTenant(req.Tenant); err != nil {
 		return badRequest(w, err)
 	}
@@ -95,6 +100,9 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		items[i] = batchItem{mech: mech, req: mreq, cost: cost}
 		charges[i] = accountant.Charge{Label: mech.Name(), Epsilon: cost}
 	}
+	// Per-item decode/resolve/validate all happened in the loop above; the
+	// trace charges the whole loop to the validate stage.
+	w.mark(stageValidate)
 
 	// Stage 2: one atomic multi-charge, refused outright while the durable
 	// journal is dead (fail-closed). Charging under the mechanism labels
@@ -111,6 +119,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 	if code, ok := s.persistReady(w); !ok {
 		return code
 	}
+	w.mark(stageCharge)
 
 	// Stage 3: execute the admitted items concurrently across the worker
 	// pool. Execution failures are per-item — the batch's reservation stays
@@ -150,13 +159,27 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) string {
 		}()
 	}
 	wg.Wait()
+	w.mark(stageExecute)
+	w.eps = total
 
-	writeJSON(w, http.StatusOK, BatchResponse{
+	resp := BatchResponse{
 		Tenant:          req.Tenant,
 		Results:         results,
 		EpsilonSpent:    total,
 		BudgetRemaining: remaining,
-	})
+	}
+	if w.traceOn {
+		// Measure a dry-run encode so the encode stage is part of the trace
+		// the response carries (see writeTraced).
+		var buf bytes.Buffer
+		_ = json.NewEncoder(&buf).Encode(resp)
+		w.mark(stageEncode)
+		resp.Trace = w.traceJSON()
+		writeJSON(w, http.StatusOK, resp)
+	} else {
+		writeJSON(w, http.StatusOK, resp)
+		w.mark(stageEncode)
+	}
 	for _, scr := range scratches {
 		if scr != nil {
 			scratchPool.Put(scr)

@@ -140,14 +140,19 @@ func (s *Server) registerDataset(name, source string, db *dataset.Transactions, 
 }
 
 func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
-	s.countRequest(mechDatasets, s.serveDatasetUpload(w, r))
+	t := s.beginTrace(w, r)
+	outcome := s.serveDatasetUpload(t, r)
+	s.finishTrace(t, mechDatasets, outcome)
+	s.countRequest(mechDatasets, outcome)
 }
 
-func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) string {
+func (s *Server) serveDatasetUpload(w *traceWriter, r *http.Request) string {
 	var req DatasetUploadRequest
 	if code, ok := s.decode(w, r, &req); !ok {
 		return code
 	}
+	w.mark(stageDecode)
+	w.dataset = req.Name
 	// Fail closed before parsing: a registration on a dead journal would
 	// only be rolled back after the (possibly expensive) parse anyway.
 	if code, ok := s.persistReady(w); !ok {
@@ -205,18 +210,24 @@ func (s *Server) serveDatasetUpload(w http.ResponseWriter, r *http.Request) stri
 }
 
 func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
 	s.countRequest(mechDatasets, "ok")
-	writeJSON(w, http.StatusOK, DatasetListResponse{Datasets: s.datasets.List()})
+	writeJSON(t, http.StatusOK, DatasetListResponse{Datasets: s.datasets.List()})
+	s.finishTrace(t, mechDatasets, "ok")
 }
 
 func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
 	name := r.PathValue("name")
+	t.dataset = name
 	entry, err := s.datasets.Get(name)
 	if err != nil {
 		s.countRequest(mechDatasets, CodeUnknownDataset)
-		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		writeError(t, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		s.finishTrace(t, mechDatasets, CodeUnknownDataset)
 		return
 	}
 	s.countRequest(mechDatasets, "ok")
-	writeJSON(w, http.StatusOK, entry.Info())
+	writeJSON(t, http.StatusOK, entry.Info())
+	s.finishTrace(t, mechDatasets, "ok")
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,6 +32,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Mechanisms:    s.mechNames,
 		Datasets:      s.datasets.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if s.persist != nil {
+		resp.WALGeneration = s.persist.Generation()
 	}
 	// A dead persistence log is a page: the server still answers, but every
 	// new charge is no longer journalled and a restart would refund it.
@@ -67,32 +71,26 @@ func (s *Server) persistReady(w http.ResponseWriter) (string, bool) {
 	return CodeUnavailable, false
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.persist != nil {
-		var failed int64
-		if s.persist.Err() != nil {
-			failed = 1
-		}
-		s.telemetry.Gauge("freegap_persist_failed").Set(failed)
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.telemetry.WritePrometheus(w)
-}
-
 // handleBudget serves a tenant's budget ledger. The default response is the
 // aggregated snapshot — atomic spent/remaining reads plus the accountant's
 // incrementally-maintained per-mechanism map — so polling it costs O(number
 // of mechanisms), not O(number of charges). ?log=1 opts in to the raw
 // per-charge log for audit tooling that actually wants it.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
+	s.finishTrace(t, labelTenants, s.serveBudget(t, r))
+}
+
+func (s *Server) serveBudget(w *traceWriter, r *http.Request) string {
 	tenant := r.PathValue("id")
+	w.tenant = tenant
 	acct, ok := s.reg.Lookup(tenant)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrorBody{
 			Code:    CodeUnknownTenant,
 			Message: fmt.Sprintf("tenant %q has not issued any requests", tenant),
 		})
-		return
+		return CodeUnknownTenant
 	}
 	resp := BudgetResponse{
 		Tenant:            tenant,
@@ -111,6 +109,7 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	return "ok"
 }
 
 // handleMechanism serves POST /v1/<name> for one registered mechanism. It is
@@ -121,23 +120,32 @@ func (s *Server) handleMechanism(mech engine.Mechanism) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.hot.inFlight.Inc()
 		defer s.hot.inFlight.Dec()
-		s.finishRequest(mech.Name(), s.serveMechanism(w, r, mech))
+		t := s.beginTrace(w, r)
+		outcome := s.serveMechanism(t, r, mech)
+		s.finishTrace(t, mech.Name(), outcome)
+		s.finishRequest(mech.Name(), outcome)
 	}
 }
 
 // serveMechanism runs the generic pipeline and returns the outcome code for
-// the request counters.
-func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech engine.Mechanism) string {
+// the request counters. Each stage boundary marks the trace context, so the
+// request's latency decomposes into decode → resolve → validate → charge →
+// execute → encode with nothing unattributed.
+func (s *Server) serveMechanism(w *traceWriter, r *http.Request, mech engine.Mechanism) string {
 	req := mech.NewRequest()
 	if code, ok := s.decode(w, r, req); !ok {
 		return code
 	}
+	w.mark(stageDecode)
 	// Dataset-backed requests get their answers filled from the catalog's
 	// cached item counts before validation, so Validate (and therefore the
 	// charge) sees exactly what the mechanism will run on.
 	if code, ok := s.resolve(w, req); !ok {
 		return code
 	}
+	w.mark(stageResolve)
+	base := req.Base()
+	w.tenant, w.dataset = base.Tenant, base.Dataset
 	if err := mech.Validate(req, s.limits()); err != nil {
 		return badRequest(w, err)
 	}
@@ -145,12 +153,13 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 	if code, ok := s.persistReady(w); !ok {
 		return code
 	}
+	w.mark(stageValidate)
 
 	// Reserving the cost up front (rather than settling afterwards) is what
 	// keeps concurrent requests from jointly overspending: the accountant
 	// admits or rejects each reservation atomically. Validate ran first, so
 	// a request the mechanism would reject never burns budget.
-	tenant := req.Base().Tenant
+	tenant := base.Tenant
 	cost := mech.Cost(req)
 	remaining, code, ok := s.charge(w, tenant, mech.Name(), cost)
 	if !ok {
@@ -164,6 +173,8 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 	if code, ok := s.persistReady(w); !ok {
 		return code
 	}
+	w.eps = cost
+	w.mark(stageCharge)
 
 	// The scratch is returned to the pool when this function exits — after
 	// writeJSON has encoded the response that aliases its buffers.
@@ -182,15 +193,36 @@ func (s *Server) serveMechanism(w http.ResponseWriter, r *http.Request, mech eng
 	if runErr != nil {
 		return internalError(w, runErr)
 	}
+	w.mark(stageExecute)
 
 	resp.SetBilling(tenant, cost, remaining)
+	if w.traceOn {
+		writeTraced(w, resp)
+		return "ok"
+	}
 	writeJSON(w, http.StatusOK, resp)
+	w.mark(stageEncode)
 	return "ok"
+}
+
+// writeTraced serves the ?trace=1 path: it measures a dry-run encode of the
+// response so the encode stage can be reported inside the very trace it
+// times, attaches the breakdown, and writes the response for real. The
+// stage durations sum exactly to the reported total by construction.
+func writeTraced(w *traceWriter, resp engine.Response) {
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(resp)
+	w.mark(stageEncode)
+	if t, ok := resp.(interface{ SetTrace(any) }); ok {
+		t.SetTrace(w.traceJSON())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleUnknownMechanism serves every POST under /v1/ that no mechanism or
 // fixed endpoint claimed, however many path segments it has.
 func (s *Server) handleUnknownMechanism(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
 	// The label is pinned to "unknown" rather than the request path:
 	// attacker-chosen label values would grow the metric registry (and
 	// every /metrics scrape) without bound.
@@ -198,10 +230,11 @@ func (s *Server) handleUnknownMechanism(w http.ResponseWriter, r *http.Request) 
 	// Report the full registry-style name ("pipeline/median", not "median"),
 	// since that is what the client must fix.
 	name := strings.TrimPrefix(r.URL.Path, "/v1/")
-	writeError(w, http.StatusNotFound, ErrorBody{
+	writeError(t, http.StatusNotFound, ErrorBody{
 		Code:    CodeUnknownMechanism,
 		Message: fmt.Sprintf("unknown mechanism %q (valid: %v, batch)", name, s.mechNames),
 	})
+	s.finishTrace(t, "unknown", CodeUnknownMechanism)
 }
 
 // limits returns the engine validation limits from the server configuration.
@@ -334,6 +367,11 @@ func internalError(w http.ResponseWriter, err error) string {
 }
 
 func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	// Every handler serves through a traceWriter, so error bodies can carry
+	// the request id without threading it through each call site.
+	if t, ok := w.(*traceWriter); ok {
+		body.RequestID = t.reqID
+	}
 	writeJSON(w, status, ErrorEnvelope{Error: body})
 }
 

@@ -243,7 +243,16 @@ func TestRestartAfterCrashNoDoubleSpend(t *testing.T) {
 	if resp1.StatusCode != http.StatusPaymentRequired || resp2.StatusCode != http.StatusPaymentRequired {
 		t.Fatalf("post-exhaustion statuses = %d, %d", resp1.StatusCode, resp2.StatusCode)
 	}
-	if !bytes.Equal(body1, body2) {
+	// The bodies must agree on everything but the per-request id, which is
+	// unique by design.
+	env1, env2 := decodeInto[ErrorEnvelope](t, body1), decodeInto[ErrorEnvelope](t, body2)
+	if env1.Error.RequestID == "" || env1.Error.RequestID == env2.Error.RequestID {
+		t.Errorf("request ids = %q, %q, want distinct non-empty", env1.Error.RequestID, env2.Error.RequestID)
+	}
+	env1.Error.RequestID, env2.Error.RequestID = "", ""
+	norm1, _ := json.Marshal(env1)
+	norm2, _ := json.Marshal(env2)
+	if !bytes.Equal(norm1, norm2) {
 		t.Errorf("402 body not stable: %s vs %s", body1, body2)
 	}
 	env = decodeInto[ErrorEnvelope](t, body1)

@@ -48,8 +48,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -59,6 +61,10 @@ import (
 	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/telemetry"
 )
+
+// Version is the served build's version string, exposed as the version
+// label of the freegap_build_info metric.
+const Version = "0.6.0"
 
 // Defaults applied by Config.withDefaults.
 const (
@@ -122,6 +128,22 @@ type Config struct {
 	// durable state is skipped rather than rejected, so a server that
 	// preloads and persists the same dataset restarts cleanly.
 	Preload []store.Preload
+	// Debug mounts the net/http/pprof handlers under /debug/pprof/ and adds
+	// Go runtime gauges (goroutines, heap, GC pause) to the /metrics scrape.
+	// Off by default: profiling endpoints on a multi-tenant privacy service
+	// are an operator opt-in, not a standing surface.
+	Debug bool
+	// AccessLog, when set, receives one structured record per API request:
+	// request id, tenant, mechanism, dataset, status, outcome code, ε
+	// charged, response bytes, and the total plus per-stage latencies in
+	// microseconds. Nil disables per-request logging (slow requests are
+	// still reported, see SlowRequestThreshold).
+	AccessLog *slog.Logger
+	// SlowRequestThreshold is the latency past which a request is logged
+	// even with AccessLog unset (to AccessLog when configured, stderr JSON
+	// otherwise). Zero applies DefaultSlowRequestThreshold; negative
+	// disables slow-request logging.
+	SlowRequestThreshold time.Duration
 	// Persist, when set, makes the privacy-critical state durable: the
 	// server restores per-tenant spent budgets and the dataset catalog from
 	// the log at construction, journals every admitted charge and dataset
@@ -181,6 +203,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Datasets == nil {
 		c.Datasets = store.New()
 	}
+	if c.SlowRequestThreshold == 0 {
+		c.SlowRequestThreshold = DefaultSlowRequestThreshold
+	}
+	if c.SlowRequestThreshold < 0 {
+		c.SlowRequestThreshold = -1 // normalized "disabled"
+	}
 	if c.Seed == 0 {
 		var b [8]byte
 		if _, err := cryptorand.Read(b[:]); err != nil {
@@ -221,6 +249,16 @@ type Server struct {
 	// owns its lifecycle once construction succeeds: Shutdown/Close flush
 	// and close it.
 	persist *persist.Log
+	// accessLog and slowThreshold configure per-request logging (see
+	// Config.AccessLog / Config.SlowRequestThreshold, already defaulted).
+	accessLog     *slog.Logger
+	slowThreshold time.Duration
+	// Scrape-time sampling state (see sampleScrapeGauges), serialized by
+	// scrapeMu across concurrent /metrics scrapes.
+	scrapeMu        sync.Mutex
+	tenantGauges    map[string]*telemetry.FloatGauge
+	casRetriesTotal *telemetry.Counter
+	lastCASRetries  uint64
 }
 
 // hotCounters holds the metric series touched on every request, resolved
@@ -231,7 +269,12 @@ type hotCounters struct {
 	inFlight  *telemetry.Gauge
 	requests  map[string]map[string]*telemetry.Counter // mechanism → outcome code
 	exhausted map[string]*telemetry.Counter            // mechanism
+	latency   map[string]*telemetry.Histogram          // mechanism (endpoint label)
+	stages    [numStages]*telemetry.Histogram          // pipeline stage
 }
+
+// labelTenants is the metrics label for the tenant budget endpoint.
+const labelTenants = "tenants"
 
 func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters {
 	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, mechDatasets, "unknown")
@@ -242,6 +285,7 @@ func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters 
 		inFlight:  set.Gauge("freegap_in_flight_requests"),
 		requests:  make(map[string]map[string]*telemetry.Counter, len(mechanisms)),
 		exhausted: make(map[string]*telemetry.Counter, len(mechanisms)),
+		latency:   make(map[string]*telemetry.Histogram, len(mechanisms)+1),
 	}
 	for _, mech := range mechanisms {
 		hot.requests[mech] = make(map[string]*telemetry.Counter, len(outcomes))
@@ -250,6 +294,13 @@ func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters 
 				telemetry.L("mechanism", mech), telemetry.L("code", code))
 		}
 		hot.exhausted[mech] = set.Counter("freegap_budget_exhausted_total", telemetry.L("mechanism", mech))
+		hot.latency[mech] = set.Histogram("freegap_request_seconds", telemetry.L("mechanism", mech))
+	}
+	// The budget endpoint gets a latency series but no outcome counters: it
+	// reads the ledger, it never charges it.
+	hot.latency[labelTenants] = set.Histogram("freegap_request_seconds", telemetry.L("mechanism", labelTenants))
+	for st := range hot.stages {
+		hot.stages[st] = set.Histogram("freegap_stage_seconds", telemetry.L("stage", stageNames[st]))
 	}
 	return hot
 }
@@ -300,17 +351,20 @@ func New(cfg Config) (*Server, error) {
 		byName[mech.Name()] = mech
 	}
 	s := &Server{
-		cfg:        cfg,
-		engine:     cfg.Mechanisms,
-		mechNames:  names,
-		mechByName: byName,
-		reg:        reg,
-		datasets:   cfg.Datasets,
-		pool:       newWorkerPool(cfg.Workers, cfg.Seed),
-		mux:        http.NewServeMux(),
-		telemetry:  telemetry.NewCounterSet(),
-		started:    time.Now(),
-		persist:    cfg.Persist,
+		cfg:           cfg,
+		engine:        cfg.Mechanisms,
+		mechNames:     names,
+		mechByName:    byName,
+		reg:           reg,
+		datasets:      cfg.Datasets,
+		pool:          newWorkerPool(cfg.Workers, cfg.Seed),
+		mux:           http.NewServeMux(),
+		telemetry:     telemetry.NewCounterSet(),
+		started:       time.Now(),
+		persist:       cfg.Persist,
+		accessLog:     cfg.AccessLog,
+		slowThreshold: cfg.SlowRequestThreshold,
+		tenantGauges:  make(map[string]*telemetry.FloatGauge),
 	}
 	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
 	// goroutine) never race on the field.
@@ -323,9 +377,28 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
 	s.telemetry.Help("freegap_datasets", "Datasets in the server-side catalog.")
 	s.telemetry.Help("freegap_dataset_resolved_total", "Query resolutions served from a dataset's cached item counts.")
+	s.telemetry.Help("freegap_request_seconds", "Request latency by endpoint, full pipeline wall time.")
+	s.telemetry.Help("freegap_stage_seconds", "Pipeline stage latency across all endpoints.")
+	s.telemetry.Help("freegap_uptime_seconds", "Seconds since the server was constructed.")
+	s.telemetry.Help("freegap_build_info", "Constant 1, labelled with the server version and Go runtime version.")
+	s.telemetry.Help("freegap_tenant_remaining_epsilon", "Remaining privacy budget per tenant, sampled at scrape.")
+	s.telemetry.Help("freegap_admission_cas_retries_total", "Budget-admission CAS loop retries across all tenant accountants.")
+	s.telemetry.FloatGauge("freegap_build_info",
+		telemetry.L("version", Version), telemetry.L("go_version", runtime.Version())).Set(1)
+	s.casRetriesTotal = s.telemetry.Counter("freegap_admission_cas_retries_total")
 	if s.persist != nil {
 		s.telemetry.Help("freegap_persist_failed", "1 when the durable state log has hit an I/O error and charges are no longer journalled.")
+		s.telemetry.Help("freegap_wal_queue_depth", "WAL records buffered in memory awaiting the background flusher.")
+		s.telemetry.Help("freegap_wal_generation", "Current WAL segment generation (incremented by compaction).")
+		s.telemetry.Help("freegap_fsync_seconds", "WAL write+fsync latency per flusher drain.")
+		s.telemetry.Help("freegap_compaction_seconds", "Snapshot compaction duration.")
 		s.telemetry.Gauge("freegap_persist_failed").Set(0)
+		fsync := s.telemetry.Histogram("freegap_fsync_seconds")
+		compact := s.telemetry.Histogram("freegap_compaction_seconds")
+		s.persist.SetMetrics(persist.Metrics{
+			ObserveFsync:      fsync.Observe,
+			ObserveCompaction: compact.Observe,
+		})
 	}
 	s.hot = newHotCounters(s.telemetry, s.mechNames)
 	// Seed the dataset telemetry with whatever the caller already catalogued,
@@ -387,6 +460,15 @@ func (s *Server) routes() {
 		s.mux.Handle("POST /v1/"+name, s.handleMechanism(s.mechByName[name]))
 	}
 	s.mux.HandleFunc("POST /v1/", s.handleUnknownMechanism)
+	if s.cfg.Debug {
+		// Operator opt-in only: profiling a multi-tenant privacy service is
+		// a debugging posture, not a standing production surface.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // Handler returns the server's HTTP handler, for mounting under httptest or a

@@ -275,6 +275,24 @@ func (r *Registry) ChargeBatch(tenant string, charges []accountant.Charge) (rema
 // Len returns the number of live tenants.
 func (r *Registry) Len() int { return int(r.count.Load()) }
 
+// Range calls fn for every live tenant until fn returns false. Each shard's
+// read lock is held only while that shard is walked, so a long fn (or many
+// tenants) never blocks writes registry-wide; tenants created mid-iteration
+// may or may not be visited, as with any concurrent map walk.
+func (r *Registry) Range(fn func(tenant string, a *accountant.Accountant) bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for tenant, a := range sh.tenants {
+			if !fn(tenant, a) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Tenants returns the live tenant ids, sorted.
 func (r *Registry) Tenants() []string {
 	out := make([]string, 0, r.Len())

@@ -1,0 +1,238 @@
+package server
+
+// Per-request trace context. Every API request is wrapped in a traceWriter:
+// a pooled http.ResponseWriter decorator that carries the request id (echoed
+// on every response, success or error, as X-Request-ID), accumulates
+// monotonic per-stage timings as the pipeline marks its progress, and
+// captures the response status and byte count for the access log. The
+// wrapper is recycled through a sync.Pool and stage marks are plain
+// time.Now() subtractions, so tracing adds no per-request heap allocation
+// beyond the id string itself.
+//
+// Stage attribution is contiguous: mark(st) charges the time since the
+// previous mark to st and advances the cursor, so the per-stage durations
+// always sum exactly to the span between the first and last mark. That is
+// what lets ?trace=1 report a breakdown whose stages add up to the total
+// instead of an approximation with gaps.
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline stages, in execution order. Stage timings are reported in the
+// access log, the freegap_stage_seconds histograms and ?trace=1 payloads.
+type stage int
+
+const (
+	stageDecode stage = iota
+	stageResolve
+	stageValidate
+	stageCharge
+	stageExecute
+	stageEncode
+	numStages
+)
+
+// stageNames are the stage label values, indexed by stage.
+var stageNames = [numStages]string{"decode", "resolve", "validate", "charge", "execute", "encode"}
+
+// requestIDHeader is the header a client may supply a request id in; the
+// server echoes it (or a generated id) on every response.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen caps client-supplied request ids; longer (or non-token)
+// values are replaced by a generated id rather than echoed back verbatim.
+const maxRequestIDLen = 64
+
+// reqIDBase is a per-process random offset so ids from different server
+// runs do not collide on the first requests; reqIDSeq is the per-process
+// request sequence the id is derived from.
+var (
+	reqIDBase = func() uint64 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			return 0x9e3779b97f4a7c15
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+// newRequestID returns a fresh 16-hex-character request id. One multiply
+// and one hex encoding: cheap enough for the hot path, unique within a
+// process, and randomized across processes by reqIDBase.
+func newRequestID() string {
+	n := reqIDBase + reqIDSeq.Add(1)
+	n *= 0x9e3779b97f4a7c15
+	var raw [8]byte
+	binary.BigEndian.PutUint64(raw[:], n)
+	var out [16]byte
+	hex.Encode(out[:], raw[:])
+	return string(out[:])
+}
+
+// validRequestID reports whether a client-supplied request id is safe to
+// echo: bounded length, printable token characters only (no header or log
+// injection).
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceWriter is the per-request trace context: an http.ResponseWriter that
+// records the request id, response status and size, and the pipeline's
+// per-stage timings. Instances are recycled through traceWriterPool.
+type traceWriter struct {
+	http.ResponseWriter
+	reqID   string
+	status  int
+	bytes   int
+	start   time.Time
+	last    time.Time
+	stages  [numStages]time.Duration
+	traceOn bool
+	// Access-log fields, filled by the pipeline as it learns them.
+	tenant  string
+	dataset string
+	eps     float64
+}
+
+var traceWriterPool = sync.Pool{New: func() any { return new(traceWriter) }}
+
+// beginTrace wraps w in a pooled trace context for one request: it adopts a
+// valid client-supplied X-Request-ID (or generates one), stamps the id on
+// the response headers so even error responses echo it, and starts the
+// stage clock. Release the wrapper with finishTrace.
+func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request) *traceWriter {
+	t := traceWriterPool.Get().(*traceWriter)
+	*t = traceWriter{ResponseWriter: w}
+	if id := r.Header.Get(requestIDHeader); validRequestID(id) {
+		t.reqID = id
+	} else {
+		t.reqID = newRequestID()
+	}
+	w.Header().Set(requestIDHeader, t.reqID)
+	// Parsing the query costs an allocation, so only look when one is
+	// present at all — the hot path has no query string.
+	if r.URL.RawQuery != "" {
+		t.traceOn = r.URL.Query().Get("trace") == "1"
+	}
+	t.start = time.Now()
+	t.last = t.start
+	return t
+}
+
+// mark charges the time since the previous mark to st and advances the
+// cursor. Stages may be marked more than once (or never); the invariant is
+// only that the stage sums cover last−start exactly.
+func (t *traceWriter) mark(st stage) {
+	now := time.Now()
+	t.stages[st] += now.Sub(t.last)
+	t.last = now
+}
+
+func (t *traceWriter) Write(p []byte) (int, error) {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	n, err := t.ResponseWriter.Write(p)
+	t.bytes += n
+	return n, err
+}
+
+func (t *traceWriter) WriteHeader(code int) {
+	if t.status == 0 {
+		t.status = code
+	}
+	t.ResponseWriter.WriteHeader(code)
+}
+
+// StageJSON is one pipeline stage in a ?trace=1 breakdown. Durations are
+// microseconds with sub-microsecond precision; StartMicros offsets are
+// cumulative, so spans are contiguous and monotone.
+type StageJSON struct {
+	// Name is the stage name: decode, resolve, validate, charge, execute,
+	// encode.
+	Name string `json:"name"`
+	// StartMicros is the stage's start offset from the request start.
+	StartMicros float64 `json:"start_us"`
+	// Micros is the stage's duration.
+	Micros float64 `json:"us"`
+}
+
+// TraceJSON is the inline span breakdown returned when a request opts in
+// with ?trace=1. The stage durations sum exactly to TotalMicros.
+type TraceJSON struct {
+	// RequestID is the id echoed in the X-Request-ID response header.
+	RequestID string `json:"request_id"`
+	// TotalMicros is the traced wall time from first byte decoded to
+	// response encoded.
+	TotalMicros float64 `json:"total_us"`
+	// Stages lists every pipeline stage in execution order.
+	Stages []StageJSON `json:"stages"`
+}
+
+// traceJSON renders the accumulated stage timings. Total is last−start —
+// the exact span the stage durations partition — not time.Now(), so the
+// payload is internally consistent no matter when it is rendered.
+func (t *traceWriter) traceJSON() *TraceJSON {
+	tr := &TraceJSON{
+		RequestID:   t.reqID,
+		TotalMicros: micros(t.last.Sub(t.start)),
+		Stages:      make([]StageJSON, numStages),
+	}
+	var offset time.Duration
+	for st, d := range t.stages {
+		tr.Stages[st] = StageJSON{
+			Name:        stageNames[st],
+			StartMicros: micros(offset),
+			Micros:      micros(d),
+		}
+		offset += d
+	}
+	return tr
+}
+
+// micros converts a duration to float microseconds without losing the
+// nanosecond precision to integer truncation.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// finishTrace observes the request's latency histograms, emits the access
+// log record (always when an access logger is configured, otherwise only
+// past the slow-request threshold), and recycles the trace context. label
+// is the endpoint's metrics label (mechanism name, "batch", "datasets", …),
+// outcome the request counter code.
+func (s *Server) finishTrace(t *traceWriter, label, outcome string) {
+	total := time.Since(t.start)
+	if h, ok := s.hot.latency[label]; ok {
+		h.Observe(total)
+	}
+	for st, d := range t.stages {
+		if d > 0 {
+			s.hot.stages[st].Observe(d)
+		}
+	}
+	slow := s.slowThreshold > 0 && total >= s.slowThreshold
+	if s.accessLog != nil || slow {
+		s.logRequest(t, label, outcome, total, slow)
+	}
+	t.ResponseWriter = nil
+	traceWriterPool.Put(t)
+}

@@ -91,6 +91,9 @@ type BatchResponse struct {
 	EpsilonSpent float64 `json:"epsilon_spent"`
 	// BudgetRemaining is the tenant's unspent budget after the batch.
 	BudgetRemaining float64 `json:"budget_remaining"`
+	// Trace is the batch's stage-timing breakdown, present only when the
+	// request opted in with ?trace=1.
+	Trace *TraceJSON `json:"trace,omitempty"`
 }
 
 // QuerySpec is the counting-query spec of a dataset-backed mechanism
@@ -183,6 +186,9 @@ type HealthResponse struct {
 	Datasets int `json:"datasets"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// WALGeneration is the durable log's current segment generation
+	// (incremented by every compaction); zero on an in-memory server.
+	WALGeneration uint64 `json:"wal_generation,omitempty"`
 }
 
 // Error codes used in ErrorBody.Code.
@@ -205,6 +211,11 @@ const (
 type ErrorBody struct {
 	// Code is one of the Code* constants.
 	Code string `json:"code"`
+	// RequestID echoes the request's X-Request-ID (client-supplied or
+	// generated), so a client can quote the id of a failed request without
+	// having kept the response headers. Empty for per-item batch errors —
+	// the batch response carries the id once.
+	RequestID string `json:"request_id,omitempty"`
 	// Message is a human-readable description.
 	Message string `json:"message"`
 	// Remaining is the tenant's remaining budget; only set for

@@ -164,21 +164,25 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 // first use and retrieved by (name, labels) afterwards, so hot paths can
 // cache the returned pointer and pay only a striped atomic add per event.
 type CounterSet struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	names    []string // registration order of fully-qualified series keys
-	kinds    map[string]string
-	help     map[string]string // keyed by bare metric name
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+	names       []string // registration order of fully-qualified series keys
+	kinds       map[string]string
+	help        map[string]string // keyed by bare metric name
 }
 
 // NewCounterSet returns an empty registry.
 func NewCounterSet() *CounterSet {
 	return &CounterSet{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		kinds:    make(map[string]string),
-		help:     make(map[string]string),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
+		kinds:       make(map[string]string),
+		help:        make(map[string]string),
 	}
 }
 
@@ -222,6 +226,39 @@ func (s *CounterSet) Gauge(name string, labels ...Label) *Gauge {
 	return g
 }
 
+// FloatGauge returns the float-valued gauge series with the given name and
+// labels, creating it at zero on first use. It renders as a gauge.
+func (s *CounterSet) FloatGauge(name string, labels ...Label) *FloatGauge {
+	key := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.floatGauges[key]; ok {
+		return g
+	}
+	g := &FloatGauge{}
+	s.floatGauges[key] = g
+	s.names = append(s.names, key)
+	s.kinds[key] = "gauge"
+	return g
+}
+
+// Histogram returns the latency histogram series with the given name and
+// labels, creating it empty on first use. Hot paths should cache the
+// returned pointer; an observation is then a few striped atomic adds.
+func (s *CounterSet) Histogram(name string, labels ...Label) *Histogram {
+	key := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.histograms[key]; ok {
+		return h
+	}
+	h := NewHistogram()
+	s.histograms[key] = h
+	s.names = append(s.names, key)
+	s.kinds[key] = "histogram"
+	return h
+}
+
 // WritePrometheus renders every registered series in the Prometheus text
 // exposition format, grouped by metric name with TYPE (and optional HELP)
 // headers, in a deterministic order.
@@ -230,12 +267,17 @@ func (s *CounterSet) WritePrometheus(w io.Writer) error {
 	keys := append([]string(nil), s.names...)
 	kinds := make(map[string]string, len(keys))
 	values := make(map[string]string, len(keys))
+	hists := make(map[string]*Histogram)
 	for _, k := range keys {
 		kinds[k] = s.kinds[k]
 		if c, ok := s.counters[k]; ok {
 			values[k] = fmt.Sprintf("%d", c.Value())
 		} else if g, ok := s.gauges[k]; ok {
 			values[k] = fmt.Sprintf("%d", g.Value())
+		} else if g, ok := s.floatGauges[k]; ok {
+			values[k] = formatFloat(g.Value())
+		} else if h, ok := s.histograms[k]; ok {
+			hists[k] = h
 		}
 	}
 	help := make(map[string]string, len(s.help))
@@ -258,6 +300,12 @@ func (s *CounterSet) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kinds[k]); err != nil {
 				return err
 			}
+		}
+		if h, ok := hists[k]; ok {
+			if err := writeHistogram(w, k, h); err != nil {
+				return err
+			}
+			continue
 		}
 		if _, err := fmt.Fprintf(w, "%s %s\n", k, values[k]); err != nil {
 			return err
