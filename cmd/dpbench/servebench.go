@@ -118,6 +118,11 @@ type serveBenchResult struct {
 	OpsPerSec float64
 	// P50/P95/P99 are client-side request latency quantiles.
 	P50, P95, P99 time.Duration
+	// BPerOp/AllocsPerOp are the process-wide heap bytes and allocations per
+	// request, from the runtime.MemStats delta across the scenario. They
+	// include the httptest client harness, so treat them as an upper bound
+	// on the serving path's allocation cost.
+	BPerOp, AllocsPerOp float64
 }
 
 // runServeBench runs both scenarios and writes the report to stdout.
@@ -163,6 +168,11 @@ func runServeBench(cfg serveBenchConfig) error {
 		var next atomic.Int64
 		var failed atomic.Int64
 		var lat latHist
+		// The MemStats delta across the run yields bytes/allocs per request;
+		// collect first so the previous scenario's garbage is not billed here.
+		runtime.GC()
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start := time.Now()
 		var wg sync.WaitGroup
 		for g := 0; g < cfg.Parallel; g++ {
@@ -190,17 +200,21 @@ func runServeBench(cfg serveBenchConfig) error {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
 		if n := failed.Load(); n > 0 {
 			return serveBenchResult{}, fmt.Errorf("servebench %s: %d of %d requests failed", name, n, cfg.Requests)
 		}
 		return serveBenchResult{
-			Scenario:  name,
-			Requests:  cfg.Requests,
-			Elapsed:   elapsed,
-			OpsPerSec: float64(cfg.Requests) / elapsed.Seconds(),
-			P50:       lat.quantile(0.50),
-			P95:       lat.quantile(0.95),
-			P99:       lat.quantile(0.99),
+			Scenario:    name,
+			Requests:    cfg.Requests,
+			Elapsed:     elapsed,
+			OpsPerSec:   float64(cfg.Requests) / elapsed.Seconds(),
+			P50:         lat.quantile(0.50),
+			P95:         lat.quantile(0.95),
+			P99:         lat.quantile(0.99),
+			BPerOp:      float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(cfg.Requests),
+			AllocsPerOp: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(cfg.Requests),
 		}, nil
 	}
 
@@ -221,24 +235,25 @@ func runServeBench(cfg serveBenchConfig) error {
 	}
 
 	if cfg.CSV {
-		fmt.Fprintf(os.Stdout, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec,p50_us,p95_us,p99_us\n")
+		fmt.Fprintf(os.Stdout, "scenario,parallel,tenants,requests,elapsed_ms,ops_per_sec,p50_us,p95_us,p99_us,b_per_op,allocs_per_op\n")
 		for _, r := range results {
-			fmt.Fprintf(os.Stdout, "%s,%d,%d,%d,%.3f,%.1f,%.1f,%.1f,%.1f\n",
+			fmt.Fprintf(os.Stdout, "%s,%d,%d,%d,%.3f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f\n",
 				r.Scenario, cfg.Parallel, cfg.Tenants, r.Requests,
 				float64(r.Elapsed.Microseconds())/1000, r.OpsPerSec,
 				float64(r.P50.Nanoseconds())/1e3, float64(r.P95.Nanoseconds())/1e3,
-				float64(r.P99.Nanoseconds())/1e3)
+				float64(r.P99.Nanoseconds())/1e3, r.BPerOp, r.AllocsPerOp)
 		}
 		return nil
 	}
 	fmt.Fprintf(os.Stdout, "servebench: parallel server hot path (GOMAXPROCS=%d, %d clients, %d tenants)\n",
 		runtime.GOMAXPROCS(0), cfg.Parallel, cfg.Tenants)
-	fmt.Fprintf(os.Stdout, "%-10s %10s %12s %12s %10s %10s %10s\n",
-		"scenario", "requests", "elapsed", "ops/sec", "p50", "p95", "p99")
+	fmt.Fprintf(os.Stdout, "%-10s %10s %12s %12s %10s %10s %10s %10s %10s\n",
+		"scenario", "requests", "elapsed", "ops/sec", "p50", "p95", "p99", "B/op", "allocs/op")
 	for _, r := range results {
-		fmt.Fprintf(os.Stdout, "%-10s %10d %12s %12.1f %10s %10s %10s\n",
+		fmt.Fprintf(os.Stdout, "%-10s %10d %12s %12.1f %10s %10s %10s %10.0f %10.1f\n",
 			r.Scenario, r.Requests, r.Elapsed.Round(time.Millisecond), r.OpsPerSec,
-			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.BPerOp, r.AllocsPerOp)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 //	dpserver -preload sales=/data/bmspos.dat -preload-synthetic demo=kosarak:100
 //	dpserver -state-dir /var/lib/dpserver          # durable budgets & datasets
 //	dpserver -state-dir /var/lib/dpserver -fsync always
+//	dpserver -state-dir /var/lib/dpserver -mmap-datasets  # mmap dataset arenas on restart
 //	dpserver -access-log -slow-ms 250 -debug       # JSON access logs + pprof
 //
 // Endpoints (one per mechanism registered in the engine, plus operations):
@@ -94,6 +95,7 @@ func parseConfig(args []string) (options, error) {
 		maxBody    = fs.Int64("max-body", 0, "maximum request body bytes (0 = default)")
 		maxTenants = fs.Int("max-tenants", 0, "maximum auto-provisioned tenants (0 = default)")
 		stateDir   = fs.String("state-dir", "", "directory for durable state (WAL + snapshots); empty = in-memory only, a restart refunds all spent budget")
+		mmapData   = fs.Bool("mmap-datasets", false, "persist each dataset's columnar arena into the state dir and mmap it back on restart, skipping the item-count rescan (needs -state-dir)")
 		fsyncMode  = fs.String("fsync", "batch", "WAL durability: batch (group fsync off the hot path), always (fsync per charge), off")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and runtime gauges on /metrics")
 		accessLog  = fs.Bool("access-log", false, "log one structured JSON record per request to stderr")
@@ -134,6 +136,7 @@ func parseConfig(args []string) (options, error) {
 		MaxTenants:   *maxTenants,
 		Preload:      preloads,
 		Debug:        *debug,
+		MmapDatasets: *mmapData,
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -177,6 +177,22 @@
 // Mechanism.Execute remains correct, just unpooled. A response built from a
 // scratch aliases its buffers: encode it before reusing the scratch.
 //
+// The memory path is flattened the same way the lock path was split. Each
+// catalogued dataset's derived state — item counts, presence bitset, and
+// min/max/nonzero sketches — lives in one flat cache-line-aligned columnar
+// arena, materialised exactly once at registration; with
+// ServerConfig.MmapDatasets (cmd/dpserver -mmap-datasets) the arena is
+// persisted beside the WAL and memory-mapped back on restart, so recovery
+// skips the transaction rescan, and a corrupt file fails closed into a
+// clean rescan. Request decode and response encode run through hand-rolled
+// streaming codecs over pooled buffers whose output is byte-identical to
+// encoding/json (golden tests pin every shape, including error envelopes
+// and ?trace=1 splices; unrepresentable shapes fall back to the stdlib).
+// Batch requests pre-size the noise requirement of every fixed-draw
+// mechanism, fill it in one vectorized pass, and hand each mechanism its
+// unit-scale window — bit-identical to per-request draws, because the
+// Laplace scale multiply factors out exactly in IEEE arithmetic.
+//
 // The invariants the lock-splitting must preserve — Σ admitted charges ==
 // spent, spent never above budget + tolerance, and a journal history that
 // holds exactly the admitted charges — are pinned by -race stress tests

@@ -218,15 +218,92 @@ func (m *TopKWithGap) RunScratch(src rng.Source, answers []float64, scr *TopKScr
 	for i, a := range answers {
 		noisy[i] += a
 	}
+	return m.finish(noisy, scr, scale), nil
+}
 
-	// arg max_{k+1}: rank of the k+1 largest noisy answers, descending.
-	idx := scr.ints(n)
-	for i := range idx {
-		idx[i] = i
+// RunPrenoised is RunScratch with the noise already drawn: unit holds
+// len(answers) unit-scale Laplace samples (one per answer, ascending draw
+// order) and the mechanism scales them by NoiseScale in place of sampling.
+// Because the scalar sampler's final operation is the multiply by scale,
+// answers[i] + NoiseScale()*unit[i] is bit-identical to what RunScratch
+// computes from the same draws — batch callers fill one shared unit-noise
+// vector and carve it into per-request windows without changing any
+// fixed-seed output. Only the default Laplace distribution factors this way;
+// other noise kinds are rejected.
+func (m *TopKWithGap) RunPrenoised(unit, answers []float64, scr *TopKScratch) (*TopKResult, error) {
+	n := len(answers)
+	if n == 0 {
+		return nil, ErrNoQueries
 	}
+	if m.K <= 0 || m.K >= n {
+		return nil, fmt.Errorf("%w: k = %d with %d queries (need k+1 ≤ n)", ErrInvalidK, m.K, n)
+	}
+	if !(m.Epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, m.Epsilon)
+	}
+	if m.Noise != NoiseLaplace {
+		return nil, fmt.Errorf("core: prenoised execution requires Laplace noise, have %v", m.Noise)
+	}
+	if len(unit) != n {
+		return nil, fmt.Errorf("core: %d unit-noise samples for %d answers", len(unit), n)
+	}
+	if scr == nil {
+		scr = &TopKScratch{}
+	}
+	scale := m.NoiseScale()
+	noisy := scr.floats(n)
+	for i, a := range answers {
+		noisy[i] = a + scale*unit[i]
+	}
+	return m.finish(noisy, scr, scale), nil
+}
+
+// partialTopCutoff bounds the top-(k+1) size for which the insertion-based
+// partial selection replaces the full sort; beyond it the shift cost of the
+// ordered window loses to sort's n·log n.
+const partialTopCutoff = 64
+
+// finish ranks the k+1 largest noisy answers and materialises the selections
+// from the adjacent gaps. Small selections over long vectors take a partial
+// insertion pass (one comparison per non-qualifying element instead of a
+// full sort); otherwise the index vector is sorted outright. Both paths
+// produce the same descending order whenever the noisy values are distinct,
+// which continuous noise guarantees almost surely.
+func (m *TopKWithGap) finish(noisy []float64, scr *TopKScratch, scale float64) *TopKResult {
+	n := len(noisy)
 	top := m.K + 1
-	sort.Slice(idx, func(a, b int) bool { return noisy[idx[a]] > noisy[idx[b]] })
-	idx = idx[:top]
+	var idx []int
+	if top <= partialTopCutoff && n >= 4*top {
+		// Partial selection: keep idx[:count] as the current top values in
+		// descending order, insertion-shifting qualifiers into place. Most
+		// elements fail the single threshold comparison against the current
+		// minimum and cost nothing else.
+		idx = scr.ints(top)
+		count := 0
+		for i := 0; i < n; i++ {
+			v := noisy[i]
+			if count == top {
+				if v <= noisy[idx[top-1]] {
+					continue
+				}
+				count--
+			}
+			j := count
+			for j > 0 && noisy[idx[j-1]] < v {
+				idx[j] = idx[j-1]
+				j--
+			}
+			idx[j] = i
+			count++
+		}
+	} else {
+		idx = scr.ints(n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return noisy[idx[a]] > noisy[idx[b]] })
+		idx = idx[:top]
+	}
 
 	selections := scr.sels(m.K)
 	for i := 0; i < m.K; i++ {
@@ -240,7 +317,7 @@ func (m *TopKWithGap) RunScratch(src rng.Source, answers []float64, scr *TopKScr
 		Epsilon:    m.Epsilon,
 		Monotonic:  m.Monotonic,
 		noiseScale: scale,
-	}, nil
+	}
 }
 
 // MaxWithGapResult is the output of the k = 1 special case.

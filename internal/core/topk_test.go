@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -272,5 +273,95 @@ func TestTopKAlternativeNoiseKinds(t *testing.T) {
 	}
 	if NoiseKind(99).String() == "" {
 		t.Fatal("unknown kind must still stringify")
+	}
+}
+
+// TestTopKRunPrenoisedBitIdentity pins the batch-noise contract: feeding
+// RunPrenoised the unit-scale draws the scalar path would have made produces
+// bit-identical selections, because the sampler's last operation is the
+// multiply by scale.
+func TestTopKRunPrenoisedBitIdentity(t *testing.T) {
+	answers := []float64{812, 641, 633, 10, 998, 402, 77, 5, 300, 299}
+	for _, k := range []int{1, 2, 5} {
+		for _, mono := range []bool{false, true} {
+			m, _ := NewTopKWithGap(k, 0.8, mono)
+			var seed uint64 = 7*uint64(k) + 1
+			want, err := m.Run(rng.NewXoshiro(seed), answers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unit := rng.LaplaceVec(rng.NewXoshiro(seed), 1, len(answers), nil)
+			got, err := m.RunPrenoised(unit, answers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Selections) != len(want.Selections) {
+				t.Fatalf("k=%d mono=%v: %d selections, want %d", k, mono, len(got.Selections), len(want.Selections))
+			}
+			for i := range want.Selections {
+				if got.Selections[i] != want.Selections[i] {
+					t.Fatalf("k=%d mono=%v sel %d: got %+v, want %+v (must be bit-identical)", k, mono, i, got.Selections[i], want.Selections[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKRunPrenoisedErrors pins the fences: wrong noise length and
+// non-Laplace noise kinds must be rejected.
+func TestTopKRunPrenoisedErrors(t *testing.T) {
+	answers := []float64{3, 2, 1}
+	m, _ := NewTopKWithGap(1, 1, true)
+	if _, err := m.RunPrenoised([]float64{0}, answers, nil); err == nil {
+		t.Fatal("short unit-noise vector must be rejected")
+	}
+	disc := &TopKWithGap{K: 1, Epsilon: 1, Noise: NoiseDiscreteLaplace}
+	if _, err := disc.RunPrenoised([]float64{0, 0, 0}, answers, nil); err == nil {
+		t.Fatal("non-Laplace noise must be rejected")
+	}
+	if _, err := m.RunPrenoised(nil, nil, nil); !errors.Is(err, ErrNoQueries) {
+		t.Fatal("empty answers must be rejected")
+	}
+}
+
+// TestTopKPartialSelectionAgreesWithSort runs the same draws through both
+// ranking paths — the insertion-based partial selection (small k, long
+// vector) and the full sort (forced via a scratch-independent reference) —
+// and demands identical selections.
+func TestTopKPartialSelectionAgreesWithSort(t *testing.T) {
+	src := rng.NewXoshiro(31)
+	n := 512
+	answers := make([]float64, n)
+	for i := range answers {
+		answers[i] = rng.Float64(src) * 1000
+	}
+	for _, k := range []int{1, 3, 16, 63} {
+		m, _ := NewTopKWithGap(k, 2, true)
+		noisy := make([]float64, n)
+		rng.LaplaceVec(rng.NewXoshiro(uint64(k)), m.NoiseScale(), n, noisy)
+		for i := range noisy {
+			noisy[i] += answers[i]
+		}
+		// Partial path: n >= 4*(k+1) holds for every k here.
+		got := m.finish(append([]float64(nil), noisy...), &TopKScratch{}, m.NoiseScale())
+		// Reference: full descending sort of (value, index).
+		type vi struct {
+			v float64
+			i int
+		}
+		ref := make([]vi, n)
+		for i, v := range noisy {
+			ref[i] = vi{v, i}
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a].v > ref[b].v })
+		for i := 0; i < k; i++ {
+			if got.Selections[i].Index != ref[i].i {
+				t.Fatalf("k=%d rank %d: partial picked %d, sort picked %d", k, i, got.Selections[i].Index, ref[i].i)
+			}
+			wantGap := ref[i].v - ref[i+1].v
+			if got.Selections[i].Gap != wantGap {
+				t.Fatalf("k=%d rank %d: gap %v, want %v", k, i, got.Selections[i].Gap, wantGap)
+			}
+		}
 	}
 }

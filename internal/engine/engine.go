@@ -171,10 +171,55 @@ type Scratch struct {
 	TopK core.TopKScratch
 	// SVT backs the Sparse Vector mechanisms (prefilled noise chunk, items).
 	SVT core.SVTScratch
+	// Body backs the serving layer's request-body reads.
+	Body []byte
+	// Out backs the serving layer's response encoding (see AppendResponse).
+	Out []byte
 	// selections backs TopKResponse.Selections.
 	selections []SelectionJSON
 	// svtAnswers backs SVTResponse.Above.
 	svtAnswers []SVTAnswerJSON
+
+	// Decoder state (see DecodeRequest): the request values and the backing
+	// arrays of their variable-length fields.
+	topk    TopKRequest
+	max     MaxRequest
+	svt     SVTRequest
+	ptopk   PipelineTopKRequest
+	psvt    PipelineSVTRequest
+	query   QuerySpec
+	answers []float64
+	items   []int32
+	key     []byte
+	str     []byte
+}
+
+// maxPooledBuf bounds the transient byte/answer buffers a pooled Scratch may
+// retain, so one oversized request doesn't pin worst-case memory in the pool
+// forever.
+const (
+	maxPooledBuf     = 1 << 20
+	maxPooledAnswers = 1 << 16
+)
+
+// Trim drops oversized transient buffers; serving layers call it before
+// returning a Scratch to the pool.
+func (s *Scratch) Trim() {
+	if cap(s.Body) > maxPooledBuf {
+		s.Body = nil
+	}
+	if cap(s.Out) > maxPooledBuf {
+		s.Out = nil
+	}
+	if cap(s.answers) > maxPooledAnswers {
+		s.answers = nil
+	}
+	if cap(s.items) > maxPooledAnswers {
+		s.items = nil
+	}
+	if cap(s.query.Items) > maxPooledAnswers {
+		s.query = QuerySpec{}
+	}
 }
 
 // NewScratch returns an empty Scratch (the zero value also works; the
@@ -223,6 +268,25 @@ type Mechanism interface {
 	// them. With a non-nil scr the response may share the scratch's backing
 	// arrays: encode it before reusing scr.
 	Execute(src rng.Source, req Request, scr *Scratch) (Response, error)
+}
+
+// UnitNoiser is implemented by mechanisms whose noise consumption factors
+// into a fixed number of unit-scale Laplace draws times a per-request scale.
+// Batch callers exploit it to fill one shared noise vector for many
+// sub-requests in a single vectorized pass and hand each mechanism its
+// window. The contract is bit-exactness: ExecuteUnitNoise fed the unit-scale
+// draws that src would have produced must return exactly what Execute(src,
+// ...) returns, because the scalar sampler's last operation is the multiply
+// by scale.
+type UnitNoiser interface {
+	// UnitNoiseLen returns how many unit-scale Laplace draws executing req
+	// consumes, or -1 when prenoised execution does not apply to this
+	// request (the caller then falls back to Execute with a live source).
+	// Only meaningful for requests that passed Validate and resolution.
+	UnitNoiseLen(req Request) int
+	// ExecuteUnitNoise is Execute with the noise pre-drawn: unit holds
+	// exactly UnitNoiseLen(req) unit-scale Laplace samples in draw order.
+	ExecuteUnitNoise(req Request, unit []float64, scr *Scratch) (Response, error)
 }
 
 // Registry maps mechanism names to implementations. It is safe for

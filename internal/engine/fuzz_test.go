@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"github.com/freegap/freegap/internal/rng"
@@ -46,7 +47,22 @@ func FuzzDecodeRequest(f *testing.F) {
 			dec := json.NewDecoder(bytes.NewReader(data))
 			dec.DisallowUnknownFields()
 			if err := dec.Decode(req); err != nil || dec.More() {
+				if creq, ok, cerr := DecodeRequest(m, data, nil); ok && cerr == nil {
+					t.Fatalf("%s: codec accepted %q (%#v), the stdlib strict decoder rejects it", m.Name(), data, creq)
+				}
 				continue
+			}
+			// The stdlib decoder accepted: the hand-rolled codec must accept
+			// too and produce the identical request value.
+			creq, ok, cerr := DecodeRequest(m, data, nil)
+			if !ok {
+				t.Fatalf("%s: built-in mechanism has no codec", m.Name())
+			}
+			if cerr != nil {
+				t.Fatalf("%s: codec rejected %q the stdlib strict decoder accepts: %v", m.Name(), data, cerr)
+			}
+			if !reflect.DeepEqual(creq, req) {
+				t.Fatalf("%s: codec decoded %q to %#v, stdlib to %#v", m.Name(), data, creq, req)
 			}
 			if err := m.Validate(req, lim); err != nil {
 				continue

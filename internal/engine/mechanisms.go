@@ -74,23 +74,54 @@ func (topkMechanism) Execute(src rng.Source, req Request, scr *Scratch) (Respons
 	if !ok {
 		return nil, errWrongRequestType("topk", req)
 	}
-	mech, err := core.NewTopKWithGap(r.K, r.Epsilon, r.Monotonic)
-	if err != nil {
-		return nil, err
-	}
 	if scr == nil {
 		scr = NewScratch()
 	}
+	// Value construction: RunScratch re-validates k and ε, so the allocating
+	// constructor buys nothing on the hot path.
+	mech := core.TopKWithGap{K: r.K, Epsilon: r.Epsilon, Monotonic: r.Monotonic}
 	res, err := mech.RunScratch(src, r.Answers, &scr.TopK)
 	if err != nil {
 		return nil, err
 	}
+	return topkResponse(res, scr), nil
+}
+
+// UnitNoiseLen reports one unit-scale draw per answer (Algorithm 1 noises
+// every query once).
+func (topkMechanism) UnitNoiseLen(req Request) int {
+	r, ok := req.(*TopKRequest)
+	if !ok {
+		return -1
+	}
+	return len(r.Answers)
+}
+
+func (topkMechanism) ExecuteUnitNoise(req Request, unit []float64, scr *Scratch) (Response, error) {
+	r, ok := req.(*TopKRequest)
+	if !ok {
+		return nil, errWrongRequestType("topk", req)
+	}
+	if scr == nil {
+		scr = NewScratch()
+	}
+	mech := core.TopKWithGap{K: r.K, Epsilon: r.Epsilon, Monotonic: r.Monotonic}
+	res, err := mech.RunPrenoised(unit, r.Answers, &scr.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return topkResponse(res, scr), nil
+}
+
+// topkResponse maps a core result onto the JSON response, backing the
+// selections with the scratch.
+func topkResponse(res *core.TopKResult, scr *Scratch) *TopKResponse {
 	sels := scr.selectionsBuf(len(res.Selections))
 	for _, sel := range res.Selections {
 		sels = append(sels, SelectionJSON{Index: sel.Index, Gap: sel.Gap})
 	}
 	scr.selections = sels
-	return &TopKResponse{Selections: sels}, nil
+	return &TopKResponse{Selections: sels}
 }
 
 //
@@ -137,16 +168,38 @@ func (maxMechanism) Execute(src rng.Source, req Request, scr *Scratch) (Response
 	if !ok {
 		return nil, errWrongRequestType("max", req)
 	}
-	mech, err := core.NewTopKWithGap(1, r.Epsilon, r.Monotonic)
-	if err != nil {
-		return nil, err
-	}
 	if scr == nil {
 		scr = NewScratch()
 	}
 	// The k = 1 special case through the same scratch-backed run as topk;
 	// the selection is copied out, so nothing in the response aliases scr.
+	mech := core.TopKWithGap{K: 1, Epsilon: r.Epsilon, Monotonic: r.Monotonic}
 	res, err := mech.RunScratch(src, r.Answers, &scr.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxResponse{Index: res.Selections[0].Index, Gap: res.Selections[0].Gap}, nil
+}
+
+// UnitNoiseLen reports one unit-scale draw per answer.
+func (maxMechanism) UnitNoiseLen(req Request) int {
+	r, ok := req.(*MaxRequest)
+	if !ok {
+		return -1
+	}
+	return len(r.Answers)
+}
+
+func (maxMechanism) ExecuteUnitNoise(req Request, unit []float64, scr *Scratch) (Response, error) {
+	r, ok := req.(*MaxRequest)
+	if !ok {
+		return nil, errWrongRequestType("max", req)
+	}
+	if scr == nil {
+		scr = NewScratch()
+	}
+	mech := core.TopKWithGap{K: 1, Epsilon: r.Epsilon, Monotonic: r.Monotonic}
+	res, err := mech.RunPrenoised(unit, r.Answers, &scr.TopK)
 	if err != nil {
 		return nil, err
 	}

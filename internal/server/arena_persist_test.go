@@ -1,0 +1,159 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/freegap/freegap/internal/store"
+)
+
+// TestMmapArenaRestartSkipsRescan is the restart contract for -mmap-datasets:
+// with the flag on, a restart serves every catalogued dataset from the
+// persisted arena file (arena_mapped = true) without a second count scan;
+// with the flag off, the same state directory restores by rescanning — and in
+// both modes count_scans stays at exactly 1 and resolved queries keep
+// working.
+func TestMmapArenaRestartSkipsRescan(t *testing.T) {
+	for _, mmap := range []bool{true, false} {
+		name := "rescan"
+		if mmap {
+			name = "mmap"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s1, err := New(Config{TenantBudget: 100, Seed: 42, Workers: 1,
+				Persist: openLog(t, dir), MmapDatasets: mmap})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			db, err := store.GenerateSynthetic("bmspos", 50, 7)
+			if err != nil {
+				t.Fatalf("GenerateSynthetic: %v", err)
+			}
+			if _, err := s1.RegisterDataset("pos", "synthetic:bmspos", db); err != nil {
+				t.Fatalf("RegisterDataset: %v", err)
+			}
+			e1, err := s1.Datasets().Get("pos")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			wantCounts := append([]float64(nil), e1.ResolveAll()...)
+			wantInfo := e1.Info()
+			if wantInfo.CountScans != 1 {
+				t.Fatalf("count scans after registration = %d, want 1", wantInfo.CountScans)
+			}
+
+			arenaFile := filepath.Join(dir, "arenas", "pos.arena")
+			if _, err := os.Stat(arenaFile); mmap && err != nil {
+				t.Fatalf("arena file not persisted: %v", err)
+			} else if !mmap && err == nil {
+				t.Fatalf("arena file persisted without MmapDatasets")
+			}
+
+			s1.Close()
+
+			s2, err := New(Config{TenantBudget: 100, Seed: 42, Workers: 1,
+				Persist: openLog(t, dir), MmapDatasets: mmap})
+			if err != nil {
+				t.Fatalf("restart New: %v", err)
+			}
+			defer s2.Close()
+			e2, err := s2.Datasets().Get("pos")
+			if err != nil {
+				t.Fatalf("restored Get: %v", err)
+			}
+			info := e2.Info()
+			if info.CountScans != 1 {
+				t.Errorf("count scans after restart = %d, want 1", info.CountScans)
+			}
+			if info.ArenaMapped != mmap {
+				t.Errorf("arena mapped = %v, want %v", info.ArenaMapped, mmap)
+			}
+			if info.Records != wantInfo.Records || info.Items != wantInfo.Items {
+				t.Errorf("restored dims = %d records / %d items, want %d / %d",
+					info.Records, info.Items, wantInfo.Records, wantInfo.Items)
+			}
+			got := e2.ResolveAll()
+			if len(got) != len(wantCounts) {
+				t.Fatalf("restored counts len = %d, want %d", len(got), len(wantCounts))
+			}
+			for i := range got {
+				if got[i] != wantCounts[i] {
+					t.Fatalf("restored count[%d] = %g, want %g", i, got[i], wantCounts[i])
+				}
+			}
+
+			// The restored catalog must serve dataset-backed requests.
+			req := httptest.NewRequest(http.MethodPost, "/v1/topk", strings.NewReader(
+				`{"tenant":"acme","epsilon":1,"k":3,"dataset":"pos","queries":{"kind":"all_items"}}`))
+			w := httptest.NewRecorder()
+			s2.Handler().ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("restored dataset topk status = %d, body = %s", w.Code, w.Body.String())
+			}
+		})
+	}
+}
+
+// TestMmapArenaCorruptionFallsBackToRescan flips bytes in the persisted
+// arena file and restarts: the load must fail closed into a clean rescan —
+// correct counts, count_scans = 1, arena_mapped = false — never serve
+// corrupt data.
+func TestMmapArenaCorruptionFallsBackToRescan(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{TenantBudget: 100, Seed: 42, Workers: 1,
+		Persist: openLog(t, dir), MmapDatasets: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	db, err := store.GenerateSynthetic("kosarak", 40, 3)
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	if _, err := s1.RegisterDataset("k", "synthetic:kosarak", db); err != nil {
+		t.Fatalf("RegisterDataset: %v", err)
+	}
+	e1, _ := s1.Datasets().Get("k")
+	wantCounts := append([]float64(nil), e1.ResolveAll()...)
+	s1.Close()
+
+	arenaFile := filepath.Join(dir, "arenas", "k.arena")
+	raw, err := os.ReadFile(arenaFile)
+	if err != nil {
+		t.Fatalf("read arena: %v", err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8 && i < len(raw); i++ {
+		raw[i] ^= 0xA5
+	}
+	if err := os.WriteFile(arenaFile, raw, 0o644); err != nil {
+		t.Fatalf("corrupt arena: %v", err)
+	}
+
+	s2, err := New(Config{TenantBudget: 100, Seed: 42, Workers: 1,
+		Persist: openLog(t, dir), MmapDatasets: true})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer s2.Close()
+	e2, err := s2.Datasets().Get("k")
+	if err != nil {
+		t.Fatalf("restored Get: %v", err)
+	}
+	info := e2.Info()
+	if info.ArenaMapped {
+		t.Error("corrupt arena was served mapped")
+	}
+	if info.CountScans != 1 {
+		t.Errorf("count scans after corrupt-arena restart = %d, want 1", info.CountScans)
+	}
+	got := e2.ResolveAll()
+	for i := range got {
+		if got[i] != wantCounts[i] {
+			t.Fatalf("rescanned count[%d] = %g, want %g", i, got[i], wantCounts[i])
+		}
+	}
+}

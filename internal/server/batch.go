@@ -29,6 +29,10 @@ type batchItem struct {
 	mech engine.Mechanism
 	req  engine.Request
 	cost float64
+	// noiseOff/noiseLen locate the item's window in the batch-wide unit
+	// noise vector; noiseLen < 0 means the mechanism does not support
+	// prenoised execution and draws from a live source instead.
+	noiseOff, noiseLen int
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -73,9 +77,21 @@ func (s *Server) serveBatch(w *traceWriter, r *http.Request) string {
 		if len(entry.Request) == 0 {
 			return badRequest(w, fmt.Errorf("requests[%d]: missing request body", i))
 		}
-		mreq := mech.NewRequest()
-		if err := decodeStrictJSON(entry.Request, mreq); err != nil {
-			return badRequest(w, fmt.Errorf("requests[%d]: %v", i, err))
+		// Items decode with a nil scratch on purpose: one scratch hosts one
+		// request value per type, and a batch holds many requests of the
+		// same type concurrently.
+		mreq, cok, cerr := engine.DecodeRequest(mech, entry.Request, nil)
+		if !cok {
+			mreq = mech.NewRequest()
+			cerr = decodeStrictJSON(entry.Request, mreq)
+			if cerr != nil {
+				return badRequest(w, fmt.Errorf("requests[%d]: %v", i, cerr))
+			}
+		} else if cerr != nil {
+			if errors.Is(cerr, engine.ErrTrailingData) {
+				return badRequest(w, fmt.Errorf("requests[%d]: request holds more than one JSON value", i))
+			}
+			return badRequest(w, fmt.Errorf("requests[%d]: decoding request: %v", i, cerr))
 		}
 		// The batch tenant pays for every item; an item naming a different
 		// tenant is almost certainly a client bug, so reject it loudly
@@ -121,7 +137,37 @@ func (s *Server) serveBatch(w *traceWriter, r *http.Request) string {
 	}
 	w.mark(stageCharge)
 
-	// Stage 3: execute the admitted items concurrently across the worker
+	// Stage 3a: pre-size one noise requirement across the whole batch. Every
+	// item whose mechanism factors its noise into unit-scale Laplace draws
+	// (engine.UnitNoiser) gets a window in one shared vector, filled in a
+	// single vectorized pass by one worker; the per-item executions then
+	// scale their window in place of sampling — bit-identical outputs, one
+	// source acquisition instead of one per item. Items that cannot prenoise
+	// (SVT's draw count is data-dependent) keep drawing from a live source.
+	totalNoise := 0
+	for i := range items {
+		it := &items[i]
+		it.noiseLen = -1
+		if un, ok := it.mech.(engine.UnitNoiser); ok {
+			if n := un.UnitNoiseLen(it.req); n >= 0 {
+				it.noiseOff, it.noiseLen = totalNoise, n
+				totalNoise += n
+			}
+		}
+	}
+	var unit []float64
+	if totalNoise > 0 {
+		buf := make([]float64, totalNoise)
+		if err := s.pool.do(r.Context(), func(src rng.Source) {
+			unit = rng.LaplaceVec(src, 1, totalNoise, buf)
+		}); err != nil {
+			// The batch is already charged; fall back to per-item sources
+			// rather than failing every item over a cancelled prefill.
+			unit = nil
+		}
+	}
+
+	// Stage 3b: execute the admitted items concurrently across the worker
 	// pool. Execution failures are per-item — the batch's reservation stays
 	// spent, exactly as a serial request's would. Each item draws its own
 	// scratch from the pool (they run concurrently), and every scratch is
@@ -145,7 +191,12 @@ func (s *Server) serveBatch(w *traceWriter, r *http.Request) string {
 				runErr error
 			)
 			if err := s.pool.do(r.Context(), func(src rng.Source) {
-				resp, runErr = it.mech.Execute(src, it.req, scr)
+				if unit != nil && it.noiseLen >= 0 {
+					un := it.mech.(engine.UnitNoiser)
+					resp, runErr = un.ExecuteUnitNoise(it.req, unit[it.noiseOff:it.noiseOff+it.noiseLen], scr)
+				} else {
+					resp, runErr = it.mech.Execute(src, it.req, scr)
+				}
 			}); err != nil {
 				results[i].Error = batchExecError(err)
 				return
@@ -168,24 +219,59 @@ func (s *Server) serveBatch(w *traceWriter, r *http.Request) string {
 		EpsilonSpent:    total,
 		BudgetRemaining: remaining,
 	}
-	if w.traceOn {
-		// Measure a dry-run encode so the encode stage is part of the trace
-		// the response carries (see writeTraced).
-		var buf bytes.Buffer
-		_ = json.NewEncoder(&buf).Encode(resp)
-		w.mark(stageEncode)
-		resp.Trace = w.traceJSON()
-		writeJSON(w, http.StatusOK, resp)
-	} else {
-		writeJSON(w, http.StatusOK, resp)
-		w.mark(stageEncode)
-	}
+	s.writeBatchResponse(w, &resp)
 	for _, scr := range scratches {
 		if scr != nil {
-			scratchPool.Put(scr)
+			putScratch(scr)
 		}
 	}
 	return "ok"
+}
+
+// writeBatchResponse encodes the batch response through the zero-copy codecs
+// into a pooled buffer and writes it once. Trace is the response's last
+// field, so a ?trace=1 breakdown — rendered after the real encode it has to
+// account for — is appended before the closing brace instead of re-encoding
+// the whole batch. Any item without a hand-rolled codec sends the entire
+// response through encoding/json instead.
+func (s *Server) writeBatchResponse(w *traceWriter, resp *BatchResponse) {
+	scr := scratchPool.Get().(*engine.Scratch)
+	defer putScratch(scr)
+	out, ok := appendBatchResponse(scr.Out[:0], resp)
+	scr.Out = out
+	if !ok {
+		if w.traceOn {
+			var buf bytes.Buffer
+			_ = json.NewEncoder(&buf).Encode(resp)
+			w.mark(stageEncode)
+			resp.Trace = w.traceJSON()
+			writeJSON(w, http.StatusOK, resp)
+		} else {
+			writeJSON(w, http.StatusOK, resp)
+			w.mark(stageEncode)
+		}
+		return
+	}
+	if !w.traceOn {
+		out = append(out, '\n')
+		scr.Out = out
+		writeRawJSON(w, http.StatusOK, out)
+		w.mark(stageEncode)
+		return
+	}
+	w.mark(stageEncode)
+	out = out[:len(out)-1] // reopen the object: trace is the last field
+	out = append(out, `,"trace":`...)
+	tb, tok := appendTraceJSON(out, w.traceJSON())
+	if !tok {
+		// Defensive only (trace floats are finite): re-encode via stdlib.
+		resp.Trace = w.traceJSON()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	out = append(tb, '}', '\n')
+	scr.Out = out
+	writeRawJSON(w, http.StatusOK, out)
 }
 
 // batchExecError maps a pool submission failure to a per-item error body.

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/freegap/freegap/internal/engine"
+)
+
+func fptr(f float64) *float64 { return &f }
+func bptr(b bool) *bool       { return &b }
+
+// TestAppendErrorEnvelopeGolden pins the hand-rolled error encoder to
+// encoding/json byte for byte, across every optional-field combination the
+// handlers emit plus the string-escaping edge cases.
+func TestAppendErrorEnvelopeGolden(t *testing.T) {
+	cases := []ErrorBody{
+		{Code: "bad_request", Message: "decoding JSON body: EOF"},
+		{Code: "bad_request", RequestID: "req-01", Message: "k = 0 must satisfy 1 <= k"},
+		{Code: "budget_exhausted", RequestID: "abcDEF_123.-", Message: "insufficient budget",
+			Remaining: fptr(0.25), Exhausted: bptr(true)},
+		{Code: "budget_exhausted", Message: "insufficient budget",
+			Remaining: fptr(0), Exhausted: bptr(false)},
+		{Code: "x", Message: "html <tags> & \"quotes\" survive escaping"},
+		{Code: "x", Message: "control \x01 tab \t newline \n unicode \u2028 snowman ☃"},
+		{Code: "x", Message: "invalid utf8 \xff\xfe here"},
+		{Code: "x", Message: "", Remaining: fptr(1e-7)},
+		{Code: "x", Message: "", Remaining: fptr(1e21)},
+		{Code: "x", Message: "", Remaining: fptr(123456.789)},
+	}
+	for _, body := range cases {
+		want, err := json.Marshal(ErrorEnvelope{Error: body})
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", body, err)
+		}
+		got, ok := appendErrorEnvelope(nil, &body)
+		if !ok {
+			t.Fatalf("appendErrorEnvelope(%+v): not ok", body)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("envelope mismatch for %+v:\n got  %s\n want %s", body, got, want)
+		}
+	}
+	// Non-finite remaining: the codec must refuse so the handler falls back
+	// to encoding/json's own error, rather than emitting invalid JSON.
+	if _, ok := appendErrorEnvelope(nil, &ErrorBody{Code: "x", Remaining: fptr(math.NaN())}); ok {
+		t.Error("appendErrorEnvelope accepted a NaN remaining")
+	}
+}
+
+// TestAppendTraceJSONGolden pins the ?trace=1 payload encoder to
+// encoding/json byte for byte.
+func TestAppendTraceJSONGolden(t *testing.T) {
+	cases := []*TraceJSON{
+		{RequestID: "r1", TotalMicros: 0, Stages: nil},
+		{RequestID: "r2", TotalMicros: 0.001, Stages: []StageJSON{}},
+		{RequestID: "0123456789abcdef", TotalMicros: 1234.567, Stages: []StageJSON{
+			{Name: "decode", StartMicros: 0, Micros: 12.345},
+			{Name: "resolve", StartMicros: 12.345, Micros: 0},
+			{Name: "validate", StartMicros: 12.345, Micros: 0.75},
+			{Name: "charge", StartMicros: 13.095, Micros: 1e-3},
+			{Name: "execute", StartMicros: 13.096, Micros: 1200},
+			{Name: "encode", StartMicros: 1213.096, Micros: 21.471},
+		}},
+	}
+	for _, tr := range cases {
+		want, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, ok := appendTraceJSON(nil, tr)
+		if !ok {
+			t.Fatalf("appendTraceJSON(%+v): not ok", tr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("trace mismatch:\n got  %s\n want %s", got, want)
+		}
+	}
+}
+
+// TestAppendBatchResponseGolden pins the batch encoder — including the
+// trace-splice trick that appends `,"trace":…` before the final brace — to
+// encoding/json byte for byte, with real engine response types in the items.
+func TestAppendBatchResponseGolden(t *testing.T) {
+	resp := BatchResponse{
+		Tenant: "acme",
+		Results: []BatchItemResult{
+			{Mechanism: "topk", Response: &engine.TopKResponse{
+				Billing: engine.Billing{Tenant: "acme", EpsilonSpent: 0.5, BudgetRemaining: 9.5},
+				Selections: []engine.SelectionJSON{
+					{Index: 3, Gap: 1.25}, {Index: 0, Gap: 0.0078125},
+				},
+			}},
+			{Mechanism: "max", Response: &engine.MaxResponse{
+				Billing: engine.Billing{Tenant: "acme", EpsilonSpent: 0.25, BudgetRemaining: 9.25},
+				Index:   7, Gap: 42,
+			}},
+			{Mechanism: "svt", Error: &ErrorBody{
+				Code: "bad_request", RequestID: "b-2", Message: "threshold required",
+			}},
+			{Mechanism: "topk"},
+		},
+		EpsilonSpent:    0.75,
+		BudgetRemaining: 9.25,
+	}
+
+	want, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, ok := appendBatchResponse(nil, &resp)
+	if !ok {
+		t.Fatal("appendBatchResponse: not ok")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("batch mismatch:\n got  %s\n want %s", got, want)
+	}
+
+	// Nil and empty results encode as null and [].
+	for _, results := range [][]BatchItemResult{nil, {}} {
+		r2 := BatchResponse{Tenant: "t", Results: results}
+		want, err := json.Marshal(&r2)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, ok := appendBatchResponse(nil, &r2)
+		if !ok {
+			t.Fatal("appendBatchResponse: not ok")
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("batch mismatch:\n got  %s\n want %s", got, want)
+		}
+	}
+
+	// Trace splice: appending before the closing brace must match marshalling
+	// the response with its Trace field populated (Trace is the last field).
+	tr := &TraceJSON{RequestID: "r9", TotalMicros: 88.25, Stages: []StageJSON{
+		{Name: "decode", StartMicros: 0, Micros: 88.25},
+	}}
+	traced := resp
+	traced.Trace = tr
+	want, err = json.Marshal(&traced)
+	if err != nil {
+		t.Fatalf("marshal traced: %v", err)
+	}
+	spliced := append(got[:len(got)-1], `,"trace":`...)
+	spliced, ok = appendTraceJSON(spliced, tr)
+	if !ok {
+		t.Fatal("appendTraceJSON: not ok")
+	}
+	spliced = append(spliced, '}')
+	if !bytes.Equal(spliced, want) {
+		t.Errorf("spliced batch mismatch:\n got  %s\n want %s", spliced, want)
+	}
+
+	// An item response the engine codec cannot encode forces the stdlib
+	// fallback for the whole batch.
+	bad := BatchResponse{Results: []BatchItemResult{{Mechanism: "x", Response: map[string]int{"a": 1}}}}
+	if _, ok := appendBatchResponse(nil, &bad); ok {
+		t.Error("appendBatchResponse accepted a non-engine response")
+	}
+}
+
+// tracedTopK mirrors engine.TopKResponse's JSON with the trace decoded into
+// the concrete TraceJSON type, so a decode→re-marshal roundtrip reproduces
+// the wire bytes exactly (an `any` trace would decode to a map and re-marshal
+// with sorted keys).
+type tracedTopK struct {
+	Tenant          string                 `json:"tenant"`
+	EpsilonSpent    float64                `json:"epsilon_spent"`
+	BudgetRemaining float64                `json:"budget_remaining"`
+	Trace           *TraceJSON             `json:"trace,omitempty"`
+	Selections      []engine.SelectionJSON `json:"selections"`
+}
+
+// TestServerResponseBytesMatchStdlib drives the live handler and checks that
+// every response body — success, traced success, and error — is exactly what
+// encoding/json would produce for the equivalent value: decode into the
+// concrete response type, re-marshal with the stdlib, and require identical
+// bytes (modulo the trailing newline the server appends).
+func TestServerResponseBytesMatchStdlib(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantBudget: 10, Workers: 1, Seed: 7})
+	body := `{"tenant":"acme","epsilon":1,"k":2,"monotonic":true,"answers":[10,20,30,40,50]}`
+
+	roundtrip := func(t *testing.T, url, reqBody string, into any) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		raw := buf.Bytes()
+		if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+			t.Fatalf("body does not end in newline: %q", raw)
+		}
+		raw = raw[:len(raw)-1]
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		want, err := json.Marshal(into)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Errorf("response is not stdlib-identical:\n got  %s\n want %s", raw, want)
+		}
+	}
+
+	t.Run("topk", func(t *testing.T) {
+		roundtrip(t, ts.URL+"/v1/topk", body, &tracedTopK{})
+	})
+	t.Run("topk traced", func(t *testing.T) {
+		var got tracedTopK
+		roundtrip(t, ts.URL+"/v1/topk?trace=1", body, &got)
+		if got.Trace == nil || len(got.Trace.Stages) == 0 {
+			t.Fatalf("traced response missing trace: %+v", got)
+		}
+	})
+	t.Run("decode error", func(t *testing.T) {
+		roundtrip(t, ts.URL+"/v1/topk", `{"k":`, &ErrorEnvelope{})
+	})
+	t.Run("budget error", func(t *testing.T) {
+		exhaust := `{"tenant":"poor","epsilon":100,"k":2,"answers":[1,2,3]}`
+		var env ErrorEnvelope
+		roundtrip(t, ts.URL+"/v1/topk", exhaust, &env)
+		if env.Error.Code != CodeBudgetExhausted || env.Error.Remaining == nil || env.Error.Exhausted == nil {
+			t.Fatalf("unexpected budget error: %+v", env.Error)
+		}
+	})
+	t.Run("batch traced", func(t *testing.T) {
+		batch := `{"tenant":"acme","requests":[` +
+			`{"mechanism":"topk","request":{"epsilon":0.5,"k":1,"answers":[5,6,7]}},` +
+			`{"mechanism":"max","request":{"epsilon":0.5,"answers":[5,6,7]}}]}`
+		var got struct {
+			Tenant  string `json:"tenant"`
+			Results []struct {
+				Mechanism string          `json:"mechanism"`
+				Response  json.RawMessage `json:"response,omitempty"`
+				Error     *ErrorBody      `json:"error,omitempty"`
+			} `json:"results"`
+			EpsilonSpent    float64    `json:"epsilon_spent"`
+			BudgetRemaining float64    `json:"budget_remaining"`
+			Trace           *TraceJSON `json:"trace,omitempty"`
+		}
+		roundtrip(t, ts.URL+"/v1/batch?trace=1", batch, &got)
+		if got.Trace == nil || len(got.Results) != 2 {
+			t.Fatalf("unexpected batch response: %+v", got)
+		}
+	})
+}

@@ -135,6 +135,9 @@ func (s *Server) registerDataset(name, source string, db *dataset.Transactions, 
 		s.telemetry.Gauge("freegap_datasets").Set(int64(s.datasets.Len()))
 		return nil, fmt.Errorf("%w: %v", errDatasetPersist, err)
 	}
+	// Best-effort: persist the registration-time arena so the next restart
+	// memory-maps the counts instead of rescanning the transactions.
+	s.saveArena(name)
 	s.registerDatasetTelemetry(name)
 	return e, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -17,12 +18,21 @@ import (
 	"github.com/freegap/freegap/internal/telemetry"
 )
 
-// scratchPool recycles the request-scoped working memory of mechanism
-// executions — noise and score buffers plus the responses' variable-length
-// backing arrays — so the steady-state hot path allocates no per-request
-// buffers. A scratch is released only after the response built from it has
-// been encoded (the response aliases the scratch's arrays).
+// scratchPool recycles the request-scoped working memory of the whole
+// mechanism pipeline — the request body bytes, the decoded request's
+// variable-length fields, the mechanisms' noise and score buffers, the
+// responses' backing arrays and the encoded output — so the steady-state hot
+// path allocates no per-request buffers at all. A scratch is released only
+// after the response built from it has been written (both the response value
+// and the output bytes alias the scratch).
 var scratchPool = sync.Pool{New: func() any { return engine.NewScratch() }}
+
+// putScratch trims oversized buffers (one huge request must not pin its
+// buffers in the pool forever) and recycles the scratch.
+func putScratch(scr *engine.Scratch) {
+	scr.Trim()
+	scratchPool.Put(scr)
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
@@ -132,8 +142,17 @@ func (s *Server) handleMechanism(mech engine.Mechanism) http.HandlerFunc {
 // request's latency decomposes into decode → resolve → validate → charge →
 // execute → encode with nothing unattributed.
 func (s *Server) serveMechanism(w *traceWriter, r *http.Request, mech engine.Mechanism) string {
-	req := mech.NewRequest()
-	if code, ok := s.decode(w, r, req); !ok {
+	// One scratch carries the whole request through the pipeline: the body is
+	// read into it, the request decodes into it, the mechanism executes out
+	// of it and the response encodes into it. It goes back to the pool only
+	// after the response bytes are on the wire.
+	scr := scratchPool.Get().(*engine.Scratch)
+	defer putScratch(scr)
+	if code, ok := s.readBody(w, r, scr); !ok {
+		return code
+	}
+	req, code, ok := s.decodeRequest(w, mech, scr)
+	if !ok {
 		return code
 	}
 	w.mark(stageDecode)
@@ -176,11 +195,6 @@ func (s *Server) serveMechanism(w *traceWriter, r *http.Request, mech engine.Mec
 	w.eps = cost
 	w.mark(stageCharge)
 
-	// The scratch is returned to the pool when this function exits — after
-	// writeJSON has encoded the response that aliases its buffers.
-	scr := scratchPool.Get().(*engine.Scratch)
-	defer scratchPool.Put(scr)
-
 	var (
 		resp   engine.Response
 		runErr error
@@ -196,13 +210,109 @@ func (s *Server) serveMechanism(w *traceWriter, r *http.Request, mech engine.Mec
 	w.mark(stageExecute)
 
 	resp.SetBilling(tenant, cost, remaining)
-	if w.traceOn {
-		writeTraced(w, resp)
-		return "ok"
-	}
-	writeJSON(w, http.StatusOK, resp)
-	w.mark(stageEncode)
+	s.writeResponse(w, resp, scr)
 	return "ok"
+}
+
+// readBody reads the request body into the scratch under the configured size
+// cap. On failure it writes the error response and returns (outcome, false).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, scr *engine.Scratch) (string, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := scr.Body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			scr.Body = buf
+			if err == io.EOF {
+				return "", true
+			}
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+					Code:    CodeRequestTooLarge,
+					Message: fmt.Sprintf("request body exceeds the server limit of %d bytes", tooLarge.Limit),
+				})
+				return CodeRequestTooLarge, false
+			}
+			return badRequest(w, fmt.Errorf("decoding JSON body: %v", err)), false
+		}
+	}
+}
+
+// decodeRequest parses the body bytes in scr into a request for mech: the
+// built-in mechanisms go through the engine's hand-rolled codec (the request
+// then aliases the scratch), custom mechanisms fall back to the stdlib strict
+// decoder over the same bytes. Either way the semantics — unknown fields and
+// trailing values rejected — and the error messages clients see are the ones
+// the stdlib-backed decoder produced.
+func (s *Server) decodeRequest(w http.ResponseWriter, mech engine.Mechanism, scr *engine.Scratch) (engine.Request, string, bool) {
+	req, ok, err := engine.DecodeRequest(mech, scr.Body, scr)
+	if !ok {
+		req = mech.NewRequest()
+		dec := json.NewDecoder(bytes.NewReader(scr.Body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			return nil, badRequest(w, fmt.Errorf("decoding JSON body: %v", err)), false
+		}
+		if dec.More() {
+			return nil, badRequest(w, errors.New("request body holds more than one JSON value")), false
+		}
+		return req, "", true
+	}
+	switch {
+	case err == nil:
+		return req, "", true
+	case errors.Is(err, engine.ErrTrailingData):
+		return nil, badRequest(w, errors.New("request body holds more than one JSON value")), false
+	default:
+		return nil, badRequest(w, fmt.Errorf("decoding JSON body: %v", err)), false
+	}
+}
+
+// writeResponse encodes resp through the zero-copy codec into the scratch's
+// output buffer and writes it once. A ?trace=1 request gets the breakdown
+// spliced into the already-encoded bytes at the offset AppendResponse
+// reserved — the encode the trace reports is the encode that shipped, not a
+// dry run. Responses without a codec fall back to encoding/json.
+func (s *Server) writeResponse(t *traceWriter, resp engine.Response, scr *engine.Scratch) {
+	out, off, ok, err := engine.AppendResponse(scr.Out[:0], resp)
+	scr.Out = out
+	if !ok || err != nil {
+		if t.traceOn {
+			writeTraced(t, resp)
+			return
+		}
+		writeJSON(t, http.StatusOK, resp)
+		t.mark(stageEncode)
+		return
+	}
+	out = append(out, '\n')
+	scr.Out = out
+	if !t.traceOn {
+		writeRawJSON(t, http.StatusOK, out)
+		t.mark(stageEncode)
+		return
+	}
+	// The bytes above are the real encode; close the stage before rendering
+	// the breakdown so the trace accounts for it.
+	t.mark(stageEncode)
+	// The body buffer is free once decoding is done (decoded strings are
+	// heap copies), so it backs the trace splice.
+	tb, tok := appendTraceJSON(append(scr.Body[:0], `,"trace":`...), t.traceJSON())
+	scr.Body = tb[:0]
+	if !tok {
+		writeTraced(t, resp)
+		return
+	}
+	t.Header().Set("Content-Type", "application/json")
+	t.WriteHeader(http.StatusOK)
+	_, _ = t.Write(out[:off])
+	_, _ = t.Write(tb)
+	_, _ = t.Write(out[off:])
 }
 
 // writeTraced serves the ?trace=1 path: it measures a dry-run encode of the
@@ -372,6 +482,10 @@ func writeError(w http.ResponseWriter, status int, body ErrorBody) {
 	if t, ok := w.(*traceWriter); ok {
 		body.RequestID = t.reqID
 	}
+	if out, ok := appendErrorEnvelope(make([]byte, 0, 256), &body); ok {
+		writeRawJSON(w, status, append(out, '\n'))
+		return
+	}
 	writeJSON(w, status, ErrorEnvelope{Error: body})
 }
 
@@ -380,4 +494,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
+}
+
+// writeRawJSON writes pre-encoded JSON bytes (trailing newline included, to
+// match what json.Encoder.Encode wrote on this wire before).
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }

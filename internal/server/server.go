@@ -144,6 +144,14 @@ type Config struct {
 	// otherwise). Zero applies DefaultSlowRequestThreshold; negative
 	// disables slow-request logging.
 	SlowRequestThreshold time.Duration
+	// MmapDatasets persists each registered dataset's columnar arena (item
+	// counts, presence bitset and min/max sketches) into the Persist state
+	// directory and memory-maps it back on restart, so a restarted server
+	// skips the item-count rescan entirely — the restored dataset's
+	// count_scans stays at the single registration-time materialisation.
+	// Requires Persist; ignored without it. A missing, truncated or
+	// corrupted arena file falls back to a clean rescan.
+	MmapDatasets bool
 	// Persist, when set, makes the privacy-critical state durable: the
 	// server restores per-tenant spent budgets and the dataset catalog from
 	// the log at construction, journals every admitted charge and dataset
@@ -439,6 +447,7 @@ func New(cfg Config) (*Server, error) {
 			s.pool.close()
 			return fail(err)
 		}
+		s.saveArena(p.Name)
 	}
 	s.routes()
 	return s, nil
@@ -530,6 +539,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = perr
 		}
 	}
+	s.closeArenas()
 	return err
 }
 
@@ -540,5 +550,15 @@ func (s *Server) Close() {
 	s.pool.close()
 	if s.persist != nil {
 		_ = s.persist.Close()
+	}
+	s.closeArenas()
+}
+
+// closeArenas releases the dataset catalog's memory-mapped arenas. Only a
+// server that opted into MmapDatasets tears the catalog down — without the
+// flag the catalog may be caller-supplied and must survive the server.
+func (s *Server) closeArenas() {
+	if s.cfg.MmapDatasets {
+		_ = s.datasets.Close()
 	}
 }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// arenaMap is unsupported off unix; LoadArena falls back to reading the
+// payload into an in-memory arena.
+func arenaMap(*os.File, int) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported on this platform")
+}
+
+func arenaUnmap([]byte) error { return nil }

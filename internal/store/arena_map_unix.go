@@ -1,0 +1,17 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// arenaMap maps size bytes of f read-only. The mapping outlives f being
+// closed; release it with arenaUnmap.
+func arenaMap(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// arenaUnmap releases a mapping returned by arenaMap.
+func arenaUnmap(m []byte) error { return syscall.Munmap(m) }

@@ -111,19 +111,21 @@ func (s *Store) snapshot() catalog { return *s.byName.Load() }
 func (s *Store) Limits() Limits { return s.limits }
 
 // Entry is one catalogued dataset: the immutable transactions plus the
-// item-count vector precomputed at registration. The counters make the
-// caching observable: CountScans stays at 1 however many requests resolve
-// against the entry.
+// columnar count arena materialised at registration (a fresh scan, or a
+// validated arena file on restart). The counters make the caching
+// observable: CountScans stays at 1 however many requests resolve against
+// the entry.
 type Entry struct {
 	name    string
 	source  string
 	db      *dataset.Transactions
-	counts  []float64     // precomputed once; treated as read-only ever after
+	arena   *Arena
+	counts  []float64     // the arena's column; treated as read-only ever after
 	stats   dataset.Stats // precomputed once; Info would otherwise rescan for MeanLength
 	created time.Time
 
 	resolutions atomic.Uint64 // query resolutions served from the cache
-	scans       atomic.Uint64 // full transaction scans (the registration precompute)
+	scans       atomic.Uint64 // count materialisations (scan or arena load) — stays at 1
 }
 
 // Info summarises an entry for the dataset API.
@@ -139,10 +141,20 @@ type Info struct {
 	Items int `json:"items"`
 	// MeanLength is the average transaction length.
 	MeanLength float64 `json:"mean_length"`
+	// MinCount is the smallest non-zero item count (0 if every count is 0).
+	MinCount float64 `json:"min_count"`
+	// MaxCount is the largest item count.
+	MaxCount float64 `json:"max_count"`
+	// NonzeroItems is how many items occur in at least one transaction.
+	NonzeroItems int `json:"nonzero_items"`
+	// ArenaMapped reports whether the count arena is served from a file
+	// mapping (the restart fast path) rather than an in-memory scan.
+	ArenaMapped bool `json:"arena_mapped"`
 	// Resolutions counts query resolutions served from the cached counts.
 	Resolutions uint64 `json:"resolutions"`
-	// CountScans counts full transaction scans; it stays at 1 (the
-	// registration precompute) no matter how many requests resolve.
+	// CountScans counts count-vector materialisations — one transaction scan
+	// or one validated arena load; it stays at 1 no matter how many requests
+	// resolve.
 	CountScans uint64 `json:"count_scans"`
 	// CreatedAt is the registration time.
 	CreatedAt time.Time `json:"created_at"`
@@ -169,10 +181,29 @@ func ValidName(name string) error {
 	return nil
 }
 
-// Register catalogues db under name, precomputing its item-count vector. The
+// Register catalogues db under name, precomputing its item-count arena. The
 // database must not be mutated by the caller afterwards. source is a short
 // free-form provenance label carried into Info.
 func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry, error) {
+	return s.register(name, source, db, nil)
+}
+
+// RegisterArena is Register with a pre-built count arena (typically loaded
+// from an arena file on restart), skipping the transaction scan. The arena
+// must have been validated against db — len(a.Counts()) must equal
+// db.NumItems(). CountScans still reads 1: the arena load is the entry's one
+// count materialisation.
+func (s *Store) RegisterArena(name, source string, db *dataset.Transactions, a *Arena) (*Entry, error) {
+	if a == nil {
+		return nil, errors.New("store: nil arena")
+	}
+	if db != nil && len(a.Counts()) != db.NumItems() {
+		return nil, fmt.Errorf("store: arena holds %d items, dataset %q has %d", len(a.Counts()), name, db.NumItems())
+	}
+	return s.register(name, source, db, a)
+}
+
+func (s *Store) register(name, source string, db *dataset.Transactions, arena *Arena) (*Entry, error) {
 	if err := ValidName(name); err != nil {
 		return nil, err
 	}
@@ -197,8 +228,11 @@ func (s *Store) Register(name, source string, db *dataset.Transactions) (*Entry,
 	}
 
 	e := &Entry{name: name, source: source, db: db, stats: db.Stats(), created: time.Now()}
-	e.scans.Add(1)
-	e.counts = db.ItemCounts() // the one and only scan for this entry
+	e.scans.Add(1) // the one count materialisation for this entry
+	if arena == nil {
+		arena = newArena(db.ItemCounts()) // the one and only transaction scan
+	}
+	e.arena, e.counts = arena, arena.Counts()
 
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -280,8 +314,27 @@ func (s *Store) List() []Info {
 	return out
 }
 
+// Close releases every entry's arena file mapping, if any. The store must
+// not serve requests afterwards.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	var first error
+	for _, e := range s.snapshot() {
+		if err := e.arena.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	empty := make(catalog)
+	s.byName.Store(&empty)
+	return first
+}
+
 // Name returns the catalog key.
 func (e *Entry) Name() string { return e.name }
+
+// Arena returns the entry's columnar count arena (read-only by contract).
+func (e *Entry) Arena() *Arena { return e.arena }
 
 // Dataset returns the underlying transactions (read-only by contract).
 func (e *Entry) Dataset() *dataset.Transactions { return e.db }
@@ -289,14 +342,18 @@ func (e *Entry) Dataset() *dataset.Transactions { return e.db }
 // Info summarises the entry from the stats precomputed at registration.
 func (e *Entry) Info() Info {
 	return Info{
-		Name:        e.name,
-		Source:      e.source,
-		Records:     e.stats.Records,
-		Items:       e.stats.Items,
-		MeanLength:  e.stats.MeanLength,
-		Resolutions: e.resolutions.Load(),
-		CountScans:  e.scans.Load(),
-		CreatedAt:   e.created,
+		Name:         e.name,
+		Source:       e.source,
+		Records:      e.stats.Records,
+		Items:        e.stats.Items,
+		MeanLength:   e.stats.MeanLength,
+		MinCount:     e.arena.MinCount(),
+		MaxCount:     e.arena.MaxCount(),
+		NonzeroItems: e.arena.NonzeroItems(),
+		ArenaMapped:  e.arena.Mapped(),
+		Resolutions:  e.resolutions.Load(),
+		CountScans:   e.scans.Load(),
+		CreatedAt:    e.created,
 	}
 }
 
@@ -309,15 +366,17 @@ func (e *Entry) ResolveAll() []float64 {
 }
 
 // ResolveItems returns the counts of the given items, answered by indexing
-// the cached vector (never by rescanning the transactions). Items beyond the
-// universe legitimately count zero; negative ids are rejected.
+// the arena (never by rescanning the transactions). The presence bitset is
+// consulted first, so absent items — including ids beyond the universe,
+// which legitimately count zero — never touch the counts column. Negative
+// ids are rejected.
 func (e *Entry) ResolveItems(items []int32) ([]float64, error) {
 	out := make([]float64, len(items))
 	for i, it := range items {
 		if it < 0 {
 			return nil, fmt.Errorf("store: items[%d] = %d is negative", i, it)
 		}
-		if int(it) < len(e.counts) {
+		if e.arena.Has(it) {
 			out[i] = e.counts[int(it)]
 		}
 	}
@@ -328,8 +387,9 @@ func (e *Entry) ResolveItems(items []int32) ([]float64, error) {
 // Resolutions returns how many query resolutions the entry has served.
 func (e *Entry) Resolutions() uint64 { return e.resolutions.Load() }
 
-// CountScans returns how many full transaction scans the entry has performed;
-// it stays at 1 (the registration precompute) however many requests resolve.
+// CountScans returns how many times the entry materialised its count vector
+// — one transaction scan, or one validated arena load on restart; it stays
+// at 1 however many requests resolve.
 func (e *Entry) CountScans() uint64 { return e.scans.Load() }
 
 // GenerateSynthetic builds one of the calibrated synthetic stand-ins for the
