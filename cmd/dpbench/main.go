@@ -34,8 +34,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dpbench", flag.ContinueOnError)
 	var (
-		experimentsFlag = fs.String("experiments", "all", "comma-separated experiment ids: datasets, fig1a, fig1b, fig2a, fig2b, fig3counts, fig3quality, fig4, corollary1, svtratio, ties, lemma5, audit, alignment, servebench, or 'all'")
-		trials          = fs.Int("trials", 0, "Monte-Carlo trials per plotted point (0 = default); for servebench, the total request count per scenario")
+		experimentsFlag = fs.String("experiments", "all", "comma-separated experiment ids: datasets, fig1a, fig1b, fig2a, fig2b, fig3counts, fig3quality, fig4, corollary1, svtratio, ties, lemma5, audit, alignment, servebench, planbench, or 'all'")
+		trials          = fs.Int("trials", 0, "Monte-Carlo trials per plotted point (0 = default); for servebench and planbench, the total request count per scenario")
 		scale           = fs.Int("scale", 0, "dataset scale-down factor (0 = default, 1 = full paper scale)")
 		eps             = fs.Float64("eps", 0, "total privacy budget for the k sweeps (0 = paper's 0.7)")
 		seed            = fs.Uint64("seed", 1, "random seed")
@@ -148,10 +148,17 @@ func run(args []string) error {
 				CSV:      *format == "csv",
 			})
 		},
+		"planbench": func() error {
+			return runPlanBench(planBenchConfig{
+				Requests: *trials,
+				Seed:     *seed,
+				CSV:      *format == "csv",
+			})
+		},
 	}
-	// servebench is deliberately not part of 'all': it is a serving-layer
-	// throughput benchmark, not a paper experiment, and its numbers are only
-	// meaningful on an otherwise idle machine.
+	// servebench and planbench are deliberately not part of 'all': they are
+	// serving-layer benchmarks, not paper experiments, and their numbers are
+	// only meaningful on an otherwise idle machine.
 	order := []string{"datasets", "fig1a", "fig1b", "fig2a", "fig2b", "fig3counts", "fig3quality", "fig4",
 		"corollary1", "svtratio", "ties", "lemma5", "audit", "alignment"}
 
@@ -166,7 +173,7 @@ func run(args []string) error {
 		}
 		runner, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(append(order, "servebench"), ", "))
+			return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(append(order, "servebench", "planbench"), ", "))
 		}
 		if err := runner(); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)

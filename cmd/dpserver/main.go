@@ -96,6 +96,7 @@ func parseConfig(args []string) (options, error) {
 		maxTenants = fs.Int("max-tenants", 0, "maximum auto-provisioned tenants (0 = default)")
 		stateDir   = fs.String("state-dir", "", "directory for durable state (WAL + snapshots); empty = in-memory only, a restart refunds all spent budget")
 		mmapData   = fs.Bool("mmap-datasets", false, "persist each dataset's columnar arena into the state dir and mmap it back on restart, skipping the item-count rescan (needs -state-dir)")
+		noSkip     = fs.Bool("no-query-skipping", false, "disable zone-sketch data skipping: composite filter queries scan every record block (results are identical either way)")
 		fsyncMode  = fs.String("fsync", "batch", "WAL durability: batch (group fsync off the hot path), always (fsync per charge), off")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and runtime gauges on /metrics")
 		accessLog  = fs.Bool("access-log", false, "log one structured JSON record per request to stderr")
@@ -127,16 +128,17 @@ func parseConfig(args []string) (options, error) {
 		return options{}, err
 	}
 	cfg := freegap.ServerConfig{
-		Addr:         *addr,
-		TenantBudget: *budget,
-		Workers:      *workers,
-		Seed:         *seed,
-		MaxAnswers:   *maxAns,
-		MaxBodyBytes: *maxBody,
-		MaxTenants:   *maxTenants,
-		Preload:      preloads,
-		Debug:        *debug,
-		MmapDatasets: *mmapData,
+		Addr:                 *addr,
+		TenantBudget:         *budget,
+		Workers:              *workers,
+		Seed:                 *seed,
+		MaxAnswers:           *maxAns,
+		MaxBodyBytes:         *maxBody,
+		MaxTenants:           *maxTenants,
+		Preload:              preloads,
+		Debug:                *debug,
+		MmapDatasets:         *mmapData,
+		DisableQuerySkipping: *noSkip,
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))

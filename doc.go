@@ -111,6 +111,32 @@
 // combinations a 400 with code "bad_query_spec". Direct engine users get the
 // same resolution step via ResolveMechanismRequest with any QueryResolver.
 //
+// # Queries
+//
+// QuerySpec is a composable algebra, not just the two leaf kinds: QueryFilter
+// counts over records matching a RecordPredicate (contains + length bounds),
+// QueryThreshold keeps counts inside a [min_count, max_count] range,
+// QueryUnion/QueryIntersect/QueryMinus combine operand count vectors
+// elementwise, and QueryJoin masks by another catalogued dataset's item
+// support. Specs nest up to 8 levels and 64 nodes; anything deeper, wider or
+// malformed fails QuerySpec.Validate with ErrBadQuerySpec (HTTP 400
+// "bad_query_spec").
+//
+// Composite specs are compiled by the statistics-free planner in
+// internal/query/plan: the spec is canonicalized (operand order, duplicates
+// and provably-empty subtrees all normalize away) and the canonical form
+// keys a per-dataset compiled-plan cache, so a repeated spec reuses its
+// materialized count vector without touching the transactions. Cache misses
+// evaluate vectorized passes in greedy cheapest-first order; filter scans
+// skip record blocks via the zone sketches (per-block length range + item
+// Bloom filter) built at registration and persisted in the arena. Appending
+// ?explain=1 to a mechanism endpoint returns the compiled plan, uncharged.
+// Specs in the monotone fragment (all_items, item_count, filter, union,
+// intersect) keep the halved noise scale; threshold, minus and join are
+// served at the standard scale, and their threshold/mask decisions can flip
+// on a one-record change — the release is still budgeted correctly, but
+// interpret gaps near a boundary accordingly.
+//
 // # Persistence
 //
 // A restart of an in-memory server refunds every tenant's spent ε — a

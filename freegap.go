@@ -428,9 +428,16 @@ type MechanismLimits = engine.Limits
 type RequestCommon = engine.Common
 
 // QuerySpec names a counting-query workload over a catalogued dataset, in
-// place of inline answers: {"kind": "all_items"} or {"kind": "item_count",
-// "items": [...]}.
+// place of inline answers: the two leaf kinds ({"kind": "all_items"},
+// {"kind": "item_count", "items": [...]}) plus the composable algebra —
+// filters, thresholds, set operations, cross-dataset joins — that the
+// server's query planner compiles into cached, sketch-pruned vectorized
+// passes. See the README's "Query algebra" section for spec JSON examples.
 type QuerySpec = engine.QuerySpec
+
+// RecordPredicate is the per-record filter of a "filter" spec: item-in-set
+// plus a record-length range.
+type RecordPredicate = engine.RecordPredicate
 
 // QueryResolver turns (dataset, spec) into query answers; the server injects
 // a resolver backed by its DatasetStore, and direct engine callers can
@@ -443,6 +450,17 @@ const (
 	QueryAllItems = engine.QueryAllItems
 	// QueryItemCount asks for the counts of an explicit item list.
 	QueryItemCount = engine.QueryItemCount
+	// QueryFilter counts records matching a RecordPredicate, per item.
+	QueryFilter = engine.QueryFilter
+	// QueryThreshold masks an operand's counts to [min_count, max_count].
+	QueryThreshold = engine.QueryThreshold
+	// QueryUnion and QueryIntersect are elementwise max/min over operands.
+	QueryUnion     = engine.QueryUnion
+	QueryIntersect = engine.QueryIntersect
+	// QueryMinus keeps the first operand where the second counts zero.
+	QueryMinus = engine.QueryMinus
+	// QueryJoin masks an operand by another dataset's item support.
+	QueryJoin = engine.QueryJoin
 )
 
 // ErrBadQuerySpec reports a malformed dataset/query combination; the server

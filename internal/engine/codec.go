@@ -12,8 +12,10 @@ package engine
 //   - Decoding accepts exactly what the serving layer's strict decoder
 //     (json.Decoder + DisallowUnknownFields + the trailing-value check)
 //     accepts, and produces the same request values: case-folded field
-//     matching, last-field-wins duplicates, null-leaves-unchanged, integer
-//     fields rejecting fractions/exponents, and the same number grammar.
+//     matching, last-field-wins duplicates (merging element-wise into
+//     existing slices and pointers), null clearing reference fields but
+//     leaving primitives unchanged, integer fields rejecting
+//     fractions/exponents, and the same number grammar.
 //
 // Both directions cover only the built-in mechanism types; AppendResponse
 // and DecodeRequest report ok = false for anything else and the caller falls
@@ -549,7 +551,8 @@ func (p *jsonParser) consume(c byte) bool {
 }
 
 // maybeNull consumes a leading "null" literal, reporting whether it did.
-// JSON null leaves the target field unchanged, exactly like encoding/json.
+// JSON null leaves primitive targets unchanged but clears slice and pointer
+// fields to nil (the caller does the clearing), exactly like encoding/json.
 func (p *jsonParser) maybeNull() bool {
 	if len(p.data)-p.pos >= 4 && string(p.data[p.pos:p.pos+4]) == "null" {
 		p.pos += 4
@@ -877,10 +880,11 @@ func (p *jsonParser) stringField(s *string) error {
 }
 
 // floatsValue parses an array of numbers (or null) into the scratch-backed
-// answers buffer. An empty array yields an empty non-nil slice, like
-// encoding/json.
+// answers buffer. An empty array yields an empty non-nil slice and null sets
+// the field nil, like encoding/json.
 func (p *jsonParser) floatsValue(out *[]float64) error {
 	if p.maybeNull() {
+		*out = nil
 		return nil
 	}
 	p.skipWS()
@@ -931,9 +935,12 @@ func (p *jsonParser) floatsValue(out *[]float64) error {
 	}
 }
 
-// itemsValue parses an array of int32 item ids (or null).
+// itemsValue parses an array of int32 item ids (or null) into the
+// scratch-backed items buffer; it backs only the root spec's items list, so
+// one pooled buffer per request suffices.
 func (p *jsonParser) itemsValue(out *[]int32) error {
 	if p.maybeNull() {
+		*out = nil
 		return nil
 	}
 	p.skipWS()
@@ -984,12 +991,60 @@ func (p *jsonParser) itemsValue(out *[]int32) error {
 	}
 }
 
+// itemsHeap parses an array of int32 item ids (or null) into a heap slice,
+// reusing *out's backing array like encoding/json does — nested spec item
+// lists cannot share the one pooled items buffer the root spec uses.
+func (p *jsonParser) itemsHeap(out *[]int32) error {
+	if p.maybeNull() {
+		*out = nil
+		return nil
+	}
+	p.skipWS()
+	if !p.consume('[') {
+		return p.syntaxErr("expected an array of item ids")
+	}
+	buf := (*out)[:0]
+	if buf == nil {
+		buf = make([]int32, 0, 8)
+	}
+	defer func() { *out = buf }()
+	p.skipWS()
+	if p.consume(']') {
+		return nil
+	}
+	for {
+		p.skipWS()
+		if p.maybeNull() {
+			buf = append(buf, 0)
+		} else {
+			lit, err := p.numberLit()
+			if err != nil {
+				return err
+			}
+			v, err := strconv.ParseInt(bstr(lit), 10, 64)
+			if err != nil || v > math.MaxInt32 || v < math.MinInt32 {
+				return fmt.Errorf("cannot unmarshal number %s into an int32", lit)
+			}
+			buf = append(buf, int32(v))
+		}
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			return nil
+		}
+		return p.syntaxErr("expected ',' or ']' in array")
+	}
+}
+
 // queriesValue parses the query-spec object (or null) into c.Queries. The
 // first occurrence points the field at a freshly reset spec; a duplicate key
-// decodes into the same spec without resetting it, replicating
-// encoding/json's merge-into-existing-pointer behaviour.
+// decodes into the same spec without resetting it, and null clears the
+// field, replicating encoding/json's pointer behaviour.
 func (p *jsonParser) queriesValue(c *Common) error {
 	if p.maybeNull() {
+		c.Queries = nil
 		return nil
 	}
 	if c.Queries == nil {
@@ -1000,23 +1055,130 @@ func (p *jsonParser) queriesValue(c *Common) error {
 			c.Queries = &QuerySpec{}
 		}
 	}
-	q := c.Queries
+	return p.specObject(c.Queries, true)
+}
+
+// specObject parses one query-spec object into q, merging into whatever q
+// already holds (duplicate keys and re-decoded operands behave like
+// encoding/json). root marks the request's top-level spec, whose items list
+// may borrow the pooled scratch buffer; nested specs allocate on the heap.
+func (p *jsonParser) specObject(q *QuerySpec, root bool) error {
 	return p.object(func(key []byte) (bool, error) {
 		switch {
 		case keyIs(key, "kind"):
-			if err := p.stringKind(&q.Kind); err != nil {
-				return true, err
-			}
-			return true, nil
+			return true, p.stringKind(&q.Kind)
 		case keyIs(key, "items"):
-			return true, p.itemsValue(&q.Items)
+			if root {
+				return true, p.itemsValue(&q.Items)
+			}
+			return true, p.itemsHeap(&q.Items)
+		case keyIs(key, "where"):
+			return true, p.whereValue(q)
+		case keyIs(key, "min_count"):
+			return true, p.floatField(&q.MinCount)
+		case keyIs(key, "max_count"):
+			return true, p.floatField(&q.MaxCount)
+		case keyIs(key, "of"):
+			return true, p.ofValue(&q.Of)
+		case keyIs(key, "dataset"):
+			return true, p.stringField(&q.Dataset)
+		case keyIs(key, "on"):
+			return true, p.specPtrValue(&q.On)
 		}
 		return false, nil
 	})
 }
 
-// stringKind is stringField specialised for QuerySpec.Kind: the two known
-// kinds assign the package constants, so the common case allocates nothing.
+// whereValue parses the record predicate (or null) into q.Where, with the
+// same merge/clear pointer semantics as queriesValue.
+func (p *jsonParser) whereValue(q *QuerySpec) error {
+	if p.maybeNull() {
+		q.Where = nil
+		return nil
+	}
+	if q.Where == nil {
+		q.Where = &RecordPredicate{}
+	}
+	w := q.Where
+	return p.object(func(key []byte) (bool, error) {
+		switch {
+		case keyIs(key, "contains"):
+			return true, p.itemsHeap(&w.Contains)
+		case keyIs(key, "min_len"):
+			return true, p.intField(&w.MinLen)
+		case keyIs(key, "max_len"):
+			return true, p.intField(&w.MaxLen)
+		}
+		return false, nil
+	})
+}
+
+// specPtrValue parses a nested spec object (or null) into *out, merging into
+// an existing spec and clearing on null like encoding/json.
+func (p *jsonParser) specPtrValue(out **QuerySpec) error {
+	if p.maybeNull() {
+		*out = nil
+		return nil
+	}
+	if *out == nil {
+		*out = &QuerySpec{}
+	}
+	return p.specObject(*out, false)
+}
+
+// ofValue parses the operand array (or null) into *out with encoding/json's
+// array-into-slice semantics: the existing backing array is reused, element
+// i merges into the existing *QuerySpec at i (a null element clears it), and
+// the slice is truncated to the decoded length.
+func (p *jsonParser) ofValue(out *[]*QuerySpec) error {
+	if p.maybeNull() {
+		*out = nil
+		return nil
+	}
+	p.skipWS()
+	if !p.consume('[') {
+		return p.syntaxErr("expected an array of query specs")
+	}
+	old := *out
+	buf := old[:0]
+	if buf == nil {
+		buf = []*QuerySpec{}
+	}
+	defer func() { *out = buf }()
+	p.skipWS()
+	if p.consume(']') {
+		return nil
+	}
+	for {
+		p.skipWS()
+		var el *QuerySpec
+		if len(buf) < len(old) {
+			el = old[len(buf)]
+		}
+		if p.maybeNull() {
+			el = nil
+		} else {
+			if el == nil {
+				el = &QuerySpec{}
+			}
+			if err := p.specObject(el, false); err != nil {
+				return err
+			}
+		}
+		buf = append(buf, el)
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			return nil
+		}
+		return p.syntaxErr("expected ',' or ']' in array")
+	}
+}
+
+// stringKind is stringField specialised for QuerySpec.Kind: the known kinds
+// assign the package constants, so the common case allocates nothing.
 func (p *jsonParser) stringKind(s *string) error {
 	if p.maybeNull() {
 		return nil
@@ -1031,6 +1193,18 @@ func (p *jsonParser) stringKind(s *string) error {
 		*s = QueryAllItems
 	case QueryItemCount:
 		*s = QueryItemCount
+	case QueryFilter:
+		*s = QueryFilter
+	case QueryThreshold:
+		*s = QueryThreshold
+	case QueryUnion:
+		*s = QueryUnion
+	case QueryIntersect:
+		*s = QueryIntersect
+	case QueryMinus:
+		*s = QueryMinus
+	case QueryJoin:
+		*s = QueryJoin
 	default:
 		*s = string(buf)
 	}

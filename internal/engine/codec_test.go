@@ -145,6 +145,28 @@ var codecBodies = []string{
 	`{"queries":null}`,
 	`{"queries":{"kind":"item_count","items":[2147483647,-2147483648]}}`,
 	`{"queries":{"kind":"item_count","items":[2147483648]}}`, // int32 overflow: error
+	// Composite spec grammar: filters, thresholds, set algebra, joins.
+	`{"queries":{"kind":"filter","where":{"contains":[1,2],"min_len":2,"max_len":8}}}`,
+	`{"queries":{"kind":"filter","where":{}}}`,
+	`{"queries":{"kind":"threshold","min_count":3,"of":[{"kind":"all_items"}]}}`,
+	`{"queries":{"kind":"threshold","max_count":1e309,"of":[{"kind":"all_items"}]}}`, // float overflow: error
+	`{"queries":{"kind":"union","of":[{"kind":"item_count","items":[1]},{"kind":"filter","where":{"contains":[2]}}]}}`,
+	`{"queries":{"kind":"intersect","of":[{"kind":"all_items"},{"kind":"all_items"},{"kind":"all_items"}]}}`,
+	`{"queries":{"kind":"minus","of":[{"kind":"all_items"},{"kind":"item_count","items":[3]}]}}`,
+	`{"queries":{"kind":"join","dataset":"other","of":[{"kind":"all_items"}],"on":{"kind":"item_count","items":[1,2]}}}`,
+	`{"queries":{"kind":"union","of":[{"kind":"union","of":[{"kind":"union","of":[{"kind":"all_items"},{"kind":"all_items"}]},{"kind":"all_items"}]},{"kind":"all_items"}]}}`,
+	`{"queries":{"where":null}}`,                                   // null clears the predicate pointer
+	`{"queries":{"of":null}}`,                                      // null clears the operand slice
+	`{"queries":{"of":[]}}`,                                        // empty non-nil operand slice
+	`{"queries":{"of":[null]}}`,                                    // null element leaves a nil pointer
+	`{"queries":{"on":null}}`,                                      // null clears the join key pointer
+	`{"queries":{"of":[{"kind":"a"}],"of":[{"items":[7]}]}}`,       // duplicate merges element-wise
+	`{"queries":{"where":{"min_len":1},"where":{"contains":[5]}}}`, // duplicate merges into the same predicate
+	`{"queries":{"on":{"kind":"a"},"on":{"items":[9]}}}`,           // duplicate merges into the same pointer
+	`{"queries":{"of":[{"kind":"a"},{"kind":"b"}],"of":[null,{"items":[1]}]}}`,
+	`{"queries":{"kind":"filter","where":{"contains":[2147483648]}}}`, // int32 overflow: error
+	`{"queries":{"kind":"filter","where":{"min_len":1.5}}}`,           // fraction into int: error
+	`{"queries":{"kind":"union","of":[{"kind":"threshold","min_count":0.5,"of":[{"kind":"join","dataset":"d","of":[{"kind":"filter","where":{"max_len":3}}]}]}]}}`,
 	`{"epsilon":1e309}`,           // float overflow: error
 	`{"epsilon":1e-999}`,          // float underflow: stdlib errors too
 	`{"k":1e2}`,                   // exponent into int: error

@@ -217,7 +217,10 @@ func (s *Scratch) Trim() {
 	if cap(s.items) > maxPooledAnswers {
 		s.items = nil
 	}
-	if cap(s.query.Items) > maxPooledAnswers {
+	if cap(s.query.Items) > maxPooledAnswers ||
+		s.query.Where != nil || s.query.Of != nil || s.query.On != nil {
+		// Composite spec trees are heap-allocated per request; drop them so
+		// the pool retains only the flat leaf-spec state.
 		s.query = QuerySpec{}
 	}
 }

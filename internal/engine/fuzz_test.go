@@ -33,6 +33,13 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"tenant":"a","epsilon":1,"answers":[3,2,1],"k":1,"fractions":[0.5,0.5]}`,
 		`{"unknown_field":true}`,
 		`{"tenant":"acme","epsilon":1,"answers":[9,8,7,6],"k":2}{"trailing":1}`,
+		`{"tenant":"a","epsilon":1,"k":1,"dataset":"d","queries":{"kind":"filter","where":{"contains":[1,2],"min_len":2}}}`,
+		`{"tenant":"a","epsilon":1,"k":1,"dataset":"d","queries":{"kind":"threshold","min_count":2,"of":[{"kind":"all_items"}]}}`,
+		`{"tenant":"a","epsilon":1,"k":1,"dataset":"d","queries":{"kind":"union","of":[{"kind":"item_count","items":[1]},{"kind":"filter","where":{"contains":[2]}}]}}`,
+		`{"tenant":"a","epsilon":1,"k":1,"dataset":"d","queries":{"kind":"minus","of":[{"kind":"all_items"},{"kind":"item_count","items":[3]}]}}`,
+		`{"tenant":"a","epsilon":1,"k":1,"dataset":"d","queries":{"kind":"join","dataset":"e","of":[{"kind":"all_items"}],"on":{"kind":"item_count","items":[1]}}}`,
+		`{"queries":{"of":[null,{"kind":"a"}],"of":[{"items":[7]}],"where":null,"on":{"kind":"b"}}}`,
+		`{"queries":{"kind":"intersect","of":[{"kind":"union","of":[{"kind":"all_items"},{"kind":"filter","where":{"max_len":4}}]},{"kind":"all_items"}]}}`,
 	} {
 		f.Add([]byte(seed))
 	}

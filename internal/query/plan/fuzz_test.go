@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/store"
+)
+
+// FuzzCanonicalizer drives the canonicalizer with pairs of random specs and
+// checks the cache-safety invariant both ways on a small universe: specs
+// with equal canonical forms (the plan-cache key) must evaluate to
+// byte-identical vectors — a violation would make the plan cache serve wrong
+// answers — and the compiled plan must always match the naive reference
+// evaluator, cache hit or miss, skipping on or off.
+func FuzzCanonicalizer(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, seed*3+1)
+	}
+
+	st := store.New()
+	raw := map[string]*dataset.Transactions{}
+	for name, recs := range map[string][][]int32{
+		"main":  {{0, 1, 2}, {1, 2}, {2, 3, 4}, {0, 4}, {4, 5}, {5, 6, 7, 8}, {8}, {0, 8, 9}, {9, 1}, {2, 9}},
+		"other": {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}},
+	} {
+		db := dataset.New(name, recs).WithUniverse(16)
+		if _, err := st.Register(name, "fuzz", db); err != nil {
+			f.Fatal(err)
+		}
+		raw[name] = db
+	}
+	main, err := st.Get("main")
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, seedA, seedB int64) {
+		a := genSpec(rand.New(rand.NewSource(seedA)), 3)
+		b := genSpec(rand.New(rand.NewSource(seedB)), 3)
+		if a.Validate() != nil || b.Validate() != nil {
+			t.Fatal("generator emitted an invalid spec")
+		}
+
+		wantA, err := naiveEval(raw, raw["main"], a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{{}, {NoSkip: true, NoCache: true}} {
+			res, err := Resolve(st, main, a, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", Canonical(a), err)
+			}
+			if !vecEqual(res.Answers, wantA) {
+				t.Fatalf("%s (opts %+v): plan differs from naive\n got: %v\nwant: %v",
+					Canonical(a), opts, res.Answers, wantA)
+			}
+		}
+
+		if Canonical(a) != Canonical(b) {
+			return
+		}
+		// Hash equality must track canonical equality...
+		if Hash(a) != Hash(b) {
+			t.Fatalf("equal canon %q but different hashes", Canonical(a))
+		}
+		// ...and canonical equality must imply semantic equality.
+		wantB, err := naiveEval(raw, raw["main"], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecEqual(wantA, wantB) {
+			t.Fatalf("canon %q unifies %+v and %+v, but they evaluate differently", Canonical(a), a, b)
+		}
+	})
+}

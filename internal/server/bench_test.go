@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/freegap/freegap/internal/dataset"
 	"github.com/freegap/freegap/internal/persist"
 	"github.com/freegap/freegap/internal/store"
 )
@@ -267,4 +268,77 @@ func BenchmarkServerTopKPersist(b *testing.B) {
 			run(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1, Persist: lg})
 		})
 	}
+}
+
+// BenchmarkServerFilteredQuery drives a composite filter spec through the
+// query compiler on a clustered multi-block dataset. "selective" matches a
+// single zone block, so sketch-based skipping elides ~97% of the records;
+// "noskip" is the same query with skipping disabled (the denominator of the
+// ≥5× skipping claim); "unselective" is the adversarial shape where every
+// block matches and skipping can only lose its (tiny) probe cost. "cold"
+// resets the plan cache every iteration so each request compiles and scans;
+// "warm" serves the cached vector — the compiled-plan cache hit path.
+func BenchmarkServerFilteredQuery(b *testing.B) {
+	const blocks = 32
+	clustered := make([][]int32, 0, blocks*store.DefaultZoneBlock)
+	for blk := 0; blk < blocks; blk++ {
+		base := int32(blk * 8)
+		for i := 0; i < store.DefaultZoneBlock; i++ {
+			clustered = append(clustered, []int32{base, base + int32(i%8)})
+		}
+	}
+	uniform := make([][]int32, blocks*store.DefaultZoneBlock)
+	for i := range uniform {
+		uniform[i] = []int32{0, int32(1 + i%200)}
+	}
+
+	selectiveBody := []byte(`{"tenant":"bench","epsilon":0.1,"k":5,"dataset":"blocks","queries":{"kind":"filter","where":{"contains":[200]}}}`)
+	unselectiveBody := []byte(`{"tenant":"bench","epsilon":0.1,"k":5,"dataset":"blocks","queries":{"kind":"filter","where":{"contains":[0]}}}`)
+
+	run := func(b *testing.B, cfg Config, recs [][]int32, body []byte, cold bool) {
+		s := mustServer(b, cfg)
+		if _, err := s.RegisterDataset("blocks", "bench:filtered", dataset.New("blocks", recs)); err != nil {
+			b.Fatal(err)
+		}
+		entry, err := s.Datasets().Get("blocks")
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := s.Handler()
+		if !cold { // prime the plan cache once
+			req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("prime status = %d, body = %s", w.Code, w.Body.String())
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				entry.Plans().Reset()
+			}
+			req := httptest.NewRequest(http.MethodPost, "/v1/topk", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(entry.RecordsSkipped())/float64(b.N), "recskipped/op")
+		if !cold && entry.CountScans() != 2 {
+			// Registration + the priming request: warm iterations must all
+			// be plan-cache hits.
+			b.Fatalf("CountScans = %d after %d warm requests, want 2", entry.CountScans(), b.N)
+		}
+	}
+
+	base := Config{TenantBudget: benchBudget, Seed: 1, Workers: 1}
+	noskip := Config{TenantBudget: benchBudget, Seed: 1, Workers: 1, DisableQuerySkipping: true}
+	b.Run("selective/cold", func(b *testing.B) { run(b, base, clustered, selectiveBody, true) })
+	b.Run("selective/noskip", func(b *testing.B) { run(b, noskip, clustered, selectiveBody, true) })
+	b.Run("selective/warm", func(b *testing.B) { run(b, base, clustered, selectiveBody, false) })
+	b.Run("unselective/cold", func(b *testing.B) { run(b, base, uniform, unselectiveBody, true) })
 }

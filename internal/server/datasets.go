@@ -18,6 +18,7 @@ import (
 	"github.com/freegap/freegap/internal/dataset"
 	"github.com/freegap/freegap/internal/engine"
 	"github.com/freegap/freegap/internal/persist"
+	"github.com/freegap/freegap/internal/query/plan"
 	"github.com/freegap/freegap/internal/store"
 	"github.com/freegap/freegap/internal/telemetry"
 )
@@ -26,9 +27,11 @@ import (
 const mechDatasets = "datasets"
 
 // storeResolver adapts the dataset store to the engine's Resolver contract,
-// counting each resolution in the per-dataset telemetry series. Item counts
-// are sensitivity-1 monotonic counting queries, so resolved requests always
-// report monotonic = true and get the halved noise scale.
+// counting each resolution in the per-dataset telemetry series. The two
+// legacy leaf kinds resolve straight from the cached count vector (always
+// monotonic sensitivity-1 counting queries, so they get the halved noise
+// scale); every composite kind routes through the query planner, which
+// reports monotonicity from the spec's algebra fragment.
 type storeResolver struct{ s *Server }
 
 func (r storeResolver) Resolve(name string, spec *engine.QuerySpec) ([]float64, bool, error) {
@@ -37,6 +40,7 @@ func (r storeResolver) Resolve(name string, spec *engine.QuerySpec) ([]float64, 
 		return nil, false, err
 	}
 	var answers []float64
+	monotonic := true
 	switch spec.Kind {
 	case engine.QueryAllItems:
 		// The cached slice itself: zero copies, zero scans. Mechanisms treat
@@ -48,12 +52,34 @@ func (r storeResolver) Resolve(name string, spec *engine.QuerySpec) ([]float64, 
 			return nil, false, fmt.Errorf("%w: %v", engine.ErrBadQuerySpec, err)
 		}
 	default:
-		// Unreachable: ResolveRequest validates the spec before calling the
-		// resolver; kept as a guard for direct callers.
-		return nil, false, fmt.Errorf("%w: unknown kind %q", engine.ErrBadQuerySpec, spec.Kind)
+		res, err := r.s.resolvePlan(e, spec)
+		if err != nil {
+			return nil, false, err
+		}
+		answers, monotonic = res.Answers, res.Monotonic
 	}
-	r.s.datasetResolvedCounter(name).Inc()
-	return answers, true, nil
+	r.s.datasetCounters(name).resolved.Inc()
+	return answers, monotonic, nil
+}
+
+// resolvePlan runs a composite spec through the query planner against e,
+// feeding the plan-cache and skipping observables. The spec was validated
+// by ResolveRequest (or the explain handler) before this point.
+func (s *Server) resolvePlan(e *store.Entry, spec *engine.QuerySpec) (*plan.Result, error) {
+	res, err := plan.Resolve(s.datasets, e, spec, plan.Options{NoSkip: s.cfg.DisableQuerySkipping})
+	if err != nil {
+		return nil, err
+	}
+	s.hot.planCompile.Observe(res.Compile)
+	if res.CacheHit {
+		s.hot.planHits.Inc()
+	} else {
+		s.hot.planMisses.Inc()
+	}
+	if res.Stats.RecordsSkipped > 0 {
+		s.datasetCounters(e.Name()).skipped.Add(uint64(res.Stats.RecordsSkipped))
+	}
+	return res, nil
 }
 
 // resolver returns the engine Resolver backed by the server's dataset store.
@@ -66,6 +92,68 @@ func (s *Server) resolve(w http.ResponseWriter, req engine.Request) (string, boo
 		return s.writeResolveError(w, err), false
 	}
 	return "", true
+}
+
+// explainRequested reports whether the request asked for the compiled query
+// plan (?explain=1) instead of a mechanism execution. Like the trace flag,
+// the query string is only parsed when one is present at all.
+func explainRequested(r *http.Request) bool {
+	return r.URL.RawQuery != "" && r.URL.Query().Get("explain") == "1"
+}
+
+// serveExplain handles ?explain=1 on a mechanism endpoint: it validates and
+// resolves the request's dataset query — so the plan cache, count_scans and
+// skipping observables move exactly as a real request's would — and returns
+// the chosen plan. No budget is charged and no noisy answers are released.
+func (s *Server) serveExplain(w *traceWriter, req engine.Request) string {
+	c := req.Base()
+	w.tenant, w.dataset = c.Tenant, c.Dataset
+	switch {
+	case c.Dataset == "" || c.Queries == nil:
+		return badRequest(w, errors.New("explain needs a dataset-backed request (dataset and queries)"))
+	case len(c.Answers) != 0:
+		return badRequest(w, errors.New("explain does not apply to inline answers"))
+	}
+	if err := c.Queries.Validate(); err != nil {
+		return s.writeResolveError(w, err)
+	}
+	e, err := s.datasets.Get(c.Dataset)
+	if err != nil {
+		return s.writeResolveError(w, err)
+	}
+	var ex *plan.Explain
+	if c.Queries.Composite() {
+		res, err := s.resolvePlan(e, c.Queries)
+		if err != nil {
+			return s.writeResolveError(w, err)
+		}
+		ex = res.Explain
+	} else {
+		ex = legacyExplain(e, c.Queries)
+	}
+	w.mark(stageResolve)
+	writeJSON(w, http.StatusOK, ex)
+	return "ok"
+}
+
+// legacyExplain renders the trivial plan for the two leaf kinds, which the
+// resolver serves straight from the registration-time count vector.
+func legacyExplain(e *store.Entry, q *engine.QuerySpec) *plan.Explain {
+	answers, detail := len(e.Arena().Counts()), "full universe"
+	if q.Kind == engine.QueryItemCount {
+		answers, detail = len(q.Items), fmt.Sprintf("%d items projected", len(q.Items))
+	}
+	return &plan.Explain{
+		Dataset:      e.Name(),
+		Canonical:    plan.Canonical(q),
+		Hash:         fmt.Sprintf("%016x", plan.Hash(q)),
+		Cached:       true,
+		Monotonic:    true,
+		Answers:      answers,
+		SketchBlocks: e.Arena().Zones().NumBlocks(),
+		RecordsTotal: e.Dataset().NumRecords(),
+		Plan:         &plan.NodeExplain{Op: "cached_counts", Detail: detail},
+	}
 }
 
 // writeResolveError maps a resolution failure to its structured error
@@ -86,19 +174,29 @@ func (s *Server) writeResolveError(w http.ResponseWriter, err error) string {
 	}
 }
 
-// datasetResolvedCounter returns the per-dataset resolution counter, cached
-// in datasetHot so the resolve path pays one atomic add per event.
-func (s *Server) datasetResolvedCounter(name string) *telemetry.Counter {
+// datasetCounters bundles one dataset's hot telemetry series so the resolve
+// path pays one sync.Map lookup for all of them.
+type datasetCounters struct {
+	resolved *telemetry.Counter
+	skipped  *telemetry.Counter
+}
+
+// datasetCounters returns the per-dataset telemetry bundle, cached in
+// datasetHot so the resolve path pays one atomic add per event.
+func (s *Server) datasetCounters(name string) *datasetCounters {
 	if c, ok := s.datasetHot.Load(name); ok {
-		return c.(*telemetry.Counter)
+		return c.(*datasetCounters)
 	}
 	return s.registerDatasetTelemetry(name)
 }
 
 // registerDatasetTelemetry provisions (and caches) the telemetry series for
 // one catalogued dataset and refreshes the catalog-size gauge.
-func (s *Server) registerDatasetTelemetry(name string) *telemetry.Counter {
-	c := s.telemetry.Counter("freegap_dataset_resolved_total", telemetry.L("dataset", name))
+func (s *Server) registerDatasetTelemetry(name string) *datasetCounters {
+	c := &datasetCounters{
+		resolved: s.telemetry.Counter("freegap_dataset_resolved_total", telemetry.L("dataset", name)),
+		skipped:  s.telemetry.Counter("freegap_records_skipped_total", telemetry.L("dataset", name)),
+	}
 	s.datasetHot.Store(name, c)
 	s.telemetry.Gauge("freegap_datasets").Set(int64(s.datasets.Len()))
 	return c

@@ -156,6 +156,13 @@ func (s *Server) serveMechanism(w *traceWriter, r *http.Request, mech engine.Mec
 		return code
 	}
 	w.mark(stageDecode)
+	// ?explain=1 returns the compiled query plan instead of executing the
+	// mechanism: it resolves (so the plan cache and skipping observables
+	// behave exactly as a real request would) but never charges budget and
+	// never releases noisy answers.
+	if explainRequested(r) {
+		return s.serveExplain(w, req)
+	}
 	// Dataset-backed requests get their answers filled from the catalog's
 	// cached item counts before validation, so Validate (and therefore the
 	// charge) sees exactly what the mechanism will run on.

@@ -152,6 +152,11 @@ type Config struct {
 	// Requires Persist; ignored without it. A missing, truncated or
 	// corrupted arena file falls back to a clean rescan.
 	MmapDatasets bool
+	// DisableQuerySkipping turns off zone-sketch data skipping in composite
+	// filter queries: every filter scans every record. Results are
+	// byte-identical either way; the switch exists for benchmarking the
+	// skipping win and for diagnosing suspected sketch issues.
+	DisableQuerySkipping bool
 	// Persist, when set, makes the privacy-critical state durable: the
 	// server restores per-tenant spent budgets and the dataset catalog from
 	// the log at construction, journals every admitted charge and dataset
@@ -279,6 +284,14 @@ type hotCounters struct {
 	exhausted map[string]*telemetry.Counter            // mechanism
 	latency   map[string]*telemetry.Histogram          // mechanism (endpoint label)
 	stages    [numStages]*telemetry.Histogram          // pipeline stage
+
+	// Compiled-plan cache observables, shared across datasets (the
+	// per-dataset split lives in the store entries' Info).
+	planHits   *telemetry.Counter
+	planMisses *telemetry.Counter
+	// planCompile tracks spec normalize+canonicalize time per composite
+	// resolution (cache hits included — canonicalization is the lookup key).
+	planCompile *telemetry.Histogram
 }
 
 // labelTenants is the metrics label for the tenant budget endpoint.
@@ -307,6 +320,9 @@ func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters 
 	// The budget endpoint gets a latency series but no outcome counters: it
 	// reads the ledger, it never charges it.
 	hot.latency[labelTenants] = set.Histogram("freegap_request_seconds", telemetry.L("mechanism", labelTenants))
+	hot.planHits = set.Counter("freegap_plan_cache_hits_total")
+	hot.planMisses = set.Counter("freegap_plan_cache_misses_total")
+	hot.planCompile = set.Histogram("freegap_plan_compile_seconds")
 	for st := range hot.stages {
 		hot.stages[st] = set.Histogram("freegap_stage_seconds", telemetry.L("stage", stageNames[st]))
 	}
@@ -385,6 +401,10 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_in_flight_requests", "Mechanism requests currently being served.")
 	s.telemetry.Help("freegap_datasets", "Datasets in the server-side catalog.")
 	s.telemetry.Help("freegap_dataset_resolved_total", "Query resolutions served from a dataset's cached item counts.")
+	s.telemetry.Help("freegap_plan_cache_hits_total", "Composite query resolutions served from a compiled-plan cache.")
+	s.telemetry.Help("freegap_plan_cache_misses_total", "Composite query resolutions that compiled and evaluated a plan.")
+	s.telemetry.Help("freegap_plan_compile_seconds", "Query-plan normalize+canonicalize time per composite resolution.")
+	s.telemetry.Help("freegap_records_skipped_total", "Records proven unmatching by zone sketches and skipped by filter scans.")
 	s.telemetry.Help("freegap_request_seconds", "Request latency by endpoint, full pipeline wall time.")
 	s.telemetry.Help("freegap_stage_seconds", "Pipeline stage latency across all endpoints.")
 	s.telemetry.Help("freegap_uptime_seconds", "Seconds since the server was constructed.")

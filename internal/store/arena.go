@@ -21,15 +21,24 @@ package store
 //	offset  40: checksum uint64 — FNV-1a over the raw counts bytes
 //	offset  48: min      float64 — smallest non-zero count (0 if none)
 //	offset  56: max      float64 — largest count (0 if none)
-//	offset  64: reserved (zero) up to 128
+//	offset  64: zblock   uint32  — records per zone block (0: no zones)
+//	offset  68: zcount   uint32  — number of zone blocks
+//	offset  72: zsum     uint64  — FNV-1a over the zone payload bytes
+//	offset  80: reserved (zero) up to 128
 //	offset 128: counts  [items]float64
 //	then:       present [(items+63)/64]uint64
+//	then:       zbloom  [zcount*8]uint64   — per-block item blooms
+//	then:       zminlen [zcount]uint32     — per-block min record length
+//	then:       zmaxlen [zcount]uint32     — per-block max record length
 //
 // The header is exactly two cache lines, so a page-aligned mapping leaves the
-// counts column 128-byte aligned. Loading validates the fingerprint (records,
-// items), the checksum, and that the sketches match the counts; any mismatch
+// counts column 128-byte aligned, and the zone bloom words land 8-aligned
+// because the counts and bitset payloads are multiples of eight bytes.
+// Loading validates the fingerprint (records, items, zone geometry), the
+// checksums, and that the count sketches match the counts; any mismatch
 // reports an error and the caller falls back to a fresh scan — a stale or
-// corrupt arena file can never serve wrong counts.
+// corrupt arena file can never serve wrong counts. Version-1 files (no zone
+// sketches) fail the version check and are rebuilt the same way.
 
 import (
 	"encoding/binary"
@@ -43,7 +52,7 @@ import (
 
 const (
 	arenaMagic      = "FGARENA1"
-	arenaVersion    = 1
+	arenaVersion    = 2
 	arenaHeaderSize = 128
 	// arenaAlign is the alignment of the counts column: two cache lines, the
 	// same offset the file header imposes on a page-aligned mapping.
@@ -64,6 +73,7 @@ type Arena struct {
 	min     float64 // smallest non-zero count; 0 when every count is zero
 	max     float64
 	nonzero int
+	zones   *Zones // per-block skipping sketches; nil when none were built
 
 	mapping []byte // non-nil iff counts is a live file mapping (munmap on Close)
 }
@@ -142,6 +152,11 @@ func (a *Arena) MaxCount() float64 { return a.max }
 // NonzeroItems returns how many items have a non-zero count.
 func (a *Arena) NonzeroItems() int { return a.nonzero }
 
+// Zones returns the arena's zone sketches, or nil when none were built (a
+// nil receiver-safe value: the skipping paths treat nil as "scan every
+// block").
+func (a *Arena) Zones() *Zones { return a.zones }
+
 // Mapped reports whether the arena is served from a file mapping (restart
 // fast path) rather than an in-memory scan.
 func (a *Arena) Mapped() bool { return a.mapping != nil }
@@ -154,7 +169,7 @@ func (a *Arena) Close() error {
 	}
 	m := a.mapping
 	a.mapping = nil
-	a.counts, a.present = nil, nil
+	a.counts, a.present, a.zones = nil, nil, nil
 	return arenaUnmap(m)
 }
 
@@ -191,7 +206,8 @@ func WriteArena(path string, records int, a *Arena) error {
 		return err
 	}
 	items := len(a.counts)
-	buf := make([]byte, arenaHeaderSize+arenaPayloadSize(items))
+	zcount := a.zones.NumBlocks()
+	buf := make([]byte, arenaHeaderSize+arenaPayloadSize(items)+zcount*zoneStride)
 	copy(buf[0:8], arenaMagic)
 	binary.LittleEndian.PutUint32(buf[8:12], arenaVersion)
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(records))
@@ -208,6 +224,24 @@ func WriteArena(path string, records int, a *Arena) error {
 	for i, w := range a.present {
 		binary.LittleEndian.PutUint64(bits[i*8:], w)
 	}
+	zp := payload[arenaPayloadSize(items):]
+	if zcount > 0 {
+		z := a.zones
+		binary.LittleEndian.PutUint32(buf[64:68], uint32(z.block))
+		binary.LittleEndian.PutUint32(buf[68:72], uint32(zcount))
+		for i, w := range z.bloom {
+			binary.LittleEndian.PutUint64(zp[i*8:], w)
+		}
+		mins := zp[zcount*zoneBloomWords*8:]
+		for i, v := range z.minLen {
+			binary.LittleEndian.PutUint32(mins[i*4:], v)
+		}
+		maxs := mins[zcount*4:]
+		for i, v := range z.maxLen {
+			binary.LittleEndian.PutUint32(maxs[i*4:], v)
+		}
+	}
+	binary.LittleEndian.PutUint64(buf[72:80], fnv1a(zp))
 
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -240,31 +274,46 @@ func LoadArena(path string, records, items int, useMmap bool) (*Arena, error) {
 	if err != nil {
 		return nil, err
 	}
-	wantSize := int64(arenaHeaderSize + arenaPayloadSize(items))
-
 	var hdr [arenaHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("%w: %s: reading header: %v", ErrArenaInvalid, path, err)
 	}
+	zblock := int(binary.LittleEndian.Uint32(hdr[64:68]))
+	zcount := int(binary.LittleEndian.Uint32(hdr[68:72]))
+	wantSize := int64(arenaHeaderSize + arenaPayloadSize(items) + zcount*zoneStride)
 	switch {
 	case string(hdr[0:8]) != arenaMagic:
 		return nil, fmt.Errorf("%w: %s: bad magic", ErrArenaInvalid, path)
 	case binary.LittleEndian.Uint32(hdr[8:12]) != arenaVersion:
 		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrArenaInvalid, path, binary.LittleEndian.Uint32(hdr[8:12]), arenaVersion)
-	case st.Size() != wantSize:
-		return nil, fmt.Errorf("%w: %s: size %d, want %d", ErrArenaInvalid, path, st.Size(), wantSize)
 	case binary.LittleEndian.Uint64(hdr[16:24]) != uint64(records):
 		return nil, fmt.Errorf("%w: %s: records %d, dataset has %d", ErrArenaInvalid, path, binary.LittleEndian.Uint64(hdr[16:24]), records)
 	case binary.LittleEndian.Uint64(hdr[24:32]) != uint64(items):
 		return nil, fmt.Errorf("%w: %s: items %d, dataset has %d", ErrArenaInvalid, path, binary.LittleEndian.Uint64(hdr[24:32]), items)
+	case zcount > 0 && (zblock <= 0 || zcount != (records+zblock-1)/zblock):
+		return nil, fmt.Errorf("%w: %s: zone geometry %d×%d disagrees with %d records", ErrArenaInvalid, path, zcount, zblock, records)
+	case st.Size() != wantSize:
+		return nil, fmt.Errorf("%w: %s: size %d, want %d", ErrArenaInvalid, path, st.Size(), wantSize)
 	}
 
 	a := &Arena{}
+	zoneOff := arenaHeaderSize + arenaPayloadSize(items)
 	if useMmap && items > 0 {
 		if m, err := arenaMap(f, int(wantSize)); err == nil {
 			a.mapping = m
 			a.counts = unsafe.Slice((*float64)(unsafe.Pointer(&m[arenaHeaderSize])), items)
 			a.present = unsafe.Slice((*uint64)(unsafe.Pointer(&m[arenaHeaderSize+items*8])), (items+63)/64)
+			if zcount > 0 {
+				// The zone arrays start 8-aligned: header, counts and bitset
+				// are all multiples of eight bytes.
+				a.zones = &Zones{
+					block:   zblock,
+					records: records,
+					bloom:   unsafe.Slice((*uint64)(unsafe.Pointer(&m[zoneOff])), zcount*zoneBloomWords),
+					minLen:  unsafe.Slice((*uint32)(unsafe.Pointer(&m[zoneOff+zcount*zoneBloomWords*8])), zcount),
+					maxLen:  unsafe.Slice((*uint32)(unsafe.Pointer(&m[zoneOff+zcount*zoneBloomWords*8+zcount*4])), zcount),
+				}
+			}
 		}
 	}
 	if a.mapping == nil {
@@ -282,13 +331,64 @@ func LoadArena(path string, records, items int, useMmap bool) (*Arena, error) {
 		for i := range a.present {
 			a.present[i] = binary.LittleEndian.Uint64(bits[i*8:])
 		}
+		if zcount > 0 {
+			zp := make([]byte, zcount*zoneStride)
+			if _, err := f.ReadAt(zp, int64(zoneOff)); err != nil {
+				return nil, fmt.Errorf("%w: %s: reading zone payload: %v", ErrArenaInvalid, path, err)
+			}
+			z := &Zones{
+				block:   zblock,
+				records: records,
+				bloom:   make([]uint64, zcount*zoneBloomWords),
+				minLen:  make([]uint32, zcount),
+				maxLen:  make([]uint32, zcount),
+			}
+			for i := range z.bloom {
+				z.bloom[i] = binary.LittleEndian.Uint64(zp[i*8:])
+			}
+			mins := zp[zcount*zoneBloomWords*8:]
+			for i := range z.minLen {
+				z.minLen[i] = binary.LittleEndian.Uint32(mins[i*4:])
+			}
+			maxs := mins[zcount*4:]
+			for i := range z.maxLen {
+				z.maxLen[i] = binary.LittleEndian.Uint32(maxs[i*4:])
+			}
+			a.zones = z
+		}
 	}
 
 	if err := a.validate(hdr); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("%w: %s: %v", ErrArenaInvalid, path, err)
 	}
+	if zcount > 0 {
+		if err := a.validateZones(hdr, f, zoneOff, zcount); err != nil {
+			a.Close()
+			return nil, fmt.Errorf("%w: %s: %v", ErrArenaInvalid, path, err)
+		}
+	}
 	return a, nil
+}
+
+// validateZones checks the zone payload checksum against the header. The
+// sketches cannot be recomputed without the transactions, so the checksum
+// plus the records fingerprint is the fail-closed gate: corruption is
+// caught, and a sketch for the wrong dataset fails the geometry check.
+func (a *Arena) validateZones(hdr [arenaHeaderSize]byte, f *os.File, zoneOff, zcount int) error {
+	var zp []byte
+	if a.mapping != nil {
+		zp = a.mapping[zoneOff : zoneOff+zcount*zoneStride]
+	} else {
+		zp = make([]byte, zcount*zoneStride)
+		if _, err := f.ReadAt(zp, int64(zoneOff)); err != nil {
+			return fmt.Errorf("reading zone payload: %v", err)
+		}
+	}
+	if got, want := fnv1a(zp), binary.LittleEndian.Uint64(hdr[72:80]); got != want {
+		return fmt.Errorf("zone checksum %#x, header says %#x", got, want)
+	}
+	return nil
 }
 
 // validate checks the loaded payload against the header: counts checksum,

@@ -1,0 +1,104 @@
+package store
+
+// Per-dataset compiled-plan cache. Canonicalized query specs hash to a
+// materialized count vector (plus the plan's explain payload), so a repeated
+// composite query costs one lock-free map lookup instead of a record scan.
+// Datasets are immutable, so cached vectors never need invalidation; the
+// cache lives on the Entry, so removing and re-registering a name can never
+// serve another dataset's vectors.
+//
+// Reads follow the same RCU discipline as the catalog itself: Get loads the
+// current immutable generation through an atomic pointer and walks it
+// without any lock, writers copy-and-swap under a mutex. The generation map
+// is never mutated in place.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxPlans bounds one dataset's cached plans. When the cache is full
+// a new plan flushes the whole generation and starts fresh — an epoch-style
+// eviction that keeps the hot working set cached while bounding memory, with
+// no per-hit bookkeeping on the read path.
+const DefaultMaxPlans = 256
+
+// PlanEntry is one cached compiled plan: the materialized full-universe
+// count vector, its monotonicity, and the planner's explain payload (opaque
+// to the store) replayed on cache hits.
+type PlanEntry struct {
+	// Answers is the materialized count vector (read-only by contract).
+	Answers []float64
+	// Monotonic reports whether the spec lies in the monotone fragment.
+	Monotonic bool
+	// Explain is the planner's explain payload for the compiled plan.
+	Explain any
+}
+
+// planGen is one immutable generation of the cache's key → plan mapping.
+type planGen = map[string]*PlanEntry
+
+// PlanCache is a concurrency-safe compiled-plan cache keyed by canonical
+// spec strings. The zero value is ready to use.
+type PlanCache struct {
+	// writeMu serializes Put/Reset (the copy-and-swap writers).
+	writeMu sync.Mutex
+	// gen points at the current immutable generation; nil means empty.
+	gen atomic.Pointer[planGen]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Get returns the cached plan for key, counting the lookup as a hit or a
+// miss. It takes no lock.
+func (c *PlanCache) Get(key string) (*PlanEntry, bool) {
+	if gen := c.gen.Load(); gen != nil {
+		if pe, ok := (*gen)[key]; ok {
+			c.hits.Add(1)
+			return pe, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put caches pe under key. A full cache is flushed wholesale first (see
+// DefaultMaxPlans); concurrent puts of the same key are idempotent — both
+// vectors are correct, the later generation wins.
+func (c *PlanCache) Put(key string, pe *PlanEntry) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var cur planGen
+	if gen := c.gen.Load(); gen != nil {
+		cur = *gen
+	}
+	next := make(planGen, len(cur)+1)
+	if len(cur) < DefaultMaxPlans {
+		for k, v := range cur {
+			next[k] = v
+		}
+	}
+	next[key] = pe
+	c.gen.Store(&next)
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	if gen := c.gen.Load(); gen != nil {
+		return len(*gen)
+	}
+	return 0
+}
+
+// Hits and Misses return the lifetime lookup counters.
+func (c *PlanCache) Hits() uint64   { return c.hits.Load() }
+func (c *PlanCache) Misses() uint64 { return c.misses.Load() }
+
+// Reset drops every cached plan (the counters keep running); benchmarks use
+// it to measure the cache-cold path.
+func (c *PlanCache) Reset() {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.gen.Store(nil)
+}

@@ -125,7 +125,12 @@ type Entry struct {
 	created time.Time
 
 	resolutions atomic.Uint64 // query resolutions served from the cache
-	scans       atomic.Uint64 // count materialisations (scan or arena load) — stays at 1
+	scans       atomic.Uint64 // count materialisations (scan or arena load); cached resolutions never add
+	skipped     atomic.Uint64 // records proven unmatching by zone sketches and never scanned
+
+	// plans caches compiled composite-query plans and their materialized
+	// count vectors, keyed by canonical spec (see the query planner).
+	plans PlanCache
 }
 
 // Info summarises an entry for the dataset API.
@@ -150,11 +155,20 @@ type Info struct {
 	// ArenaMapped reports whether the count arena is served from a file
 	// mapping (the restart fast path) rather than an in-memory scan.
 	ArenaMapped bool `json:"arena_mapped"`
+	// SketchBlocks is the number of zone-sketch blocks built for data
+	// skipping (0 when the arena carries no sketches).
+	SketchBlocks int `json:"sketch_blocks"`
+	// PlanCacheEntries is the number of cached compiled query plans.
+	PlanCacheEntries int `json:"plan_cache_entries"`
+	// RecordsSkipped counts records that zone sketches proved unmatching,
+	// letting filter scans skip their blocks entirely.
+	RecordsSkipped uint64 `json:"records_skipped"`
 	// Resolutions counts query resolutions served from the cached counts.
 	Resolutions uint64 `json:"resolutions"`
-	// CountScans counts count-vector materialisations — one transaction scan
-	// or one validated arena load; it stays at 1 no matter how many requests
-	// resolve.
+	// CountScans counts count-vector materialisations: the registration scan
+	// (or validated arena load) plus one per composite filter query that had
+	// to scan records on a plan-cache miss. It stays at 1 however many
+	// requests resolve from the cached counts or the plan cache.
 	CountScans uint64 `json:"count_scans"`
 	// CreatedAt is the registration time.
 	CreatedAt time.Time `json:"created_at"`
@@ -228,9 +242,12 @@ func (s *Store) register(name, source string, db *dataset.Transactions, arena *A
 	}
 
 	e := &Entry{name: name, source: source, db: db, stats: db.Stats(), created: time.Now()}
-	e.scans.Add(1) // the one count materialisation for this entry
+	e.scans.Add(1) // the one registration count materialisation for this entry
 	if arena == nil {
-		arena = newArena(db.ItemCounts()) // the one and only transaction scan
+		arena = newArena(db.ItemCounts()) // the registration transaction scan
+		// Zone sketches ride the same registration pass budget: one extra
+		// O(records) walk, done once, never updated (datasets are immutable).
+		arena.zones = BuildZones(db, DefaultZoneBlock)
 	}
 	e.arena, e.counts = arena, arena.Counts()
 
@@ -351,9 +368,14 @@ func (e *Entry) Info() Info {
 		MaxCount:     e.arena.MaxCount(),
 		NonzeroItems: e.arena.NonzeroItems(),
 		ArenaMapped:  e.arena.Mapped(),
-		Resolutions:  e.resolutions.Load(),
-		CountScans:   e.scans.Load(),
-		CreatedAt:    e.created,
+
+		SketchBlocks:     e.arena.Zones().NumBlocks(),
+		PlanCacheEntries: e.plans.Len(),
+		RecordsSkipped:   e.skipped.Load(),
+
+		Resolutions: e.resolutions.Load(),
+		CountScans:  e.scans.Load(),
+		CreatedAt:   e.created,
 	}
 }
 
@@ -387,10 +409,30 @@ func (e *Entry) ResolveItems(items []int32) ([]float64, error) {
 // Resolutions returns how many query resolutions the entry has served.
 func (e *Entry) Resolutions() uint64 { return e.resolutions.Load() }
 
-// CountScans returns how many times the entry materialised its count vector
-// — one transaction scan, or one validated arena load on restart; it stays
-// at 1 however many requests resolve.
+// NoteResolution counts one query resolution served against the entry; the
+// query planner calls it for composite specs, which bypass ResolveAll and
+// ResolveItems.
+func (e *Entry) NoteResolution() { e.resolutions.Add(1) }
+
+// CountScans returns how many times the entry materialised counts from its
+// records: the registration scan (or validated arena load) plus one per
+// plan-cache-missing composite filter query. Plan-cache hits never add, so
+// the counter pins the cache's effectiveness.
 func (e *Entry) CountScans() uint64 { return e.scans.Load() }
+
+// NoteCountScan counts one record-scanning count materialisation (a
+// composite filter evaluated on a plan-cache miss).
+func (e *Entry) NoteCountScan() { e.scans.Add(1) }
+
+// RecordsSkipped returns how many records the zone sketches let filter
+// scans skip.
+func (e *Entry) RecordsSkipped() uint64 { return e.skipped.Load() }
+
+// NoteRecordsSkipped adds n sketch-skipped records to the entry's counter.
+func (e *Entry) NoteRecordsSkipped(n uint64) { e.skipped.Add(n) }
+
+// Plans returns the entry's compiled-plan cache.
+func (e *Entry) Plans() *PlanCache { return &e.plans }
 
 // GenerateSynthetic builds one of the calibrated synthetic stand-ins for the
 // paper's Section 7 datasets by kind: "bmspos", "kosarak" or "t40i10d100k"
