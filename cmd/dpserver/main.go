@@ -23,6 +23,11 @@
 //	POST /v1/datasets              catalogue a dataset (FIMI upload or synthetic)
 //	GET  /v1/datasets              list catalogued datasets
 //	GET  /v1/datasets/{name}       one dataset's stats and counters
+//	POST /v1/datasets/{name}/append  append FIMI transactions; counts update incrementally
+//	POST /v1/monitors              register a served SVT threshold monitor
+//	GET  /v1/monitors              list monitors
+//	GET  /v1/monitors/{id}         one monitor's state and budget
+//	GET  /v1/monitors/{id}/stream  the monitor's verdicts as Server-Sent Events
 //	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition

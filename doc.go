@@ -193,7 +193,9 @@
 // over cache-line-padded cells summed at scrape time, leaving the
 // Prometheus text output byte-identical. The dataset catalog publishes an
 // immutable map through an atomic pointer (copy-and-swap on registration),
-// so dataset-backed requests resolve without taking any lock.
+// so dataset-backed requests resolve without taking any lock; appends swap
+// a new per-dataset generation through the same RCU discipline, so a
+// resolved view stays internally consistent for as long as it is held.
 //
 // Mechanism executions draw request-scoped working memory — noise and score
 // buffers plus the responses' variable-length arrays — from a pooled
@@ -206,7 +208,8 @@
 // The memory path is flattened the same way the lock path was split. Each
 // catalogued dataset's derived state — item counts, presence bitset, and
 // min/max/nonzero sketches — lives in one flat cache-line-aligned columnar
-// arena, materialised exactly once at registration; with
+// arena, materialised exactly once at registration and delta-extended (never
+// rebuilt) when records are appended; with
 // ServerConfig.MmapDatasets (cmd/dpserver -mmap-datasets) the arena is
 // persisted beside the WAL and memory-mapped back on restart, so recovery
 // skips the transaction rescan, and a corrupt file fails closed into a
@@ -224,6 +227,29 @@
 // holds exactly the admitted charges — are pinned by -race stress tests
 // (internal/server/stress_test.go), and BenchmarkServerParallelManyTenants
 // (64 tenants × parallel clients) quantifies the multi-core win.
+//
+// # Streaming
+//
+// Catalogued datasets are appendable: POST /v1/datasets/{name}/append takes
+// a FIMI delta, validates it against the store's limits, and installs a
+// delta-maintained generation — the count vector, presence bitset, min/max
+// sketches and zone sketches are all extended from the delta alone, so the
+// append cost is independent of how many records are already resident and
+// the dataset's count_scans counter stays at 1. Admitted appends are
+// journalled before they are applied; recovery replays the registration
+// image and then each delta in order.
+//
+// Threshold monitors (POST /v1/monitors) run Sparse-Vector-with-Gap
+// server-side over that stream: a monitor names a dataset item and a public
+// threshold, is charged its ε exactly once at registration, and answers one
+// query per subsequent append until the mechanism's stop rule retires it.
+// Verdicts — above/below, the free gap on positive answers, the branch and
+// the budget used — stream over Server-Sent Events at
+// GET /v1/monitors/{id}/stream, with the full history replayed to late
+// subscribers. The registration journals the monitor's noise seed, so a
+// restarted server reproduces the identical verdict sequence; the WAL's
+// event order is the order verdicts were released, making recovery
+// byte-identical. See examples/thresholdmonitor for the end-to-end flow.
 //
 // # Observability
 //

@@ -4,11 +4,22 @@
 // cheap top branch, so the mechanism answers more queries than the classical
 // Sparse Vector Technique would — and each positive answer carries a free gap
 // estimate with a Lemma 5 lower confidence bound.
+//
+// The second act runs the same workflow served: an in-process dpserver hosts
+// the dataset, a registered monitor charges its ε once, and each append to
+// the dataset streams the next threshold verdict (with its free gap) over
+// Server-Sent Events.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	freegap "github.com/freegap/freegap"
 )
@@ -80,4 +91,89 @@ func main() {
 		res.AboveCount, res.CountByBranch(freegap.BranchTop), res.CountByBranch(freegap.BranchMiddle))
 	fmt.Printf("adaptive SVT budget: spent %.3f of %.3f — %.0f%% left for other analyses\n",
 		res.BudgetSpent, res.Budget, 100*res.RemainingFraction())
+
+	servedMonitor(db, counts)
+}
+
+// servedMonitor replays the workflow through the serving layer: the dataset
+// lives in a dpserver, the monitor is a long-lived server-side SVT run, and
+// appended transactions drive its verdict stream.
+func servedMonitor(db *freegap.Dataset, counts []float64) {
+	srv, err := freegap.NewServer(freegap.ServerConfig{Workers: 1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := srv.RegisterDataset("clicks", "example", db); err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the most frequent item, with the threshold set 200 clicks above
+	// its current count: today's answer is below, and the appended traffic
+	// will push it decisively over.
+	item := 0
+	for i, c := range counts {
+		if c > counts[item] {
+			item = i
+		}
+	}
+	threshold := counts[item] + 200
+
+	fmt.Printf("\n— served: monitoring item %d against threshold %.0f —\n", item, threshold)
+	var created struct {
+		ID      string          `json:"id"`
+		Verdict json.RawMessage `json:"verdict"`
+	}
+	postJSON(ts.URL+"/v1/monitors", fmt.Sprintf(
+		`{"tenant":"acme","dataset":"clicks","item":%d,"threshold":%g,"epsilon":0.5,"max_answers":2,"adaptive":true,"seed":7}`,
+		item, threshold), &created)
+	fmt.Printf("monitor %s registered (ε=0.5 charged once); registration verdict: %s\n", created.ID, created.Verdict)
+
+	// Append 400 transactions containing the item — the server extends the
+	// count vector incrementally and feeds the monitor its next query.
+	delta := strings.Repeat(fmt.Sprintf("%d\n", item), 400)
+	var appended struct {
+		Records  int `json:"records"`
+		Verdicts int `json:"monitor_verdicts"`
+	}
+	postJSON(ts.URL+"/v1/datasets/clicks/append", fmt.Sprintf(`{"fimi":%q}`, delta), &appended)
+	fmt.Printf("appended 400 records (dataset now %d); append triggered %d verdict(s)\n",
+		appended.Records, appended.Verdicts)
+
+	// The SSE stream replays the verdict history, so subscribing after the
+	// append still sees every verdict the monitor ever released.
+	resp, err := http.Get(ts.URL + "/v1/monitors/" + created.ID + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	seen := 0
+	for sc.Scan() && seen < 2 {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			fmt.Printf("stream: %s\n", data)
+			seen++
+		}
+	}
+}
+
+// postJSON posts body and decodes the 2xx response into out, failing the
+// example on any error.
+func postJSON(url, body string, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -274,10 +274,11 @@ func RandomThreshold(src Source, counts []float64, k int) float64 {
 // Server-side dataset catalog (internal/store).
 //
 
-// DatasetStore is the server-side catalog of named immutable datasets. Each
-// registration precomputes the dataset's item-count vector once; resolved
-// requests are served from that cached slice, never by rescanning the
-// transactions.
+// DatasetStore is the server-side catalog of named appendable datasets. Each
+// registration precomputes the dataset's item-count vector once, and appends
+// extend it incrementally (a delta-maintained copy replaces the current
+// generation atomically); resolved requests are served from that cached
+// slice, never by rescanning the transactions.
 type DatasetStore = store.Store
 
 // DatasetEntry is one catalogued dataset with its precomputed counts and

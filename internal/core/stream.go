@@ -1,0 +1,126 @@
+package core
+
+// Resumable Sparse Vector: the same mechanism as AdaptiveSVTWithGap.Run, but
+// fed one query at a time instead of a pre-materialized stream. A served
+// threshold monitor lives across many requests — each dataset append produces
+// the next query of its stream — so the run's state (the one noisy threshold,
+// the spent budget, the answer count) must survive between arrivals. The
+// noisy threshold is drawn exactly once, at construction; every structural
+// privacy property of the batch run (branch charges, the Theorem-4 stop rule,
+// the MaxAnswers cap) carries over unchanged because the per-query logic is
+// the same code path evaluated lazily.
+//
+// Determinism: a stream is a pure function of (mechanism config, noise source
+// state, query sequence). Re-running a stream from the same seed over the
+// same arrivals reproduces the verdict sequence bit for bit, which is what
+// lets the serving layer journal only a monitor's seed and replay its verdict
+// history after a restart. The scalar draws here consume the noise source in
+// arrival order (one top draw per query, plus one middle draw when the top
+// branch misses), unlike RunScratch's chunked prefill — the two are
+// distribution-identical but not stream-identical for a shared seed.
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+// SVTStream is one in-progress Sparse-Vector-with-Gap interaction, advanced
+// query by query with Arrive. Not safe for concurrent use; callers serialize
+// arrivals (the serving layer holds its per-monitor lock).
+type SVTStream struct {
+	src rng.Source
+	nz  noiser
+
+	noisyThreshold   float64
+	eps0, eps1, eps2 float64
+	topScale         float64
+	middleScale      float64
+	sigma            float64
+	epsilon          float64
+	maxAnswers       int
+
+	cost  float64
+	above int
+	index int
+	done  bool
+}
+
+// NewSVTStream validates m, draws the stream's single noisy threshold from
+// src and returns the resumable run. src is owned by the stream afterwards.
+func NewSVTStream(m *AdaptiveSVTWithGap, src rng.Source) (*SVTStream, error) {
+	if m.K <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidK, m.K)
+	}
+	if !(m.Epsilon > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEpsilon, m.Epsilon)
+	}
+	eps0, eps1, eps2 := m.budgets()
+	thresholdScale, topScale, middleScale := m.noiseScales()
+	nz := noiser{kind: m.Noise, base: m.DiscreteBase}
+	s := &SVTStream{
+		src:            src,
+		nz:             nz,
+		noisyThreshold: m.Threshold + nz.sample(src, thresholdScale),
+		eps0:           eps0, eps1: eps1, eps2: eps2,
+		topScale:    topScale,
+		middleScale: middleScale,
+		sigma:       m.sigma(),
+		epsilon:     m.Epsilon,
+		maxAnswers:  m.MaxAnswers,
+		cost:        eps0, // the threshold charge is paid up front
+	}
+	return s, nil
+}
+
+// Arrive processes the next query of the stream and returns its item. ok is
+// false — and the zero item is returned — once the stream has stopped: the
+// remaining budget can no longer cover a worst-case middle-branch answer, or
+// MaxAnswers above-threshold answers have been released.
+func (s *SVTStream) Arrive(q float64) (item SVTItem, ok bool) {
+	if s.done {
+		return SVTItem{}, false
+	}
+	i := s.index
+	s.index++
+
+	xi := s.nz.sample(s.src, s.topScale)
+	topGap := q + xi - s.noisyThreshold
+	switch {
+	case !math.IsInf(s.sigma, 1) && topGap >= s.sigma:
+		item = SVTItem{Index: i, Above: true, Gap: topGap, Branch: BranchTop, BudgetUsed: s.eps2}
+		s.above++
+		s.cost += s.eps2
+	default:
+		eta := s.nz.sample(s.src, s.middleScale)
+		if middleGap := q + eta - s.noisyThreshold; middleGap >= 0 {
+			item = SVTItem{Index: i, Above: true, Gap: middleGap, Branch: BranchMiddle, BudgetUsed: s.eps1}
+			s.above++
+			s.cost += s.eps1
+		} else {
+			item = SVTItem{Index: i, Branch: BranchBelow}
+		}
+	}
+	if s.maxAnswers > 0 && s.above >= s.maxAnswers {
+		s.done = true
+	}
+	if s.cost > s.epsilon-s.eps1 {
+		s.done = true
+	}
+	return item, true
+}
+
+// Done reports whether the stream has stopped and will accept no further
+// queries.
+func (s *SVTStream) Done() bool { return s.done }
+
+// Spent returns the privacy budget consumed so far, including the threshold
+// charge ε₀.
+func (s *SVTStream) Spent() float64 { return s.cost }
+
+// AboveCount returns how many above-threshold answers the stream released.
+func (s *SVTStream) AboveCount() int { return s.above }
+
+// Processed returns how many queries the stream has consumed.
+func (s *SVTStream) Processed() int { return s.index }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/freegap/freegap/internal/rng"
+)
+
+func streamMech(k int) *AdaptiveSVTWithGap {
+	return &AdaptiveSVTWithGap{K: k, Epsilon: 1.0, Threshold: 100, Monotonic: true}
+}
+
+func TestSVTStreamDeterministicReplay(t *testing.T) {
+	queries := []float64{40, 180, 95, 300, 60, 220, 110, 10, 500}
+	run := func() []SVTItem {
+		s, err := NewSVTStream(streamMech(3), rng.NewXoshiro(77))
+		if err != nil {
+			t.Fatalf("NewSVTStream: %v", err)
+		}
+		var items []SVTItem
+		for _, q := range queries {
+			it, ok := s.Arrive(q)
+			if !ok {
+				break
+			}
+			items = append(items, it)
+		}
+		return items
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("stream released no items")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSVTStreamStopsOnMaxAnswers(t *testing.T) {
+	m := streamMech(2)
+	m.MaxAnswers = 2
+	s, err := NewSVTStream(m, rng.NewXoshiro(5))
+	if err != nil {
+		t.Fatalf("NewSVTStream: %v", err)
+	}
+	above := 0
+	for i := 0; i < 1000 && !s.Done(); i++ {
+		it, ok := s.Arrive(10_000) // far above threshold: every answer is positive
+		if !ok {
+			break
+		}
+		if it.Above {
+			above++
+		}
+	}
+	if above != 2 {
+		t.Errorf("above answers = %d, want exactly MaxAnswers = 2", above)
+	}
+	if !s.Done() {
+		t.Error("stream still live after MaxAnswers positives")
+	}
+	if _, ok := s.Arrive(10_000); ok {
+		t.Error("Arrive accepted a query after the stream stopped")
+	}
+	if got := s.AboveCount(); got != 2 {
+		t.Errorf("AboveCount = %d, want 2", got)
+	}
+}
+
+func TestSVTStreamStopsWithinBudget(t *testing.T) {
+	// Below-threshold queries are free; positives spend until the Theorem-4
+	// stop rule fires. However the stream is driven, Spent never exceeds ε.
+	for seed := uint64(1); seed <= 25; seed++ {
+		m := streamMech(4)
+		s, err := NewSVTStream(m, rng.NewXoshiro(seed))
+		if err != nil {
+			t.Fatalf("NewSVTStream: %v", err)
+		}
+		for i := 0; i < 10_000 && !s.Done(); i++ {
+			q := 10_000.0
+			if i%2 == 0 {
+				q = -10_000
+			}
+			if _, ok := s.Arrive(q); !ok {
+				break
+			}
+		}
+		if spent := s.Spent(); spent > m.Epsilon+1e-12 {
+			t.Fatalf("seed %d: spent %v exceeds epsilon %v", seed, spent, m.Epsilon)
+		}
+	}
+}
+
+func TestSVTStreamMatchesBatchSemantics(t *testing.T) {
+	// The stream and the batch run share the per-query branch logic; with the
+	// top branch disabled (plain SVT-with-Gap) and the same noise draws they
+	// must release the same decisions. The chunked prefill of Run consumes
+	// the source in a different order, so compare structure, not draws:
+	// every above decision carries a positive-biased gap and a budget charge,
+	// every below decision is free.
+	m := streamMech(3)
+	m.SigmaMultiplier = math.Inf(1)
+	s, err := NewSVTStream(m, rng.NewXoshiro(9))
+	if err != nil {
+		t.Fatalf("NewSVTStream: %v", err)
+	}
+	eps0, eps1, _ := m.budgets()
+	wantCost := eps0
+	for i := 0; i < 200 && !s.Done(); i++ {
+		it, ok := s.Arrive(float64(50 * (i % 5)))
+		if !ok {
+			break
+		}
+		switch {
+		case it.Above:
+			if it.Branch != BranchMiddle {
+				t.Fatalf("item %d: branch %v with the top branch disabled", i, it.Branch)
+			}
+			if it.Gap < 0 {
+				t.Fatalf("item %d: negative gap %v on an above answer", i, it.Gap)
+			}
+			if math.Abs(it.BudgetUsed-eps1) > 1e-12 {
+				t.Fatalf("item %d: middle charge %v, want %v", i, it.BudgetUsed, eps1)
+			}
+			wantCost += eps1
+		default:
+			if it.BudgetUsed != 0 {
+				t.Fatalf("item %d: below answer charged %v", i, it.BudgetUsed)
+			}
+		}
+	}
+	if got := s.Spent(); math.Abs(got-wantCost) > 1e-12 {
+		t.Errorf("Spent = %v, want %v", got, wantCost)
+	}
+}

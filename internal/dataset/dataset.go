@@ -68,11 +68,18 @@ func (t *Transactions) MeanLength() float64 {
 	if len(t.records) == 0 {
 		return 0
 	}
+	return float64(t.TotalLength()) / float64(len(t.records))
+}
+
+// TotalLength returns the total number of item slots across every record
+// (repeats included). Incremental maintainers track it so MeanLength after an
+// append agrees bit-for-bit with a full recompute.
+func (t *Transactions) TotalLength() int {
 	total := 0
 	for _, r := range t.records {
 		total += len(r)
 	}
-	return float64(total) / float64(len(t.records))
+	return total
 }
 
 // ItemCounts returns, for each item id, the number of transactions that
@@ -146,6 +153,49 @@ func (t *Transactions) AddRecord(record []int32) *Transactions {
 		}
 	}
 	return &Transactions{name: t.name, records: records, items: items}
+}
+
+// AppendRecords returns a database extended with the delta transactions. The
+// existing records are shared as a prefix — only the slice headers are
+// copied, never the transactions themselves — so appending costs O(records)
+// pointer copies plus the delta, with no rescan of the shared prefix. Item
+// ids beyond the current universe grow it; negative ids panic (callers
+// validate deltas before applying them).
+func (t *Transactions) AppendRecords(delta [][]int32) *Transactions {
+	records := make([][]int32, 0, len(t.records)+len(delta))
+	records = append(records, t.records...)
+	records = append(records, delta...)
+	items := t.items
+	for _, r := range delta {
+		for _, it := range r {
+			if it < 0 {
+				panic(fmt.Sprintf("dataset: negative item id %d", it))
+			}
+			if int(it)+1 > items {
+				items = int(it) + 1
+			}
+		}
+	}
+	return &Transactions{name: t.name, records: records, items: items}
+}
+
+// DeltaItemCounts returns, for each item id in a universe of the given size,
+// how many of the delta records contain it at least once — exactly the
+// increment ItemCounts gains from appending delta, computed by scanning only
+// the delta. Every item id must lie in [0, items).
+func DeltaItemCounts(delta [][]int32, items int) []float64 {
+	counts := make([]float64, items)
+	seen := make([]int, items)
+	for ri, r := range delta {
+		stamp := ri + 1
+		for _, it := range r {
+			if seen[it] != stamp {
+				seen[it] = stamp
+				counts[it]++
+			}
+		}
+	}
+	return counts
 }
 
 // TopKItems returns the indices of the k items with the largest true counts,

@@ -8,8 +8,11 @@
 //
 //   - wal.jsonl — an append-only JSON-lines log. Every admitted budget
 //     charge (one record per accountant SpendBatch, preserving the atomic
-//     multi-charge) and every dataset registration appends one record.
-//     Records are written iff the state change committed.
+//     multi-charge), every dataset registration, every admitted dataset
+//     append delta and every registered threshold monitor appends one
+//     record. Records are written iff the state change committed; the
+//     dataset/append/monitor interleaving is preserved through snapshots so
+//     replay feeds each restored monitor exactly the appends it saw live.
 //   - snapshot.json — a compacted view of everything the WAL said, written
 //     atomically (temp file + rename) every Options.CompactEvery WAL
 //     records and on clean Close; after a snapshot the WAL is truncated.
@@ -125,7 +128,8 @@ func (o Options) withDefaults() (Options, error) {
 
 // record is one WAL line. Exactly one of the kind-specific payloads is set.
 type record struct {
-	// Kind is "begin" (segment header), "charge" or "dataset".
+	// Kind is "begin" (segment header), "charge", "dataset", "append" or
+	// "monitor".
 	Kind string `json:"kind"`
 	// Gen is the WAL segment generation (kind "begin").
 	Gen uint64 `json:"gen,omitempty"`
@@ -135,6 +139,10 @@ type record struct {
 	Charges []chargeJSON `json:"charges,omitempty"`
 	// Dataset describes one dataset registration (kind "dataset").
 	Dataset *DatasetRecord `json:"dataset,omitempty"`
+	// Append describes one admitted dataset append delta (kind "append").
+	Append *AppendRecord `json:"append,omitempty"`
+	// Monitor describes one registered threshold monitor (kind "monitor").
+	Monitor *MonitorRecord `json:"monitor,omitempty"`
 }
 
 type chargeJSON struct {
@@ -170,6 +178,55 @@ type SyntheticRecord struct {
 	Seed  uint64 `json:"seed,omitempty"`
 }
 
+// AppendRecord describes one admitted dataset append delta: the transactions
+// themselves, so replay extends the restored dataset in admitted order and
+// recovers the exact post-append counts.
+type AppendRecord struct {
+	// Name is the catalog key of the dataset appended to.
+	Name string `json:"name"`
+	// Records are the appended transactions.
+	Records [][]int32 `json:"records"`
+}
+
+// MonitorRecord pins one registered SVT threshold monitor. Everything that
+// shapes the monitor's verdict stream is here — including the per-monitor
+// noise seed — so replaying the event stream reproduces the verdict history
+// byte for byte.
+type MonitorRecord struct {
+	// ID is the server-assigned monitor id ("m1", "m2", ...).
+	ID string `json:"id"`
+	// Tenant is the budget the monitor's epsilon was charged to.
+	Tenant string `json:"tenant"`
+	// Dataset is the catalog key the monitor watches.
+	Dataset string `json:"dataset"`
+	// Item is the item id whose count is compared against the threshold.
+	Item int32 `json:"item"`
+	// Threshold is the public comparison threshold.
+	Threshold float64 `json:"threshold"`
+	// Epsilon is the monitor's total privacy budget.
+	Epsilon float64 `json:"epsilon"`
+	// MaxAnswers caps how many above-threshold verdicts the monitor may
+	// release before retiring (the SVT answer budget k).
+	MaxAnswers int `json:"max_answers"`
+	// Adaptive selects Adaptive-SVT-with-Gap over plain SVT-with-Gap.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Monotonic records that the watched query is monotone (it is: a
+	// sensitivity-1 counting query), halving the query-side noise scale.
+	Monotonic bool `json:"monotonic,omitempty"`
+	// Seed seeds the monitor's private noise stream.
+	Seed uint64 `json:"seed"`
+}
+
+// Event is one replayed catalog-stream event. Exactly one field is non-nil.
+// Order matters and is preserved through snapshots: a monitor registered
+// between two appends must only see the later one replayed into its verdict
+// stream.
+type Event struct {
+	Dataset *DatasetRecord
+	Append  *AppendRecord
+	Monitor *MonitorRecord
+}
+
 // snapshotJSON is the on-disk snapshot schema.
 type snapshotJSON struct {
 	Version int `json:"version"`
@@ -178,6 +235,18 @@ type snapshotJSON struct {
 	Gen      uint64                `json:"gen"`
 	Tenants  map[string]tenantJSON `json:"tenants"`
 	Datasets []DatasetRecord       `json:"datasets"`
+	// Events is the ordered catalog event stream (registrations, appends,
+	// monitors). Datasets above is kept redundantly so snapshots stay
+	// readable by event-unaware tooling; a snapshot without Events (written
+	// before streaming existed) falls back to Datasets.
+	Events []eventJSON `json:"events,omitempty"`
+}
+
+// eventJSON is one snapshot event; exactly one field is set.
+type eventJSON struct {
+	Dataset *DatasetRecord `json:"dataset,omitempty"`
+	Append  *AppendRecord  `json:"append,omitempty"`
+	Monitor *MonitorRecord `json:"monitor,omitempty"`
 }
 
 type tenantJSON struct {
@@ -202,8 +271,12 @@ type TenantState struct {
 type State struct {
 	// Tenants maps tenant id to its spending state.
 	Tenants map[string]TenantState
-	// Datasets lists the registered datasets in registration order.
+	// Datasets lists the registered datasets in registration order (the
+	// dataset events of Events, kept for callers that only need the catalog).
 	Datasets []DatasetRecord
+	// Events is the full ordered catalog event stream: registrations,
+	// appends and monitor registrations, in admitted order.
+	Events []Event
 }
 
 // tenantAgg accumulates one tenant's state inside the log.
@@ -239,7 +312,7 @@ type Log struct {
 	walRecs int          // records in the WAL segment (drained + pending)
 	gen     uint64       // current WAL segment generation
 	tenants map[string]*tenantAgg
-	dsets   []DatasetRecord
+	events  []Event // ordered catalog event stream (datasets, appends, monitors)
 	dsNames map[string]bool
 	err     error // sticky I/O error; non-nil means the log is dead
 	closed  bool  // appends refused (set at the start of shutdown)
@@ -383,10 +456,28 @@ func (l *Log) loadSnapshot() (uint64, error) {
 		}
 		l.tenants[tenant] = agg
 	}
-	for _, rec := range snap.Datasets {
-		if !l.dsNames[rec.Name] {
-			l.dsNames[rec.Name] = true
-			l.dsets = append(l.dsets, rec)
+	if len(snap.Events) > 0 {
+		for _, ev := range snap.Events {
+			switch {
+			case ev.Dataset != nil:
+				if !l.dsNames[ev.Dataset.Name] {
+					l.dsNames[ev.Dataset.Name] = true
+					l.events = append(l.events, Event{Dataset: ev.Dataset})
+				}
+			case ev.Append != nil:
+				l.events = append(l.events, Event{Append: ev.Append})
+			case ev.Monitor != nil:
+				l.events = append(l.events, Event{Monitor: ev.Monitor})
+			}
+		}
+	} else {
+		// Pre-streaming snapshot: the catalog is just its registrations.
+		for i := range snap.Datasets {
+			rec := snap.Datasets[i]
+			if !l.dsNames[rec.Name] {
+				l.dsNames[rec.Name] = true
+				l.events = append(l.events, Event{Dataset: &rec})
+			}
 		}
 	}
 	if snap.Gen == 0 {
@@ -560,8 +651,21 @@ func (l *Log) apply(rec record) error {
 		}
 		if !l.dsNames[rec.Dataset.Name] {
 			l.dsNames[rec.Dataset.Name] = true
-			l.dsets = append(l.dsets, *rec.Dataset)
+			l.events = append(l.events, Event{Dataset: rec.Dataset})
 		}
+	case "append":
+		if rec.Append == nil || rec.Append.Name == "" {
+			return errors.New("persist: corrupt append record")
+		}
+		// Membership is not checked: the dataset may be catalogued outside
+		// the journal (Config.Datasets), which the serving layer restores
+		// before replaying events.
+		l.events = append(l.events, Event{Append: rec.Append})
+	case "monitor":
+		if rec.Monitor == nil || rec.Monitor.ID == "" || rec.Monitor.Dataset == "" {
+			return errors.New("persist: corrupt monitor record")
+		}
+		l.events = append(l.events, Event{Monitor: rec.Monitor})
 	case "begin":
 		// A second header mid-file is harmless; ignore it.
 	default:
@@ -590,8 +694,20 @@ func (l *Log) State() State {
 		copy(charges, agg.charges)
 		st.Tenants[tenant] = TenantState{Charges: charges, ChargeCount: agg.count}
 	}
-	st.Datasets = append(st.Datasets, l.dsets...)
+	st.Events = append(st.Events, l.events...)
+	st.Datasets = datasetList(l.events)
 	return st
+}
+
+// datasetList projects the registration events out of an event stream.
+func datasetList(events []Event) []DatasetRecord {
+	var out []DatasetRecord
+	for _, ev := range events {
+		if ev.Dataset != nil {
+			out = append(out, *ev.Dataset)
+		}
+	}
+	return out
 }
 
 // Err returns the sticky I/O error, if any. A non-nil Err means the log is
@@ -657,19 +773,66 @@ func (l *Log) AppendDataset(rec DatasetRecord) error {
 			return false
 		}
 		l.dsNames[rec.Name] = true
-		l.dsets = append(l.dsets, rec)
+		l.events = append(l.events, Event{Dataset: &rec})
 		return true
 	})
 	switch {
 	case dup:
 		return fmt.Errorf("persist: dataset %q already journalled", rec.Name)
 	case !enqueued:
-		if err := l.Err(); err != nil {
-			return fmt.Errorf("persist: log is dead: %w", err)
-		}
-		return errors.New("persist: log is closed")
+		return l.deadOrClosed()
 	}
 	return nil
+}
+
+// AppendDelta journals one admitted dataset append. Like AppendDataset it is
+// called before the catalog applies the delta: the WAL is the source of
+// truth, so a journalled-but-unapplied append (a crash in between) replays
+// into the same state the uninterrupted run would have reached, while an
+// applied-but-unjournalled one would silently shrink the dataset on restart.
+func (l *Log) AppendDelta(rec AppendRecord) error {
+	if rec.Name == "" {
+		return errors.New("persist: append record needs a dataset name")
+	}
+	line, err := marshalLine(record{Kind: "append", Append: &rec})
+	if err != nil {
+		return err
+	}
+	if !l.append(line, func() bool {
+		l.events = append(l.events, Event{Append: &rec})
+		return true
+	}) {
+		return l.deadOrClosed()
+	}
+	return nil
+}
+
+// AppendMonitor journals one registered threshold monitor. Called after the
+// monitor's epsilon was charged (the charge has its own WAL record) and
+// before verdicts are released.
+func (l *Log) AppendMonitor(rec MonitorRecord) error {
+	if rec.ID == "" || rec.Dataset == "" {
+		return errors.New("persist: monitor record needs an id and a dataset")
+	}
+	line, err := marshalLine(record{Kind: "monitor", Monitor: &rec})
+	if err != nil {
+		return err
+	}
+	if !l.append(line, func() bool {
+		l.events = append(l.events, Event{Monitor: &rec})
+		return true
+	}) {
+		return l.deadOrClosed()
+	}
+	return nil
+}
+
+// deadOrClosed renders the refusal reason of a declined append.
+func (l *Log) deadOrClosed() error {
+	if err := l.Err(); err != nil {
+		return fmt.Errorf("persist: log is dead: %w", err)
+	}
+	return errors.New("persist: log is closed")
 }
 
 // append runs update under the state lock and, when it returns true,
@@ -858,7 +1021,11 @@ func (l *Log) compactIO() {
 		}
 		snap.Tenants[tenant] = ts
 	}
-	snap.Datasets = append(snap.Datasets, l.dsets...)
+	snap.Datasets = datasetList(l.events)
+	snap.Events = make([]eventJSON, len(l.events))
+	for i, ev := range l.events {
+		snap.Events[i] = eventJSON{Dataset: ev.Dataset, Append: ev.Append, Monitor: ev.Monitor}
+	}
 	l.mu.Unlock()
 
 	data, err := json.Marshal(&snap)

@@ -125,14 +125,15 @@ func Resolve(cat Catalog, e *store.Entry, spec *engine.QuerySpec, opts Options) 
 	}
 	e.NoteResolution()
 
+	v := ctx.view(e)
 	ex := &Explain{
 		Dataset:        e.Name(),
 		Canonical:      n.canon,
 		Hash:           fmt.Sprintf("%016x", hashString(n.canon)),
 		Monotonic:      n.mono,
 		Answers:        len(answers),
-		SketchBlocks:   e.Arena().Zones().NumBlocks(),
-		RecordsTotal:   e.Dataset().NumRecords(),
+		SketchBlocks:   v.Arena().Zones().NumBlocks(),
+		RecordsTotal:   v.Dataset().NumRecords(),
 		RecordsScanned: ctx.stats.RecordsScanned,
 		RecordsSkipped: ctx.stats.RecordsSkipped,
 		BlocksSkipped:  ctx.stats.BlocksSkipped,
@@ -166,11 +167,29 @@ type evalCtx struct {
 	stats Stats
 	// memo shares evaluated subtrees by (dataset, canon): the DAG edge.
 	memo map[string][]float64
+	// views pins one data generation per entry for the whole resolution, so
+	// a concurrent append cannot make two reads of the same dataset disagree
+	// (or pair a new dataset with an old arena) mid-plan.
+	views map[*store.Entry]store.View
 	// stamps backs the per-record distinct-item dedup in filter scans,
 	// reused across filter nodes of one resolution; stamp is the running
 	// generation counter that keeps scans from seeing each other's marks.
 	stamps []int32
 	stamp  int32
+}
+
+// view returns the resolution's pinned data generation for e, taking the
+// snapshot on first use.
+func (c *evalCtx) view(e *store.Entry) store.View {
+	if c.views == nil {
+		c.views = make(map[*store.Entry]store.View)
+	}
+	v, ok := c.views[e]
+	if !ok {
+		v = e.View()
+		c.views[e] = v
+	}
+	return v
 }
 
 // eval returns n's count vector over e's universe, memoized.
@@ -188,22 +207,23 @@ func (c *evalCtx) eval(e *store.Entry, n *node) ([]float64, error) {
 }
 
 func (c *evalCtx) evalNode(e *store.Entry, n *node) ([]float64, error) {
-	universe := len(e.Arena().Counts())
+	arena := c.view(e).Arena()
+	universe := len(arena.Counts())
 	switch n.kind {
 	case kindZero:
 		return make([]float64, universe), nil
 
 	case engine.QueryAllItems:
-		return e.Arena().Counts(), nil
+		return arena.Counts(), nil
 
 	case engine.QueryItemCount:
 		// As an algebra operand, item_count is the universe vector masked to
 		// the listed items (the legacy root-level projection is served by
 		// the resolver's fast path, not here).
 		out := make([]float64, universe)
-		counts := e.Arena().Counts()
+		counts := arena.Counts()
 		for _, it := range n.items {
-			if e.Arena().Has(it) {
+			if arena.Has(it) {
 				out[it] = counts[it]
 			}
 		}
@@ -331,12 +351,13 @@ func emptySupport(v []float64) bool {
 // sketches prove unmatching are skipped wholesale (unless Options.NoSkip);
 // each scan bumps the entry's count_scans and records_skipped observables.
 func (c *evalCtx) filterScan(e *store.Entry, n *node) []float64 {
-	db := e.Dataset()
-	out := make([]float64, len(e.Arena().Counts()))
+	v := c.view(e)
+	db := v.Dataset()
+	out := make([]float64, len(v.Arena().Counts()))
 	c.stats.FilterScans++
 	e.NoteCountScan()
 
-	zones := e.Arena().Zones()
+	zones := v.Arena().Zones()
 	if zones == nil || c.opts.NoSkip {
 		c.scanRange(db, 0, db.NumRecords(), n, out)
 		return out

@@ -139,7 +139,8 @@ func (s *Server) serveExplain(w *traceWriter, req engine.Request) string {
 // legacyExplain renders the trivial plan for the two leaf kinds, which the
 // resolver serves straight from the registration-time count vector.
 func legacyExplain(e *store.Entry, q *engine.QuerySpec) *plan.Explain {
-	answers, detail := len(e.Arena().Counts()), "full universe"
+	v := e.View()
+	answers, detail := len(v.Arena().Counts()), "full universe"
 	if q.Kind == engine.QueryItemCount {
 		answers, detail = len(q.Items), fmt.Sprintf("%d items projected", len(q.Items))
 	}
@@ -150,8 +151,8 @@ func legacyExplain(e *store.Entry, q *engine.QuerySpec) *plan.Explain {
 		Cached:       true,
 		Monotonic:    true,
 		Answers:      answers,
-		SketchBlocks: e.Arena().Zones().NumBlocks(),
-		RecordsTotal: e.Dataset().NumRecords(),
+		SketchBlocks: v.Arena().Zones().NumBlocks(),
+		RecordsTotal: v.Dataset().NumRecords(),
 		Plan:         &plan.NodeExplain{Op: "cached_counts", Detail: detail},
 	}
 }
@@ -229,6 +230,10 @@ func (s *Server) registerDataset(name, source string, db *dataset.Transactions, 
 	}
 	if err := s.journalDataset(e, syn); err != nil {
 		s.datasets.Remove(name)
+		// Remove unlinks the arena file the entry knows about; a stale image
+		// under the rolled-back name from an earlier incarnation goes too, so
+		// a later re-registration starts from a clean slate.
+		s.removeArenaFile(name)
 		s.datasetHot.Delete(name)
 		s.telemetry.Gauge("freegap_datasets").Set(int64(s.datasets.Len()))
 		return nil, fmt.Errorf("%w: %v", errDatasetPersist, err)

@@ -23,6 +23,13 @@ import (
 // an individual gauge line.
 const maxTenantGaugeSeries = 1024
 
+// tenantSample carries a tenant past the gauge cap through one scrape, so a
+// slot freed by eviction can be granted in the same pass that observed it.
+type tenantSample struct {
+	tenant    string
+	remaining float64
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.sampleScrapeGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,20 +58,57 @@ func (s *Server) sampleScrapeGauges() {
 	// publishing the delta through a Counter keeps the exposition a true
 	// counter across scrapes.
 	var retries uint64
+	live := make(map[string]struct{}, len(s.tenantGauges))
+	var overflow []tenantSample // past the cap this scrape; retry after eviction
 	s.reg.Range(func(tenant string, a *accountant.Accountant) bool {
 		retries += a.CASRetries()
+		live[tenant] = struct{}{}
 		if g, ok := s.tenantGauges[tenant]; ok {
 			g.Set(a.Remaining())
 		} else if len(s.tenantGauges) < maxTenantGaugeSeries {
 			g := s.telemetry.FloatGauge("freegap_tenant_remaining_epsilon", telemetry.L("tenant", tenant))
 			g.Set(a.Remaining())
 			s.tenantGauges[tenant] = g
+		} else {
+			overflow = append(overflow, tenantSample{tenant, a.Remaining()})
 		}
 		return true
 	})
+	// Retire the series of tenants no longer in the registry, then hand the
+	// freed slots to tenants that arrived after the cap filled — without the
+	// eviction, the cap would admit the first maxTenantGaugeSeries tenants
+	// forever and later ones could never earn a gauge line.
+	for tenant := range s.tenantGauges {
+		if _, ok := live[tenant]; !ok {
+			delete(s.tenantGauges, tenant)
+			s.telemetry.Remove("freegap_tenant_remaining_epsilon", telemetry.L("tenant", tenant))
+		}
+	}
+	for _, ts := range overflow {
+		if len(s.tenantGauges) >= maxTenantGaugeSeries {
+			break
+		}
+		g := s.telemetry.FloatGauge("freegap_tenant_remaining_epsilon", telemetry.L("tenant", ts.tenant))
+		g.Set(ts.remaining)
+		s.tenantGauges[ts.tenant] = g
+	}
 	if retries >= s.lastCASRetries {
 		s.casRetriesTotal.Add(retries - s.lastCASRetries)
 		s.lastCASRetries = retries
+	}
+	// The plan caches count their capacity sweeps per dataset; the scrape sums
+	// them into one counter the same monotone-delta way. Removing a dataset
+	// can shrink the sum — the guard just skips publishing until it catches
+	// back up, keeping the exposition a true counter.
+	var flushes uint64
+	for _, name := range s.datasets.Names() {
+		if e, err := s.datasets.Get(name); err == nil {
+			flushes += e.Plans().Flushes()
+		}
+	}
+	if flushes >= s.lastPlanFlushes {
+		s.planFlushTotal.Add(flushes - s.lastPlanFlushes)
+		s.lastPlanFlushes = flushes
 	}
 	if s.cfg.Debug {
 		var ms runtime.MemStats

@@ -80,7 +80,17 @@ func (s *Server) saveArena(name string) {
 	if err != nil {
 		return
 	}
-	_ = store.WriteArena(path, e.Dataset().NumRecords(), e.Arena())
+	v := e.View() // one generation: the written record count must match the arena
+	_ = store.WriteArena(path, v.Dataset().NumRecords(), v.Arena())
+}
+
+// removeArenaFile best-effort unlinks a dataset's persisted arena image, for
+// rollback paths where the catalog entry (and its path-tracking arena) may
+// already be gone.
+func (s *Server) removeArenaFile(name string) {
+	if path := s.arenaPath(name); path != "" {
+		_ = os.Remove(path)
+	}
 }
 
 // materializeDataset turns a journalled record back into transactions:

@@ -16,6 +16,11 @@
 //	POST /v1/datasets              catalogue a dataset (FIMI upload or synthetic)
 //	GET  /v1/datasets              list the catalogued datasets with stats
 //	GET  /v1/datasets/{name}       one dataset's stats and resolution counters
+//	POST /v1/datasets/{name}/append  append a FIMI delta; derived state updates incrementally
+//	POST /v1/monitors              register a served SVT threshold monitor (ε charged once)
+//	GET  /v1/monitors              list the registered monitors
+//	GET  /v1/monitors/{id}         one monitor's state and budget
+//	GET  /v1/monitors/{id}/stream  the monitor's verdicts over Server-Sent Events
 //	GET  /v1/tenants/{id}/budget   a tenant's budget ledger with breakdown
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
@@ -167,11 +172,11 @@ type Config struct {
 	Persist *persist.Log
 }
 
-// reservedMechanismNames are engine names New rejects: "batch", "tenants"
-// and "datasets" because their /v1/<name> routes are taken by fixed
-// endpoints, and "unknown" because it is the pinned metric label for
+// reservedMechanismNames are engine names New rejects: "batch", "tenants",
+// "datasets" and "monitors" because their /v1/<name> routes are taken by
+// fixed endpoints, and "unknown" because it is the pinned metric label for
 // unknown-mechanism 404s.
-var reservedMechanismNames = map[string]bool{"batch": true, "tenants": true, "datasets": true, "unknown": true}
+var reservedMechanismNames = map[string]bool{"batch": true, "tenants": true, "datasets": true, "monitors": true, "unknown": true}
 
 func (c Config) withDefaults() (Config, error) {
 	if c.TenantBudget == 0 {
@@ -223,16 +228,26 @@ func (c Config) withDefaults() (Config, error) {
 		c.SlowRequestThreshold = -1 // normalized "disabled"
 	}
 	if c.Seed == 0 {
-		var b [8]byte
-		if _, err := cryptorand.Read(b[:]); err != nil {
+		seed, err := randomSeed()
+		if err != nil {
 			return c, fmt.Errorf("server: seeding noise sources: %w", err)
 		}
-		c.Seed = binary.LittleEndian.Uint64(b[:])
-		if c.Seed == 0 {
-			c.Seed = 1
-		}
+		c.Seed = seed
 	}
 	return c, nil
+}
+
+// randomSeed draws a nonzero 64-bit seed from the OS entropy source.
+func randomSeed() (uint64, error) {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	seed := binary.LittleEndian.Uint64(b[:])
+	if seed == 0 {
+		seed = 1
+	}
+	return seed, nil
 }
 
 // Server is the multi-tenant DP query service.
@@ -272,6 +287,25 @@ type Server struct {
 	tenantGauges    map[string]*telemetry.FloatGauge
 	casRetriesTotal *telemetry.Counter
 	lastCASRetries  uint64
+	planFlushTotal  *telemetry.Counter
+	lastPlanFlushes uint64
+	// Streaming state (see streaming.go). streamMu serializes every catalog
+	// mutation that monitors can observe — monitor registration and dataset
+	// appends, each journalled under the lock before it is applied — so the
+	// WAL event order equals the order monitors saw the world in and a
+	// restart replays their verdict histories bit for bit.
+	streamMu     sync.Mutex
+	monitors     map[string]*monitor
+	monOrder     []*monitor
+	monByDataset map[string][]*monitor
+	monNextID    uint64
+	// monClosed is closed at the start of Shutdown/Close so long-lived SSE
+	// handlers hang up before the HTTP server waits on them to drain.
+	monClosed       chan struct{}
+	appendsTotal    *telemetry.Counter
+	monitorVerdicts *telemetry.Counter
+	monitorsGauge   *telemetry.Gauge
+	shutdownOnce    sync.Once
 }
 
 // hotCounters holds the metric series touched on every request, resolved
@@ -298,10 +332,10 @@ type hotCounters struct {
 const labelTenants = "tenants"
 
 func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters {
-	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, mechDatasets, "unknown")
+	mechanisms = append(append([]string(nil), mechanisms...), mechBatch, mechDatasets, mechMonitors, "unknown")
 	outcomes := []string{"ok", CodeInvalidRequest, CodeUnknownMechanism, CodeUnknownDataset,
-		CodeBadQuerySpec, CodeBudgetExhausted, CodeTenantLimit, CodeCancelled,
-		CodeRequestTooLarge, CodeUnavailable, CodeInternal}
+		CodeUnknownMonitor, CodeBadQuerySpec, CodeBudgetExhausted, CodeTenantLimit,
+		CodeCancelled, CodeRequestTooLarge, CodeUnavailable, CodeInternal}
 	hot := hotCounters{
 		inFlight:  set.Gauge("freegap_in_flight_requests"),
 		requests:  make(map[string]map[string]*telemetry.Counter, len(mechanisms)),
@@ -389,6 +423,7 @@ func New(cfg Config) (*Server, error) {
 		accessLog:     cfg.AccessLog,
 		slowThreshold: cfg.SlowRequestThreshold,
 		tenantGauges:  make(map[string]*telemetry.FloatGauge),
+		monClosed:     make(chan struct{}),
 	}
 	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
 	// goroutine) never race on the field.
@@ -411,9 +446,19 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_build_info", "Constant 1, labelled with the server version and Go runtime version.")
 	s.telemetry.Help("freegap_tenant_remaining_epsilon", "Remaining privacy budget per tenant, sampled at scrape.")
 	s.telemetry.Help("freegap_admission_cas_retries_total", "Budget-admission CAS loop retries across all tenant accountants.")
+	s.telemetry.Help("freegap_appends_total", "Dataset append requests admitted and applied incrementally.")
+	s.telemetry.Help("freegap_monitors", "Registered SVT threshold monitors, retired ones included.")
+	s.telemetry.Help("freegap_monitor_verdicts_total", "Threshold-monitor verdicts released across all monitors.")
+	s.telemetry.Help("freegap_plan_cache_flushes_total", "Compiled-plan cache capacity sweeps across all datasets (full resets excluded).")
 	s.telemetry.FloatGauge("freegap_build_info",
 		telemetry.L("version", Version), telemetry.L("go_version", runtime.Version())).Set(1)
 	s.casRetriesTotal = s.telemetry.Counter("freegap_admission_cas_retries_total")
+	s.planFlushTotal = s.telemetry.Counter("freegap_plan_cache_flushes_total")
+	// Provisioned before the restore loop: replaying journalled appends and
+	// monitor registrations moves the monitor gauge and verdict counter.
+	s.appendsTotal = s.telemetry.Counter("freegap_appends_total")
+	s.monitorVerdicts = s.telemetry.Counter("freegap_monitor_verdicts_total")
+	s.monitorsGauge = s.telemetry.Gauge("freegap_monitors")
 	if s.persist != nil {
 		s.telemetry.Help("freegap_persist_failed", "1 when the durable state log has hit an I/O error and charges are no longer journalled.")
 		s.telemetry.Help("freegap_wal_queue_depth", "WAL records buffered in memory awaiting the background flusher.")
@@ -434,8 +479,22 @@ func New(cfg Config) (*Server, error) {
 	for _, name := range s.datasets.Names() {
 		s.registerDatasetTelemetry(name)
 	}
-	for _, rec := range restored.Datasets {
-		if err := s.restoreDataset(rec); err != nil {
+	// Replay the catalog event stream in journal order: registrations,
+	// appends and monitor registrations interleave exactly as they were
+	// admitted, so every restored monitor re-observes the same sequence of
+	// dataset states it saw live and its verdict history replays
+	// byte-identically from its journalled seed.
+	for _, ev := range restored.Events {
+		var err error
+		switch {
+		case ev.Dataset != nil:
+			err = s.restoreDataset(*ev.Dataset)
+		case ev.Append != nil:
+			err = s.restoreAppend(*ev.Append)
+		case ev.Monitor != nil:
+			err = s.restoreMonitor(*ev.Monitor)
+		}
+		if err != nil {
 			s.pool.close()
 			return fail(err)
 		}
@@ -485,6 +544,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleDatasetAppend)
+	s.mux.HandleFunc("POST /v1/monitors", s.handleMonitorCreate)
+	s.mux.HandleFunc("GET /v1/monitors", s.handleMonitorList)
+	s.mux.HandleFunc("GET /v1/monitors/{id}", s.handleMonitorGet)
+	s.mux.HandleFunc("GET /v1/monitors/{id}/stream", s.handleMonitorStream)
 	for _, name := range s.mechNames {
 		s.mux.Handle("POST /v1/"+name, s.handleMechanism(s.mechByName[name]))
 	}
@@ -549,6 +613,9 @@ func (s *Server) Serve(ln net.Listener) error {
 // marks the server closed so Serve returns http.ErrServerClosed immediately
 // instead of hanging.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Hang up the long-lived SSE monitor streams first: Shutdown waits for
+	// in-flight handlers, and a subscribed stream never finishes on its own.
+	s.shutdownOnce.Do(func() { close(s.monClosed) })
 	err := s.httpSrv.Shutdown(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
@@ -567,6 +634,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // without touching any HTTP listener. Use it when the server was mounted via
 // Handler.
 func (s *Server) Close() {
+	s.shutdownOnce.Do(func() { close(s.monClosed) })
 	s.pool.close()
 	if s.persist != nil {
 		_ = s.persist.Close()

@@ -1,0 +1,552 @@
+package server
+
+// Streaming: appendable datasets and served SVT threshold monitors.
+//
+// POST /v1/datasets/{name}/append ingests a FIMI-formatted delta and extends
+// the dataset's derived state incrementally (store.Append installs a new
+// generation; nothing rescans the existing records). POST /v1/monitors
+// registers a long-lived threshold query over one item of a dataset: the
+// monitor's whole ε is charged once at registration, and every subsequent
+// append to the dataset advances the monitor's resumable SVT run by one
+// query, streaming the verdict (and, above threshold, the free gap) to SSE
+// subscribers on GET /v1/monitors/{id}/stream.
+//
+// Replay invariant: the WAL's event order must equal the order monitors
+// observed the world in. A monitor journalled before an append must take its
+// registration-time verdict against the pre-append counts, and each append's
+// verdicts against exactly the record count the journal says was current.
+// streamMu serializes (journal monitor → register → seq-0 verdict) against
+// (journal append → apply → fan out verdicts) to pin that order; with each
+// monitor's noise stream a pure function of its journalled seed, a restart
+// replays the event stream and reproduces every verdict bit for bit.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/freegap/freegap/internal/core"
+	"github.com/freegap/freegap/internal/dataset"
+	"github.com/freegap/freegap/internal/engine"
+	"github.com/freegap/freegap/internal/persist"
+	"github.com/freegap/freegap/internal/rng"
+	"github.com/freegap/freegap/internal/store"
+)
+
+// mechMonitors is the metrics/accounting label for the monitor endpoints; a
+// monitor's one-time ε charge appears under it in the tenant's breakdown.
+const mechMonitors = "monitors"
+
+// monitorSubBuffer is the per-subscriber verdict channel depth. A subscriber
+// that falls this far behind is dropped (its channel closed) rather than
+// allowed to stall appends; the client reconnects and replays history.
+const monitorSubBuffer = 64
+
+// monitor is one registered threshold monitor: the immutable registration
+// parameters plus the resumable SVT run, its verdict history, and the live
+// SSE subscribers. mu guards the mutable tail; the registration fields are
+// written once under streamMu before the monitor is published.
+type monitor struct {
+	id        string
+	tenant    string
+	dataset   string
+	item      int32
+	threshold float64
+	epsilon   float64
+	maxAns    int
+	adaptive  bool
+	seed      uint64
+
+	mu       sync.Mutex
+	stream   *core.SVTStream
+	verdicts []MonitorVerdict
+	subs     map[chan MonitorVerdict]struct{}
+}
+
+// observe advances the monitor's SVT run by one query (the item's current
+// count) and, if the run is still live, records and fans out the verdict.
+// records is the dataset record count the query was evaluated at.
+func (m *monitor) observe(count float64, records int) *MonitorVerdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	item, ok := m.stream.Arrive(count)
+	if !ok {
+		return nil
+	}
+	v := MonitorVerdict{
+		Monitor:    m.id,
+		Seq:        len(m.verdicts),
+		Records:    records,
+		Above:      item.Above,
+		Branch:     item.Branch.String(),
+		BudgetUsed: item.BudgetUsed,
+		Retired:    m.stream.Done(),
+	}
+	if item.Above {
+		v.Gap = item.Gap
+	}
+	m.verdicts = append(m.verdicts, v)
+	for ch := range m.subs {
+		select {
+		case ch <- v:
+		default:
+			// The subscriber's buffer is full: drop it instead of blocking
+			// the append path. Closing the channel tells its handler to
+			// hang up; the client reconnects and replays the history.
+			delete(m.subs, ch)
+			close(ch)
+		}
+	}
+	return &v
+}
+
+// info snapshots the monitor for the API.
+func (m *monitor) info() MonitorInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MonitorInfo{
+		ID:          m.id,
+		Tenant:      m.tenant,
+		Dataset:     m.dataset,
+		Item:        m.item,
+		Threshold:   m.threshold,
+		Epsilon:     m.epsilon,
+		BudgetSpent: m.stream.Spent(),
+		MaxAnswers:  m.maxAns,
+		Adaptive:    m.adaptive,
+		Verdicts:    len(m.verdicts),
+		AboveCount:  m.stream.AboveCount(),
+		Retired:     m.stream.Done(),
+	}
+}
+
+// subscribe registers a new SSE subscriber and returns the verdict history
+// it must replay first. History snapshot and registration happen under one
+// lock acquisition, so the subscriber sees every verdict exactly once.
+func (m *monitor) subscribe() ([]MonitorVerdict, chan MonitorVerdict) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	history := append([]MonitorVerdict(nil), m.verdicts...)
+	ch := make(chan MonitorVerdict, monitorSubBuffer)
+	if m.subs == nil {
+		m.subs = make(map[chan MonitorVerdict]struct{})
+	}
+	m.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// unsubscribe removes a subscriber registered by subscribe. The channel is
+// only closed if observe has not already dropped it for falling behind.
+func (m *monitor) unsubscribe(ch chan MonitorVerdict) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.subs[ch]; ok {
+		delete(m.subs, ch)
+		close(ch)
+	}
+}
+
+// newMonitorStream builds the monitor's resumable SVT run from its
+// registration parameters and journalled seed. Monotonic is always set: the
+// monitored query is a single item count, sensitivity-1 and monotone.
+func newMonitorStream(rec persist.MonitorRecord) (*core.SVTStream, error) {
+	mech := &core.AdaptiveSVTWithGap{
+		K:          rec.MaxAnswers,
+		Epsilon:    rec.Epsilon,
+		Threshold:  rec.Threshold,
+		Monotonic:  true,
+		MaxAnswers: rec.MaxAnswers,
+	}
+	if !rec.Adaptive {
+		mech.SigmaMultiplier = math.Inf(1) // plain Sparse-Vector-with-Gap
+	}
+	return core.NewSVTStream(mech, rng.NewXoshiro(rec.Seed))
+}
+
+// addMonitorLocked constructs, indexes and publishes a monitor from its
+// journalled record. Caller holds streamMu (or is single-threaded startup).
+func (s *Server) addMonitorLocked(rec persist.MonitorRecord) (*monitor, error) {
+	stream, err := newMonitorStream(rec)
+	if err != nil {
+		return nil, fmt.Errorf("server: monitor %q: %w", rec.ID, err)
+	}
+	m := &monitor{
+		id:        rec.ID,
+		tenant:    rec.Tenant,
+		dataset:   rec.Dataset,
+		item:      rec.Item,
+		threshold: rec.Threshold,
+		epsilon:   rec.Epsilon,
+		maxAns:    rec.MaxAnswers,
+		adaptive:  rec.Adaptive,
+		seed:      rec.Seed,
+		stream:    stream,
+	}
+	if s.monitors == nil {
+		s.monitors = make(map[string]*monitor)
+		s.monByDataset = make(map[string][]*monitor)
+	}
+	s.monitors[rec.ID] = m
+	s.monOrder = append(s.monOrder, m)
+	s.monByDataset[rec.Dataset] = append(s.monByDataset[rec.Dataset], m)
+	// Keep the id counter above every restored id so new registrations never
+	// collide with journalled ones.
+	if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "m"), 10, 64); err == nil && n >= s.monNextID {
+		s.monNextID = n + 1
+	}
+	s.monitorsGauge.Set(int64(len(s.monitors)))
+	return m, nil
+}
+
+// nextMonitorIDLocked mints a fresh monitor id. Caller holds streamMu.
+func (s *Server) nextMonitorIDLocked() string {
+	if s.monNextID == 0 {
+		s.monNextID = 1
+	}
+	id := fmt.Sprintf("m%d", s.monNextID)
+	s.monNextID++
+	return id
+}
+
+// evaluateMonitor feeds one monitor the item's current count from the
+// dataset entry's pinned generation view.
+func (s *Server) evaluateMonitor(m *monitor, e *store.Entry) *MonitorVerdict {
+	v := e.View()
+	counts := v.Arena().Counts()
+	count := 0.0
+	if int(m.item) < len(counts) {
+		count = counts[m.item]
+	}
+	verdict := m.observe(count, v.Dataset().NumRecords())
+	if verdict != nil {
+		s.monitorVerdicts.Inc()
+	}
+	return verdict
+}
+
+// deliverAppendLocked advances every monitor watching the dataset by one
+// query and returns how many verdicts were released. Caller holds streamMu,
+// so the verdicts land in journal order.
+func (s *Server) deliverAppendLocked(e *store.Entry) int {
+	n := 0
+	for _, m := range s.monByDataset[e.Name()] {
+		if s.evaluateMonitor(m, e) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// restoreAppend replays one journalled dataset delta at startup, including
+// the verdicts it triggered on monitors restored earlier in the event
+// stream.
+func (s *Server) restoreAppend(rec persist.AppendRecord) error {
+	e, err := s.datasets.Append(rec.Name, rec.Records)
+	if err != nil {
+		return fmt.Errorf("server: restoring append to %q: %w", rec.Name, err)
+	}
+	s.deliverAppendLocked(e)
+	return nil
+}
+
+// restoreMonitor replays one journalled monitor registration at startup: the
+// monitor is rebuilt from its seed and takes its seq-0 verdict against the
+// dataset state at this point of the event stream, exactly as it did live.
+// Its ε charge replays separately through the tenant spending records.
+func (s *Server) restoreMonitor(rec persist.MonitorRecord) error {
+	m, err := s.addMonitorLocked(rec)
+	if err != nil {
+		return err
+	}
+	e, err := s.datasets.Get(rec.Dataset)
+	if err != nil {
+		return fmt.Errorf("server: restoring monitor %q: %w", rec.ID, err)
+	}
+	s.evaluateMonitor(m, e)
+	return nil
+}
+
+// handleDatasetAppend serves POST /v1/datasets/{name}/append.
+func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
+	outcome := s.serveDatasetAppend(t, r)
+	s.finishTrace(t, mechDatasets, outcome)
+	s.countRequest(mechDatasets, outcome)
+}
+
+func (s *Server) serveDatasetAppend(w *traceWriter, r *http.Request) string {
+	name := r.PathValue("name")
+	w.dataset = name
+	var req DatasetAppendRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	w.mark(stageDecode)
+	if code, ok := s.persistReady(w); !ok {
+		return code
+	}
+	if _, err := s.datasets.Get(name); err != nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return CodeUnknownDataset
+	}
+	if req.FIMI == "" {
+		return badRequest(w, errors.New("append body needs fimi transactions"))
+	}
+	lim := s.datasets.Limits()
+	parsed, err := dataset.ReadFIMILimited(strings.NewReader(req.FIMI), name, dataset.FIMILimits{
+		MaxRecords: lim.MaxRecords,
+		MaxItemID:  int32(lim.MaxItems) - 1,
+	})
+	if err != nil {
+		return badRequest(w, err)
+	}
+	if parsed.NumRecords() == 0 {
+		return badRequest(w, errors.New("append body holds no transactions"))
+	}
+	delta := make([][]int32, parsed.NumRecords())
+	for i := range delta {
+		delta[i] = parsed.Record(i)
+	}
+	w.mark(stageValidate)
+
+	s.streamMu.Lock()
+	// Re-validate under the lock: the grown dataset must stay inside the
+	// catalog limits, and the journal must admit the delta before the apply —
+	// the WAL is the source of truth the next restart replays.
+	if err := s.datasets.CheckAppend(name, delta); err != nil {
+		s.streamMu.Unlock()
+		if errors.Is(err, store.ErrUnknownDataset) {
+			writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+			return CodeUnknownDataset
+		}
+		return badRequest(w, err)
+	}
+	if s.persist != nil {
+		if err := s.persist.AppendDelta(persist.AppendRecord{Name: name, Records: delta}); err != nil {
+			s.streamMu.Unlock()
+			return internalError(w, fmt.Errorf("server: journalling append to %q: %w", name, err))
+		}
+	}
+	e, err := s.datasets.Append(name, delta)
+	if err != nil {
+		// Unreachable after CheckAppend under writeMu-free streamMu, but a
+		// journalled-yet-unapplied delta would be a restart-visible fault.
+		s.streamMu.Unlock()
+		return internalError(w, err)
+	}
+	verdicts := s.deliverAppendLocked(e)
+	s.streamMu.Unlock()
+	w.mark(stageExecute)
+
+	s.appendsTotal.Inc()
+	info := e.Info()
+	writeJSON(w, http.StatusOK, DatasetAppendResponse{
+		Dataset:         name,
+		AppendedRecords: len(delta),
+		Records:         info.Records,
+		Items:           info.Items,
+		MonitorVerdicts: verdicts,
+	})
+	return "ok"
+}
+
+// handleMonitorCreate serves POST /v1/monitors.
+func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
+	outcome := s.serveMonitorCreate(t, r)
+	s.finishTrace(t, mechMonitors, outcome)
+	s.finishRequest(mechMonitors, outcome)
+}
+
+func (s *Server) serveMonitorCreate(w *traceWriter, r *http.Request) string {
+	var req MonitorCreateRequest
+	if code, ok := s.decode(w, r, &req); !ok {
+		return code
+	}
+	w.mark(stageDecode)
+	w.tenant, w.dataset = req.Tenant, req.Dataset
+	if code, ok := s.persistReady(w); !ok {
+		return code
+	}
+	if req.MaxAnswers == 0 {
+		req.MaxAnswers = 1
+	}
+	switch {
+	case req.Tenant == "":
+		return badRequest(w, errors.New("monitor needs a tenant"))
+	case req.Dataset == "":
+		return badRequest(w, errors.New("monitor needs a dataset"))
+	case req.Item < 0:
+		return badRequest(w, fmt.Errorf("monitor item %d must be non-negative", req.Item))
+	case math.IsNaN(req.Threshold) || math.IsInf(req.Threshold, 0):
+		return badRequest(w, fmt.Errorf("monitor threshold %v must be finite", req.Threshold))
+	case !(req.Epsilon >= engine.MinEpsilon) || !(req.Epsilon <= engine.MaxEpsilon):
+		return badRequest(w, fmt.Errorf("monitor epsilon %v must be in [%g, %g]", req.Epsilon, engine.MinEpsilon, engine.MaxEpsilon))
+	case req.MaxAnswers < 0 || req.MaxAnswers > s.cfg.MaxAnswers:
+		return badRequest(w, fmt.Errorf("monitor max_answers %d must be in [1, %d]", req.MaxAnswers, s.cfg.MaxAnswers))
+	}
+	if _, err := s.datasets.Get(req.Dataset); err != nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return CodeUnknownDataset
+	}
+	seed := req.Seed
+	if seed == 0 {
+		drawn, err := randomSeed()
+		if err != nil {
+			return internalError(w, err)
+		}
+		seed = drawn
+	}
+	w.mark(stageValidate)
+
+	// The monitor's whole budget is charged up front, once: every verdict it
+	// ever streams is paid from this ε by the SVT run itself.
+	w.eps = req.Epsilon
+	if _, code, ok := s.charge(w, req.Tenant, mechMonitors, req.Epsilon); !ok {
+		return code
+	}
+	w.mark(stageCharge)
+
+	s.streamMu.Lock()
+	rec := persist.MonitorRecord{
+		ID:         s.nextMonitorIDLocked(),
+		Tenant:     req.Tenant,
+		Dataset:    req.Dataset,
+		Item:       req.Item,
+		Threshold:  req.Threshold,
+		Epsilon:    req.Epsilon,
+		MaxAnswers: req.MaxAnswers,
+		Adaptive:   req.Adaptive,
+		Monotonic:  true,
+		Seed:       seed,
+	}
+	if s.persist != nil {
+		if err := s.persist.AppendMonitor(rec); err != nil {
+			s.streamMu.Unlock()
+			// Conservative by design: the ε stays spent (the charge is already
+			// journalled) but no monitor exists. Refunding here could release
+			// budget a crashed journal actually recorded.
+			return internalError(w, fmt.Errorf("server: journalling monitor: %w", err))
+		}
+	}
+	m, err := s.addMonitorLocked(rec)
+	if err != nil {
+		s.streamMu.Unlock()
+		return internalError(w, err)
+	}
+	var verdict *MonitorVerdict
+	if e, err := s.datasets.Get(req.Dataset); err == nil {
+		verdict = s.evaluateMonitor(m, e) // seq 0: the registration-time answer
+	}
+	s.streamMu.Unlock()
+	w.mark(stageExecute)
+
+	writeJSON(w, http.StatusCreated, MonitorCreateResponse{MonitorInfo: m.info(), Verdict: verdict})
+	return "ok"
+}
+
+// handleMonitorList serves GET /v1/monitors.
+func (s *Server) handleMonitorList(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
+	s.streamMu.Lock()
+	infos := make([]MonitorInfo, len(s.monOrder))
+	for i, m := range s.monOrder {
+		infos[i] = m.info()
+	}
+	s.streamMu.Unlock()
+	s.countRequest(mechMonitors, "ok")
+	writeJSON(t, http.StatusOK, MonitorListResponse{Monitors: infos})
+	s.finishTrace(t, mechMonitors, "ok")
+}
+
+// handleMonitorGet serves GET /v1/monitors/{id}.
+func (s *Server) handleMonitorGet(w http.ResponseWriter, r *http.Request) {
+	t := s.beginTrace(w, r)
+	m, ok := s.lookupMonitor(r.PathValue("id"))
+	if !ok {
+		s.countRequest(mechMonitors, CodeUnknownMonitor)
+		writeError(t, http.StatusNotFound, ErrorBody{Code: CodeUnknownMonitor,
+			Message: fmt.Sprintf("unknown monitor %q", r.PathValue("id"))})
+		s.finishTrace(t, mechMonitors, CodeUnknownMonitor)
+		return
+	}
+	s.countRequest(mechMonitors, "ok")
+	writeJSON(t, http.StatusOK, m.info())
+	s.finishTrace(t, mechMonitors, "ok")
+}
+
+func (s *Server) lookupMonitor(id string) (*monitor, bool) {
+	s.streamMu.Lock()
+	m, ok := s.monitors[id]
+	s.streamMu.Unlock()
+	return m, ok
+}
+
+// handleMonitorStream serves GET /v1/monitors/{id}/stream as Server-Sent
+// Events: the monitor's full verdict history first, then every new verdict
+// as appends arrive, until the client hangs up or the server shuts down.
+// The handler writes through the raw ResponseWriter — a long-lived stream
+// has no single latency or byte count for the trace pipeline to record.
+func (s *Server) handleMonitorStream(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupMonitor(r.PathValue("id"))
+	if !ok {
+		s.countRequest(mechMonitors, CodeUnknownMonitor)
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownMonitor,
+			Message: fmt.Sprintf("unknown monitor %q", r.PathValue("id"))})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.countRequest(mechMonitors, CodeInternal)
+		writeError(w, http.StatusInternalServerError, ErrorBody{Code: CodeInternal,
+			Message: "response writer does not support streaming"})
+		return
+	}
+	s.countRequest(mechMonitors, "ok")
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch := m.subscribe()
+	defer m.unsubscribe(ch)
+	for _, v := range history {
+		if writeSSE(w, fl, v) != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.monClosed:
+			return
+		case v, open := <-ch:
+			if !open {
+				// Dropped for falling behind; the client reconnects.
+				return
+			}
+			if writeSSE(w, fl, v) != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE emits one verdict as an SSE "verdict" event and flushes it to the
+// client immediately.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, v MonitorVerdict) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: verdict\ndata: %s\n\n", data); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}

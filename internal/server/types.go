@@ -106,8 +106,9 @@ type DatasetInfo = store.Info
 
 // DatasetUploadRequest is the body of POST /v1/datasets: exactly one of FIMI
 // (inline transaction data) and Synthetic (a calibrated generator) must be
-// set. The registered dataset is immutable; its item counts are precomputed
-// once so dataset-backed queries never rescan it.
+// set. The registered dataset's item counts are precomputed once so
+// dataset-backed queries never rescan it; later deltas arrive through
+// POST /v1/datasets/{name}/append, which maintains the counts incrementally.
 type DatasetUploadRequest struct {
 	// Name is the catalog key the dataset is registered and queried under.
 	Name string `json:"name"`
@@ -127,6 +128,119 @@ type SyntheticSpec struct {
 	Scale int `json:"scale,omitempty"`
 	// Seed seeds the generator (0 picks a fixed default).
 	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DatasetAppendRequest is the body of POST /v1/datasets/{name}/append: a
+// delta of transactions, FIMI-formatted like an upload, appended to the
+// catalogued dataset. The server journals the delta, extends the dataset's
+// derived state incrementally (no rescan of the existing records) and feeds
+// the new counts to every monitor watching the dataset.
+type DatasetAppendRequest struct {
+	// FIMI is the appended transactions in the FIMI text format.
+	FIMI string `json:"fimi"`
+}
+
+// DatasetAppendResponse is the body of a successful append.
+type DatasetAppendResponse struct {
+	// Dataset is the catalog key appended to.
+	Dataset string `json:"dataset"`
+	// AppendedRecords is how many transactions this request added.
+	AppendedRecords int `json:"appended_records"`
+	// Records and Items are the dataset's totals after the append.
+	Records int `json:"records"`
+	Items   int `json:"items"`
+	// MonitorVerdicts is how many monitor verdicts the append triggered.
+	MonitorVerdicts int `json:"monitor_verdicts"`
+}
+
+// MonitorCreateRequest is the body of POST /v1/monitors: a long-lived SVT
+// threshold query over one item of a catalogued dataset. The monitor's whole
+// ε is charged to the tenant once, at registration; every verdict it ever
+// streams — one per append to the dataset, plus the registration-time one —
+// is paid from that budget by the underlying (Adaptive-)SVT-with-Gap run.
+type MonitorCreateRequest struct {
+	// Tenant identifies whose privacy budget pays for the monitor.
+	Tenant string `json:"tenant"`
+	// Dataset is the catalog key to watch.
+	Dataset string `json:"dataset"`
+	// Item is the item id whose count is compared against Threshold.
+	Item int32 `json:"item"`
+	// Threshold is the public comparison threshold.
+	Threshold float64 `json:"threshold"`
+	// Epsilon is the monitor's total privacy budget.
+	Epsilon float64 `json:"epsilon"`
+	// MaxAnswers is the SVT answer budget k: the monitor retires after this
+	// many above-threshold verdicts (default 1).
+	MaxAnswers int `json:"max_answers,omitempty"`
+	// Adaptive enables the Adaptive-SVT-with-Gap top branch, spending less on
+	// verdicts that clear the threshold by a wide margin.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Seed seeds the monitor's private noise stream (0 draws a random seed).
+	// The seed is journalled, never released: fixing it makes a deterministic
+	// test reproducible, it does not let the client predict the noise of a
+	// seed it did not choose.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// MonitorInfo summarises one registered monitor.
+type MonitorInfo struct {
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	Dataset   string  `json:"dataset"`
+	Item      int32   `json:"item"`
+	Threshold float64 `json:"threshold"`
+	// Epsilon is the monitor's total budget; BudgetSpent is what the
+	// underlying SVT run has consumed (threshold charge included).
+	Epsilon     float64 `json:"epsilon"`
+	BudgetSpent float64 `json:"budget_spent"`
+	MaxAnswers  int     `json:"max_answers"`
+	Adaptive    bool    `json:"adaptive,omitempty"`
+	// Verdicts is the number of verdicts released so far; AboveCount how many
+	// of them were above-threshold.
+	Verdicts   int `json:"verdicts"`
+	AboveCount int `json:"above_count"`
+	// Retired reports that the monitor's SVT run has stopped (answer budget
+	// or ε exhausted); it delivers no further verdicts.
+	Retired bool `json:"retired"`
+}
+
+// MonitorVerdict is one released monitor answer, delivered over the SSE
+// stream and retained as the monitor's replayable history. Only the DP
+// outputs of the SVT run appear here — the verdict, the branch, and (for
+// above-threshold answers) the free gap; never the raw count.
+type MonitorVerdict struct {
+	// Monitor is the monitor id the verdict belongs to.
+	Monitor string `json:"monitor"`
+	// Seq is the verdict's position in the monitor's stream (0 is the
+	// registration-time verdict).
+	Seq int `json:"seq"`
+	// Records is the dataset's record count the verdict was evaluated at.
+	Records int `json:"records"`
+	// Above reports whether the item's count cleared the noisy threshold.
+	Above bool `json:"above"`
+	// Gap is the released free gap (only meaningful when Above).
+	Gap float64 `json:"gap,omitempty"`
+	// Branch is the SVT branch that produced the answer ("below", "middle",
+	// "top").
+	Branch string `json:"branch"`
+	// BudgetUsed is the ε this verdict consumed from the monitor's budget.
+	BudgetUsed float64 `json:"budget_used"`
+	// Retired reports that this was the monitor's final verdict.
+	Retired bool `json:"retired,omitempty"`
+}
+
+// MonitorCreateResponse is the body of a successful POST /v1/monitors.
+type MonitorCreateResponse struct {
+	MonitorInfo
+	// Verdict is the registration-time verdict against the dataset's current
+	// counts (the stream's seq 0), if the run released one.
+	Verdict *MonitorVerdict `json:"verdict,omitempty"`
+}
+
+// MonitorListResponse is the body of GET /v1/monitors.
+type MonitorListResponse struct {
+	// Monitors lists every registered monitor in registration order.
+	Monitors []MonitorInfo `json:"monitors"`
 }
 
 // DatasetListResponse is the body of GET /v1/datasets.
@@ -199,6 +313,7 @@ const (
 	CodeUnknownDataset   = "unknown_dataset"
 	CodeBadQuerySpec     = "bad_query_spec"
 	CodeDatasetExists    = "dataset_exists"
+	CodeUnknownMonitor   = "unknown_monitor"
 	CodeBudgetExhausted  = "budget_exhausted"
 	CodeTenantLimit      = "tenant_limit"
 	CodeCancelled        = "cancelled"

@@ -76,6 +76,7 @@ type Arena struct {
 	zones   *Zones // per-block skipping sketches; nil when none were built
 
 	mapping []byte // non-nil iff counts is a live file mapping (munmap on Close)
+	path    string // the arena's file image, when one was written or loaded
 }
 
 // newArena builds an in-memory arena from a freshly scanned count vector,
@@ -84,6 +85,27 @@ func newArena(counts []float64) *Arena {
 	a := &Arena{}
 	a.counts, a.present = arenaAlloc(len(counts))
 	copy(a.counts, counts)
+	a.buildSketch()
+	return a
+}
+
+// extendArena builds the arena of an appended dataset generation: the old
+// counts column plus the delta contributions, with the presence bitset and
+// min/max/nonzero sketches rebuilt in one O(items) vector pass. The
+// transactions are never rescanned — deltaCounts (sized to the new item
+// universe) carries everything the append changed. The caller attaches the
+// extended zone sketches.
+func extendArena(old *Arena, deltaCounts []float64) *Arena {
+	// The persisted-arena path names the dataset, not the generation: it must
+	// survive appends so a later Remove still unlinks the right file.
+	a := &Arena{path: old.path}
+	a.counts, a.present = arenaAlloc(len(deltaCounts))
+	copy(a.counts, old.counts)
+	for i, d := range deltaCounts {
+		if d != 0 {
+			a.counts[i] += d
+		}
+	}
 	a.buildSketch()
 	return a
 }
@@ -160,6 +182,12 @@ func (a *Arena) Zones() *Zones { return a.zones }
 // Mapped reports whether the arena is served from a file mapping (restart
 // fast path) rather than an in-memory scan.
 func (a *Arena) Mapped() bool { return a.mapping != nil }
+
+// Path returns the arena's on-disk image path, when it was written with
+// WriteArena or loaded with LoadArena ("" for purely in-memory arenas).
+// Store.Remove unlinks it so a rolled-back registration cannot leak a stale
+// arena file on disk.
+func (a *Arena) Path() string { return a.path }
 
 // Close releases the file mapping, if any. In-memory arenas are a no-op.
 // The arena must not be used after Close.
@@ -255,7 +283,11 @@ func WriteArena(path string, records int, a *Arena) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	a.path = path
+	return nil
 }
 
 // LoadArena opens the arena image at path for a dataset with the given
@@ -296,7 +328,7 @@ func LoadArena(path string, records, items int, useMmap bool) (*Arena, error) {
 		return nil, fmt.Errorf("%w: %s: size %d, want %d", ErrArenaInvalid, path, st.Size(), wantSize)
 	}
 
-	a := &Arena{}
+	a := &Arena{path: path}
 	zoneOff := arenaHeaderSize + arenaPayloadSize(items)
 	if useMmap && items > 0 {
 		if m, err := arenaMap(f, int(wantSize)); err == nil {

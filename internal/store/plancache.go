@@ -3,9 +3,10 @@ package store
 // Per-dataset compiled-plan cache. Canonicalized query specs hash to a
 // materialized count vector (plus the plan's explain payload), so a repeated
 // composite query costs one lock-free map lookup instead of a record scan.
-// Datasets are immutable, so cached vectors never need invalidation; the
-// cache lives on the Entry, so removing and re-registering a name can never
-// serve another dataset's vectors.
+// Cached vectors describe one dataset generation — an append flushes the
+// cache via Reset, so a stale vector is never served; the cache lives on the
+// Entry, so removing and re-registering a name can never serve another
+// dataset's vectors.
 //
 // Reads follow the same RCU discipline as the catalog itself: Get loads the
 // current immutable generation through an atomic pointer and walks it
@@ -18,10 +19,17 @@ import (
 )
 
 // DefaultMaxPlans bounds one dataset's cached plans. When the cache is full
-// a new plan flushes the whole generation and starts fresh — an epoch-style
-// eviction that keeps the hot working set cached while bounding memory, with
-// no per-hit bookkeeping on the read path.
+// a new plan triggers a second-chance sweep: plans that served a hit since
+// the last sweep survive (up to maxProtectedPlans of them), the rest are
+// dropped — so one client cycling syntactic spec variants cannot evict every
+// other tenant's hot plans, while memory stays bounded. Flushes counts the
+// sweeps, surfaced as plan_cache_flushes_total so thrash is observable.
 const DefaultMaxPlans = 256
+
+// maxProtectedPlans caps how many recently-hit plans a second-chance sweep
+// carries over: half the capacity, so even a fully hot cache frees room and
+// repeated sweeps cannot pin an unbounded working set.
+const maxProtectedPlans = DefaultMaxPlans / 2
 
 // PlanEntry is one cached compiled plan: the materialized full-universe
 // count vector, its monotonicity, and the planner's explain payload (opaque
@@ -33,6 +41,10 @@ type PlanEntry struct {
 	Monotonic bool
 	// Explain is the planner's explain payload for the compiled plan.
 	Explain any
+
+	// hot is set by Get on a hit and cleared by the second-chance sweep —
+	// the one bit of bookkeeping that lets eviction keep the working set.
+	hot atomic.Bool
 }
 
 // planGen is one immutable generation of the cache's key → plan mapping.
@@ -46,16 +58,21 @@ type PlanCache struct {
 	// gen points at the current immutable generation; nil means empty.
 	gen atomic.Pointer[planGen]
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	flushes atomic.Uint64
 }
 
 // Get returns the cached plan for key, counting the lookup as a hit or a
-// miss. It takes no lock.
+// miss. It takes no lock. A hit marks the entry as recently used, so the
+// next capacity sweep keeps it.
 func (c *PlanCache) Get(key string) (*PlanEntry, bool) {
 	if gen := c.gen.Load(); gen != nil {
 		if pe, ok := (*gen)[key]; ok {
 			c.hits.Add(1)
+			if !pe.hot.Load() {
+				pe.hot.Store(true)
+			}
 			return pe, true
 		}
 	}
@@ -63,9 +80,11 @@ func (c *PlanCache) Get(key string) (*PlanEntry, bool) {
 	return nil, false
 }
 
-// Put caches pe under key. A full cache is flushed wholesale first (see
-// DefaultMaxPlans); concurrent puts of the same key are idempotent — both
-// vectors are correct, the later generation wins.
+// Put caches pe under key. A full cache runs a second-chance sweep first:
+// plans that served a hit since the last sweep survive, capped at
+// maxProtectedPlans, and their hot bits reset so survival must be re-earned.
+// Concurrent puts of the same key are idempotent — both vectors are correct,
+// the later generation wins.
 func (c *PlanCache) Put(key string, pe *PlanEntry) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -73,11 +92,25 @@ func (c *PlanCache) Put(key string, pe *PlanEntry) {
 	if gen := c.gen.Load(); gen != nil {
 		cur = *gen
 	}
-	next := make(planGen, len(cur)+1)
-	if len(cur) < DefaultMaxPlans {
+	if len(cur) >= DefaultMaxPlans {
+		next := make(planGen, maxProtectedPlans+1)
 		for k, v := range cur {
-			next[k] = v
+			if len(next) >= maxProtectedPlans {
+				break
+			}
+			if v.hot.Load() {
+				v.hot.Store(false)
+				next[k] = v
+			}
 		}
+		next[key] = pe
+		c.flushes.Add(1)
+		c.gen.Store(&next)
+		return
+	}
+	next := make(planGen, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
 	}
 	next[key] = pe
 	c.gen.Store(&next)
@@ -95,8 +128,13 @@ func (c *PlanCache) Len() int {
 func (c *PlanCache) Hits() uint64   { return c.hits.Load() }
 func (c *PlanCache) Misses() uint64 { return c.misses.Load() }
 
-// Reset drops every cached plan (the counters keep running); benchmarks use
-// it to measure the cache-cold path.
+// Flushes returns how many capacity sweeps the cache has run — the
+// observable behind the plan_cache_flushes_total metric.
+func (c *PlanCache) Flushes() uint64 { return c.flushes.Load() }
+
+// Reset drops every cached plan (the counters keep running). Appends call it
+// — cached vectors describe the previous dataset generation — and benchmarks
+// use it to measure the cache-cold path.
 func (c *PlanCache) Reset() {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()

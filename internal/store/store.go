@@ -1,17 +1,23 @@
 // Package store is the server-side dataset catalog: a concurrency-safe
-// registry of named, immutable transaction databases that the serving layer
+// registry of named, appendable transaction databases that the serving layer
 // resolves counting-query workloads against. Registering a dataset — from a
 // FIMI-format upload, a synthetic generator, or a preload file — precomputes
 // its item-count vector exactly once; every resolved request afterwards is
 // served from that cached read-only slice, so the hot path never rescans the
-// transactions. This is the curator trust model of the paper: the server
-// holds the data and answers sensitivity-1 counting queries under DP, instead
-// of clients shipping precomputed answers with every request.
+// transactions. Appending a delta builds the next immutable data generation
+// from the previous one — count vector, presence bitset, min/max and zone
+// sketches are all delta-maintained by scanning only the new records — and
+// installs it with one atomic pointer swap, so readers always see a
+// consistent dataset and the zero-per-request-rescan property survives
+// streaming ingestion. This is the curator trust model of the paper: the
+// server holds the data and answers sensitivity-1 counting queries under DP,
+// instead of clients shipping precomputed answers with every request.
 package store
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -84,11 +90,16 @@ type catalog = map[string]*Entry
 // atomic pointer load plus a read of an immutable map.
 type Store struct {
 	limits Limits
-	// writeMu serializes Register/Remove (the copy-and-swap writers).
+	// writeMu serializes Register/Remove/Append (the copy-and-swap writers).
 	writeMu sync.Mutex
 	// byName points at the current immutable catalog generation. Never
 	// mutated in place; always replaced wholesale under writeMu.
 	byName atomic.Pointer[catalog]
+	// retired holds superseded mmap-backed arenas. An append replaces an
+	// entry's arena generation while lock-free readers may still hold slices
+	// into the old mapping, so the mapping cannot be unmapped then; it is
+	// parked here (under writeMu) and released in Close.
+	retired []*Arena
 }
 
 // New returns an empty catalog with the default limits.
@@ -110,28 +121,57 @@ func (s *Store) snapshot() catalog { return *s.byName.Load() }
 // time that Register enforces at registration.
 func (s *Store) Limits() Limits { return s.limits }
 
-// Entry is one catalogued dataset: the immutable transactions plus the
-// columnar count arena materialised at registration (a fresh scan, or a
-// validated arena file on restart). The counters make the caching
-// observable: CountScans stays at 1 however many requests resolve against
-// the entry.
+// Entry is one catalogued dataset: a name bound to a sequence of immutable
+// data generations. Each generation pairs the transactions with the columnar
+// count arena built from exactly those transactions; Append publishes the
+// next generation with one atomic swap, so lock-free readers always see a
+// matched (dataset, arena) pair. The counters make the caching observable:
+// CountScans stays at its registration value however many requests resolve
+// against the entry — and however many deltas are appended, because appends
+// delta-maintain the derived state instead of rescanning.
 type Entry struct {
 	name    string
 	source  string
-	db      *dataset.Transactions
-	arena   *Arena
-	counts  []float64     // the arena's column; treated as read-only ever after
-	stats   dataset.Stats // precomputed once; Info would otherwise rescan for MeanLength
 	created time.Time
 
+	// gen points at the current immutable data generation; replaced
+	// wholesale under the store's writeMu, loaded lock-free by readers.
+	gen atomic.Pointer[entryGen]
+
 	resolutions atomic.Uint64 // query resolutions served from the cache
-	scans       atomic.Uint64 // count materialisations (scan or arena load); cached resolutions never add
+	scans       atomic.Uint64 // count materialisations (scan or arena load); cached resolutions and appends never add
 	skipped     atomic.Uint64 // records proven unmatching by zone sketches and never scanned
 
 	// plans caches compiled composite-query plans and their materialized
-	// count vectors, keyed by canonical spec (see the query planner).
+	// count vectors, keyed by canonical spec (see the query planner). An
+	// append resets it: cached vectors describe the superseded generation.
 	plans PlanCache
 }
+
+// entryGen is one immutable data generation of an entry: everything an
+// append replaces atomically.
+type entryGen struct {
+	db     *dataset.Transactions
+	arena  *Arena
+	counts []float64     // the arena's column; treated as read-only ever after
+	stats  dataset.Stats // maintained incrementally; Info would otherwise rescan for MeanLength
+	lenSum int           // total item slots across records, so MeanLength extends exactly
+}
+
+// View is one consistent snapshot of an entry's data generation. Code that
+// touches both the transactions and the arena (filter scans, explain, arena
+// persistence) must read them through a single View — two separate loads
+// could straddle an append and pair a new dataset with an old arena.
+type View struct {
+	db    *dataset.Transactions
+	arena *Arena
+}
+
+// Dataset returns the snapshot's transactions (read-only by contract).
+func (v View) Dataset() *dataset.Transactions { return v.db }
+
+// Arena returns the snapshot's columnar count arena (read-only by contract).
+func (v View) Arena() *Arena { return v.arena }
 
 // Info summarises an entry for the dataset API.
 type Info struct {
@@ -241,15 +281,18 @@ func (s *Store) register(name, source string, db *dataset.Transactions, arena *A
 		return nil, fmt.Errorf("store: catalog holds %d datasets, the maximum", s.limits.MaxDatasets)
 	}
 
-	e := &Entry{name: name, source: source, db: db, stats: db.Stats(), created: time.Now()}
+	e := &Entry{name: name, source: source, created: time.Now()}
 	e.scans.Add(1) // the one registration count materialisation for this entry
 	if arena == nil {
 		arena = newArena(db.ItemCounts()) // the registration transaction scan
 		// Zone sketches ride the same registration pass budget: one extra
-		// O(records) walk, done once, never updated (datasets are immutable).
+		// O(records) walk; appends extend them incrementally later.
 		arena.zones = BuildZones(db, DefaultZoneBlock)
 	}
-	e.arena, e.counts = arena, arena.Counts()
+	e.gen.Store(&entryGen{
+		db: db, arena: arena, counts: arena.Counts(),
+		stats: db.Stats(), lenSum: db.TotalLength(),
+	})
 
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -270,15 +313,19 @@ func (s *Store) register(name, source string, db *dataset.Transactions, arena *A
 }
 
 // Remove drops the entry catalogued under name, reporting whether it
-// existed. Catalogued datasets are immutable and stay registered for their
-// lifetime — Remove exists solely so the serving layer can roll back a
-// registration whose durable journalling failed, keeping "registered"
-// equivalent to "survives a restart" on persistent servers.
+// existed. Catalogued datasets stay registered for their lifetime — Remove
+// exists solely so the serving layer can roll back a registration whose
+// durable journalling failed, keeping "registered" equivalent to "survives a
+// restart" on persistent servers. When the entry's arena knows its on-disk
+// image, the file is unlinked too: a rolled-back registration must not leak
+// a stale arena that a later re-registration under the same name would have
+// to detect and discard.
 func (s *Store) Remove(name string) bool {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	cur := s.snapshot()
-	if _, ok := cur[name]; !ok {
+	e, ok := cur[name]
+	if !ok {
 		return false
 	}
 	next := make(catalog, len(cur)-1)
@@ -288,7 +335,101 @@ func (s *Store) Remove(name string) bool {
 		}
 	}
 	s.byName.Store(&next)
+	// The removed arena may still be referenced by in-flight readers; park a
+	// mapped one for Close like a superseded append generation, but drop the
+	// file image now — the registration it belonged to no longer exists.
+	a := e.gen.Load().arena
+	if a.Mapped() {
+		s.retired = append(s.retired, a)
+	}
+	if p := a.Path(); p != "" {
+		_ = os.Remove(p)
+	}
 	return true
+}
+
+// CheckAppend validates that appending delta to the dataset catalogued under
+// name would stay within the catalog limits, without applying anything. The
+// same checks re-run inside Append; callers that must journal an append
+// before applying it use CheckAppend to ensure the journalled record cannot
+// be refused afterwards.
+func (s *Store) CheckAppend(name string, delta [][]int32) error {
+	e, err := s.Get(name)
+	if err != nil {
+		return err
+	}
+	_, err = s.validateAppend(e.gen.Load(), name, delta)
+	return err
+}
+
+// validateAppend checks delta against the limits relative to generation g,
+// returning the appended generation's item universe.
+func (s *Store) validateAppend(g *entryGen, name string, delta [][]int32) (items int, err error) {
+	items = g.db.NumItems()
+	for ri, r := range delta {
+		for _, it := range r {
+			if it < 0 {
+				return 0, fmt.Errorf("store: append to %q: record %d holds negative item id %d", name, ri, it)
+			}
+			if int(it)+1 > items {
+				items = int(it) + 1
+			}
+		}
+	}
+	if s.limits.MaxRecords > 0 && g.db.NumRecords()+len(delta) > s.limits.MaxRecords {
+		return 0, fmt.Errorf("store: appending %d records to %q would exceed the limit of %d",
+			len(delta), name, s.limits.MaxRecords)
+	}
+	if s.limits.MaxItems > 0 && items > s.limits.MaxItems {
+		return 0, fmt.Errorf("store: append to %q would grow the item universe to %d, exceeding the limit of %d",
+			name, items, s.limits.MaxItems)
+	}
+	return items, nil
+}
+
+// Append extends the dataset catalogued under name with delta transactions,
+// delta-maintaining every piece of derived state — count vector, presence
+// bitset, min/max summaries and zone sketches — and installing the result as
+// the entry's next data generation with one atomic swap. Only the delta is
+// ever scanned: the record list shares the previous generation's prefix, the
+// count column is the old column plus the delta's contributions, and the
+// zone sketches are extended block-monotonically. CountScans therefore does
+// not move, which is what pins "append" as incremental rather than a
+// re-registration. The compiled-plan cache is flushed — its vectors describe
+// the superseded generation. An empty delta is a valid no-op append.
+func (s *Store) Append(name string, delta [][]int32) (*Entry, error) {
+	e, err := s.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	g := e.gen.Load()
+	items, err := s.validateAppend(g, name, delta)
+	if err != nil {
+		return nil, err
+	}
+
+	db := g.db.AppendRecords(delta)
+	arena := extendArena(g.arena, dataset.DeltaItemCounts(delta, items))
+	arena.zones = ExtendZones(g.arena.Zones(), db, g.db.NumRecords())
+	lenSum := g.lenSum
+	for _, r := range delta {
+		lenSum += len(r)
+	}
+	stats := g.stats
+	stats.Records, stats.Items = db.NumRecords(), items
+	if stats.Records > 0 {
+		stats.MeanLength = float64(lenSum) / float64(stats.Records)
+	}
+	if g.arena.Mapped() {
+		// In-flight readers may hold slices into the old mapping; it is
+		// released with the store, not here.
+		s.retired = append(s.retired, g.arena)
+	}
+	e.gen.Store(&entryGen{db: db, arena: arena, counts: arena.Counts(), stats: stats, lenSum: lenSum})
+	e.plans.Reset()
+	return e, nil
 }
 
 // Get returns the entry catalogued under name. It takes no lock: the lookup
@@ -331,17 +472,24 @@ func (s *Store) List() []Info {
 	return out
 }
 
-// Close releases every entry's arena file mapping, if any. The store must
-// not serve requests afterwards.
+// Close releases every entry's arena file mapping, if any — including the
+// superseded generations parked by appends and removals. The store must not
+// serve requests afterwards.
 func (s *Store) Close() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	var first error
 	for _, e := range s.snapshot() {
-		if err := e.arena.Close(); err != nil && first == nil {
+		if err := e.gen.Load().arena.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	for _, a := range s.retired {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.retired = nil
 	empty := make(catalog)
 	s.byName.Store(&empty)
 	return first
@@ -350,26 +498,39 @@ func (s *Store) Close() error {
 // Name returns the catalog key.
 func (e *Entry) Name() string { return e.name }
 
-// Arena returns the entry's columnar count arena (read-only by contract).
-func (e *Entry) Arena() *Arena { return e.arena }
+// View returns one consistent snapshot of the entry's current data
+// generation. Callers that need both the transactions and the arena must take
+// a single View and use it throughout — separate Arena/Dataset calls could
+// observe different generations across an append.
+func (e *Entry) View() View {
+	g := e.gen.Load()
+	return View{db: g.db, arena: g.arena}
+}
 
-// Dataset returns the underlying transactions (read-only by contract).
-func (e *Entry) Dataset() *dataset.Transactions { return e.db }
+// Arena returns the current generation's columnar count arena (read-only by
+// contract). Use View when the matching transactions are needed too.
+func (e *Entry) Arena() *Arena { return e.gen.Load().arena }
 
-// Info summarises the entry from the stats precomputed at registration.
+// Dataset returns the current generation's transactions (read-only by
+// contract). Use View when the matching arena is needed too.
+func (e *Entry) Dataset() *dataset.Transactions { return e.gen.Load().db }
+
+// Info summarises the entry from the stats maintained incrementally at
+// registration and on every append.
 func (e *Entry) Info() Info {
+	g := e.gen.Load()
 	return Info{
 		Name:         e.name,
 		Source:       e.source,
-		Records:      e.stats.Records,
-		Items:        e.stats.Items,
-		MeanLength:   e.stats.MeanLength,
-		MinCount:     e.arena.MinCount(),
-		MaxCount:     e.arena.MaxCount(),
-		NonzeroItems: e.arena.NonzeroItems(),
-		ArenaMapped:  e.arena.Mapped(),
+		Records:      g.stats.Records,
+		Items:        g.stats.Items,
+		MeanLength:   g.stats.MeanLength,
+		MinCount:     g.arena.MinCount(),
+		MaxCount:     g.arena.MaxCount(),
+		NonzeroItems: g.arena.NonzeroItems(),
+		ArenaMapped:  g.arena.Mapped(),
 
-		SketchBlocks:     e.arena.Zones().NumBlocks(),
+		SketchBlocks:     g.arena.Zones().NumBlocks(),
 		PlanCacheEntries: e.plans.Len(),
 		RecordsSkipped:   e.skipped.Load(),
 
@@ -384,7 +545,7 @@ func (e *Entry) Info() Info {
 // workload. The returned slice is shared and must not be modified.
 func (e *Entry) ResolveAll() []float64 {
 	e.resolutions.Add(1)
-	return e.counts
+	return e.gen.Load().counts
 }
 
 // ResolveItems returns the counts of the given items, answered by indexing
@@ -393,13 +554,14 @@ func (e *Entry) ResolveAll() []float64 {
 // which legitimately count zero — never touch the counts column. Negative
 // ids are rejected.
 func (e *Entry) ResolveItems(items []int32) ([]float64, error) {
+	g := e.gen.Load()
 	out := make([]float64, len(items))
 	for i, it := range items {
 		if it < 0 {
 			return nil, fmt.Errorf("store: items[%d] = %d is negative", i, it)
 		}
-		if e.arena.Has(it) {
-			out[i] = e.counts[int(it)]
+		if g.arena.Has(it) {
+			out[i] = g.counts[int(it)]
 		}
 	}
 	e.resolutions.Add(1)

@@ -7,9 +7,11 @@ package store
 // contain. A filter query consults the sketches before touching a block —
 // a length range outside [min,max], or a required item whose bloom probe
 // misses, proves the block holds no matching record and the whole block is
-// skipped. Sketches are built once in the registration scan (the same
-// O(records) pass that fills the count column), persisted in the arena
-// image, and never updated — datasets are immutable.
+// skipped. Sketches are built in the registration scan (the same O(records)
+// pass that fills the count column) and persisted in the arena image; an
+// append extends them with ExtendZones, which scans only the appended
+// records — block sketches are monotone under adding records, so the shared
+// prefix is copied, never rebuilt.
 //
 // The bloom geometry is fixed: 512 bits (8 words) per block, two probes per
 // item, both derived from one multiplicative hash. With the default 2048
@@ -76,6 +78,51 @@ func BuildZones(db *dataset.Transactions, block int) *Zones {
 		z.minLen[b], z.maxLen[b] = minLen, maxLen
 	}
 	return z
+}
+
+// ExtendZones returns sketches covering db's full record list, given z built
+// over the first oldRecords of it. Untouched whole blocks are copied; the
+// trailing partial block (if any) and the fresh blocks are updated by
+// scanning only records [oldRecords, NumRecords) — min/max length and bloom
+// bits are monotone under adding records, so extending in place on a copy is
+// exactly equivalent to a full rebuild. A nil z (no sketches to extend)
+// falls back to BuildZones.
+func ExtendZones(z *Zones, db *dataset.Transactions, oldRecords int) *Zones {
+	if z == nil || z.block <= 0 {
+		return BuildZones(db, DefaultZoneBlock)
+	}
+	records := db.NumRecords()
+	blocks := (records + z.block - 1) / z.block
+	nz := &Zones{
+		block:   z.block,
+		records: records,
+		minLen:  make([]uint32, blocks),
+		maxLen:  make([]uint32, blocks),
+		bloom:   make([]uint64, blocks*zoneBloomWords),
+	}
+	copy(nz.minLen, z.minLen)
+	copy(nz.maxLen, z.maxLen)
+	copy(nz.bloom, z.bloom)
+	for b := z.NumBlocks(); b < blocks; b++ {
+		nz.minLen[b] = ^uint32(0) // BuildZones' empty-block sentinel
+	}
+	for r := oldRecords; r < records; r++ {
+		b := r / nz.block
+		rec := db.Record(r)
+		if n := uint32(len(rec)); n < nz.minLen[b] {
+			nz.minLen[b] = n
+		}
+		if n := uint32(len(rec)); n > nz.maxLen[b] {
+			nz.maxLen[b] = n
+		}
+		words := nz.bloom[b*zoneBloomWords : (b+1)*zoneBloomWords]
+		for _, item := range rec {
+			w1, m1, w2, m2 := zoneProbes(item)
+			words[w1] |= m1
+			words[w2] |= m2
+		}
+	}
+	return nz
 }
 
 // zoneProbes derives the two bloom probe positions for an item id from one

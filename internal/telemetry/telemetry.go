@@ -259,6 +259,32 @@ func (s *CounterSet) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// Remove deletes the series with the given name and labels from the
+// registry, whatever its kind; later use of the same (name, labels)
+// recreates it at zero. It exists so scrape-time samplers can retire series
+// for entities that no longer exist (e.g. per-tenant gauges) instead of
+// holding their label cardinality forever. Callers that cached the series
+// pointer keep a working but unrendered instance.
+func (s *CounterSet) Remove(name string, labels ...Label) {
+	key := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.kinds[key]; !ok {
+		return
+	}
+	delete(s.counters, key)
+	delete(s.gauges, key)
+	delete(s.floatGauges, key)
+	delete(s.histograms, key)
+	delete(s.kinds, key)
+	for i, k := range s.names {
+		if k == key {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+			break
+		}
+	}
+}
+
 // WritePrometheus renders every registered series in the Prometheus text
 // exposition format, grouped by metric name with TYPE (and optional HELP)
 // headers, in a deterministic order.
