@@ -102,6 +102,7 @@ func parseConfig(args []string) (options, error) {
 		stateDir   = fs.String("state-dir", "", "directory for durable state (WAL + snapshots); empty = in-memory only, a restart refunds all spent budget")
 		mmapData   = fs.Bool("mmap-datasets", false, "persist each dataset's columnar arena into the state dir and mmap it back on restart, skipping the item-count rescan (needs -state-dir)")
 		noSkip     = fs.Bool("no-query-skipping", false, "disable zone-sketch data skipping: composite filter queries scan every record block (results are identical either way)")
+		scanWork   = fs.Int("scan-workers", 0, "max goroutines per filter-query scan (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 		fsyncMode  = fs.String("fsync", "batch", "WAL durability: batch (group fsync off the hot path), always (fsync per charge), off")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and runtime gauges on /metrics")
 		accessLog  = fs.Bool("access-log", false, "log one structured JSON record per request to stderr")
@@ -144,6 +145,7 @@ func parseConfig(args []string) (options, error) {
 		Debug:                *debug,
 		MmapDatasets:         *mmapData,
 		DisableQuerySkipping: *noSkip,
+		ScanWorkers:          *scanWork,
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))

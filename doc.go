@@ -222,11 +222,34 @@
 // unit-scale window — bit-identical to per-request draws, because the
 // Laplace scale multiply factors out exactly in IEEE arithmetic.
 //
+// Reads scale across cores too: a filter query's record scan shards the
+// dataset's zone blocks across a bounded worker pool — capped by
+// ServerConfig.ScanWorkers (cmd/dpserver -scan-workers; 0 means GOMAXPROCS,
+// 1 forces serial), by the surviving block count, and by a process-wide
+// token budget so overlapping queries cannot oversubscribe the machine.
+// Datasets below the serial-fallback threshold (4 zone blocks = 8192
+// records) never fan out, and a scan that cannot claim a token runs serial
+// rather than queue. Shards merge in deterministic order over exact
+// whole-number float sums, so the parallel result is byte-identical to the
+// serial one; ?explain=1 reports the fan-out as parallel_workers and the
+// freegap_scan_workers histogram tracks its distribution. On the write
+// side, appends and monitor deliveries serialize per dataset, not globally:
+// each dataset name hashes into one of 32 ordering domains owning
+// journal → apply → deliver, and the derived-state generation is built
+// before the domain lock is taken, so appends to different datasets
+// proceed fully in parallel (see Streaming). When an append supersedes a
+// memory-mapped arena generation, the server parks the old mapping and
+// unmaps it once in-flight requests drain (freegap_retired_arenas counts
+// the parked mappings).
+//
 // The invariants the lock-splitting must preserve — Σ admitted charges ==
-// spent, spent never above budget + tolerance, and a journal history that
-// holds exactly the admitted charges — are pinned by -race stress tests
-// (internal/server/stress_test.go), and BenchmarkServerParallelManyTenants
-// (64 tenants × parallel clients) quantifies the multi-core win.
+// spent, spent never above budget + tolerance, a journal history that
+// holds exactly the admitted charges, and per-dataset append/verdict order
+// with byte-identical crash recovery — are pinned by -race stress tests
+// (internal/server/stress_test.go and
+// internal/server/parallel_stress_test.go), and
+// BenchmarkServerParallelManyTenants (64 tenants × parallel clients)
+// quantifies the multi-core win.
 //
 // # Streaming
 //
@@ -237,7 +260,11 @@
 // append cost is independent of how many records are already resident and
 // the dataset's count_scans counter stays at 1. Admitted appends are
 // journalled before they are applied; recovery replays the registration
-// image and then each delta in order.
+// image and then each delta in order. Ordering is per dataset: each
+// dataset's appends serialize on its write domain and carry a 1-based
+// per-dataset sequence number (the append response's seq field, verified
+// contiguous on replay), while appends to different datasets run
+// concurrently.
 //
 // Threshold monitors (POST /v1/monitors) run Sparse-Vector-with-Gap
 // server-side over that stream: a monitor names a dataset item and a public

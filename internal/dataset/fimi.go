@@ -35,7 +35,11 @@ func ReadFIMI(r io.Reader, name string) (*Transactions, error) {
 // for callers reading untrusted data (the dpserver upload endpoint).
 func ReadFIMILimited(r io.Reader, name string, lim FIMILimits) (*Transactions, error) {
 	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	// Start small and let the scanner grow toward the 16 MiB line cap on
+	// demand: this parser also sits on the append hot path, where the typical
+	// input is a few-line delta and a fixed megabyte-sized buffer per parse
+	// would dominate the allocation profile.
+	scanner.Buffer(make([]byte, 16*1024), 16*1024*1024)
 	var records [][]int32
 	line := 0
 	for scanner.Scan() {

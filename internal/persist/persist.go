@@ -184,6 +184,12 @@ type SyntheticRecord struct {
 type AppendRecord struct {
 	// Name is the catalog key of the dataset appended to.
 	Name string `json:"name"`
+	// Seq is the 1-based per-dataset append sequence number. Appends to
+	// different datasets may interleave arbitrarily in the WAL (each dataset
+	// has its own ordering domain), but each dataset's subsequence must be
+	// contiguous — replay checks it. Zero marks a record journalled before
+	// sequence numbers existed; replay skips the check for those.
+	Seq uint64 `json:"seq,omitempty"`
 	// Records are the appended transactions.
 	Records [][]int32 `json:"records"`
 }
@@ -913,10 +919,20 @@ func (l *Log) drainIO(sync bool) {
 	if m := l.metrics.Load(); m != nil && m.ObserveFsync != nil {
 		m.ObserveFsync(time.Since(start))
 	}
+	if cap(l.drainBuf) > maxRetainedDrainBuf {
+		// One oversized drain (a bulk dataset registration, say) would
+		// otherwise pin its peak capacity for the life of the log.
+		l.drainBuf = nil
+	}
 	if err != nil {
 		l.stickyErr(err)
 	}
 }
+
+// maxRetainedDrainBuf caps the scratch buffer drainIO keeps between drains;
+// a drain that needed more gets a fresh allocation and the oversized buffer
+// is released to the collector.
+const maxRetainedDrainBuf = 1 << 20
 
 func errOnce(existing, next error) error {
 	if existing != nil {

@@ -430,3 +430,84 @@ func TestStateDirLocked(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendDeltaSeqRoundTrip: per-dataset append sequence numbers survive
+// the WAL round trip with arbitrary cross-dataset interleaving, so replay
+// can prove each dataset's subsequence is contiguous.
+func TestAppendDeltaSeqRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	deltas := []AppendRecord{
+		{Name: "a", Seq: 1, Records: [][]int32{{0}}},
+		{Name: "b", Seq: 1, Records: [][]int32{{1, 2}}},
+		{Name: "a", Seq: 2, Records: [][]int32{{3}}},
+		{Name: "b", Seq: 2, Records: [][]int32{{4}}},
+		{Name: "a", Seq: 3, Records: [][]int32{{5}}},
+	}
+	for _, rec := range deltas {
+		if err := l.AppendDelta(rec); err != nil {
+			t.Fatalf("AppendDelta(%q seq %d): %v", rec.Name, rec.Seq, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	seqs := make(map[string][]uint64)
+	got := 0
+	for _, ev := range l2.State().Events {
+		if ev.Append == nil {
+			continue
+		}
+		want := deltas[got]
+		if ev.Append.Name != want.Name || ev.Append.Seq != want.Seq {
+			t.Errorf("event %d = %q seq %d, want %q seq %d", got, ev.Append.Name, ev.Append.Seq, want.Name, want.Seq)
+		}
+		seqs[ev.Append.Name] = append(seqs[ev.Append.Name], ev.Append.Seq)
+		got++
+	}
+	if got != len(deltas) {
+		t.Fatalf("replayed %d append events, want %d", got, len(deltas))
+	}
+	for name, ss := range seqs {
+		for i, s := range ss {
+			if s != uint64(i)+1 {
+				t.Errorf("dataset %q subsequence %v is not contiguous from 1", name, ss)
+				break
+			}
+		}
+	}
+}
+
+// TestDrainBufShrinksAfterOversizedDrain: one huge drain must not pin its
+// peak scratch capacity for the life of the log.
+func TestDrainBufShrinksAfterOversizedDrain(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Fsync: FsyncAlways, CompactEvery: -1})
+	defer l.Close()
+	big := make([][]int32, 1<<17) // ~1.3 MiB of JSON, past the retain cap
+	for i := range big {
+		big[i] = []int32{int32(i)}
+	}
+	if err := l.AppendDelta(AppendRecord{Name: "sales", Seq: 1, Records: big}); err != nil {
+		t.Fatalf("AppendDelta(big): %v", err)
+	}
+	l.ioMu.Lock()
+	c := cap(l.drainBuf)
+	l.ioMu.Unlock()
+	if c > maxRetainedDrainBuf {
+		t.Errorf("drainBuf cap after oversized drain = %d, want <= %d", c, maxRetainedDrainBuf)
+	}
+	// A modest drain afterwards keeps its (small) buffer for reuse.
+	if err := l.AppendDelta(AppendRecord{Name: "sales", Seq: 2, Records: [][]int32{{1}}}); err != nil {
+		t.Fatalf("AppendDelta(small): %v", err)
+	}
+	l.ioMu.Lock()
+	c = cap(l.drainBuf)
+	l.ioMu.Unlock()
+	if c == 0 || c > maxRetainedDrainBuf {
+		t.Errorf("drainBuf cap after small drain = %d, want small and non-zero", c)
+	}
+}

@@ -12,11 +12,20 @@ package plan
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/freegap/freegap/internal/engine"
 	"github.com/freegap/freegap/internal/store"
 )
+
+// DefaultMinParallelRecords is the surviving-record threshold below which a
+// filter scan stays serial. Fanning out costs a few goroutine handoffs plus
+// one partial count vector and one stamp array per worker, which dominates
+// until a scan has at least a few zone blocks of real work; four blocks of
+// post-skip records is where the fan-out reliably pays for itself.
+const DefaultMinParallelRecords = 4 * store.DefaultZoneBlock
 
 // Options tunes one resolution.
 type Options struct {
@@ -26,6 +35,16 @@ type Options struct {
 	NoSkip bool
 	// NoCache bypasses the compiled-plan cache (both lookup and fill).
 	NoCache bool
+	// Workers caps the per-scan worker fan-out of block-parallel filter
+	// scans: 0 means GOMAXPROCS, 1 forces serial scans. Results are
+	// byte-identical at every setting — workers own disjoint runs of zone
+	// blocks and their whole-number partial counts merge exactly.
+	Workers int
+	// MinParallelRecords is the surviving-record threshold below which a
+	// filter scan stays serial: 0 means DefaultMinParallelRecords, negative
+	// forces the parallel path even on tiny datasets (a differential-test
+	// knob, not a serving configuration).
+	MinParallelRecords int
 }
 
 // Stats aggregates one resolution's scan work across all datasets touched.
@@ -38,6 +57,9 @@ type Stats struct {
 	RecordsSkipped int
 	// BlocksSkipped counts whole zone blocks skipped.
 	BlocksSkipped int
+	// ParallelWorkers is the widest worker fan-out any filter scan of the
+	// resolution ran with (1 = every scan was serial, 0 = no scan ran).
+	ParallelWorkers int
 }
 
 // Result is one resolved composite query.
@@ -61,19 +83,22 @@ type Result struct {
 // Explain is the ?explain=1 payload: the compiled plan and what evaluating
 // it cost.
 type Explain struct {
-	Dataset        string       `json:"dataset"`
-	Canonical      string       `json:"canonical"`
-	Hash           string       `json:"hash"`
-	Cached         bool         `json:"cached"`
-	Monotonic      bool         `json:"monotonic"`
-	Answers        int          `json:"answers"`
-	SketchBlocks   int          `json:"sketch_blocks"`
-	RecordsTotal   int          `json:"records_total"`
-	RecordsScanned int          `json:"records_scanned"`
-	RecordsSkipped int          `json:"records_skipped"`
-	BlocksSkipped  int          `json:"blocks_skipped"`
-	CompileMicros  float64      `json:"compile_us"`
-	Plan           *NodeExplain `json:"plan"`
+	Dataset        string `json:"dataset"`
+	Canonical      string `json:"canonical"`
+	Hash           string `json:"hash"`
+	Cached         bool   `json:"cached"`
+	Monotonic      bool   `json:"monotonic"`
+	Answers        int    `json:"answers"`
+	SketchBlocks   int    `json:"sketch_blocks"`
+	RecordsTotal   int    `json:"records_total"`
+	RecordsScanned int    `json:"records_scanned"`
+	RecordsSkipped int    `json:"records_skipped"`
+	BlocksSkipped  int    `json:"blocks_skipped"`
+	// ParallelWorkers is the widest block-parallel fan-out any filter scan
+	// of the plan ran with (1 = serial, 0 = nothing scanned).
+	ParallelWorkers int          `json:"parallel_workers"`
+	CompileMicros   float64      `json:"compile_us"`
+	Plan            *NodeExplain `json:"plan"`
 }
 
 // NodeExplain is one plan node in the explain tree.
@@ -127,18 +152,19 @@ func Resolve(cat Catalog, e *store.Entry, spec *engine.QuerySpec, opts Options) 
 
 	v := ctx.view(e)
 	ex := &Explain{
-		Dataset:        e.Name(),
-		Canonical:      n.canon,
-		Hash:           fmt.Sprintf("%016x", hashString(n.canon)),
-		Monotonic:      n.mono,
-		Answers:        len(answers),
-		SketchBlocks:   v.Arena().Zones().NumBlocks(),
-		RecordsTotal:   v.Dataset().NumRecords(),
-		RecordsScanned: ctx.stats.RecordsScanned,
-		RecordsSkipped: ctx.stats.RecordsSkipped,
-		BlocksSkipped:  ctx.stats.BlocksSkipped,
-		CompileMicros:  micros(compile),
-		Plan:           explainNode(n),
+		Dataset:         e.Name(),
+		Canonical:       n.canon,
+		Hash:            fmt.Sprintf("%016x", hashString(n.canon)),
+		Monotonic:       n.mono,
+		Answers:         len(answers),
+		SketchBlocks:    v.Arena().Zones().NumBlocks(),
+		RecordsTotal:    v.Dataset().NumRecords(),
+		RecordsScanned:  ctx.stats.RecordsScanned,
+		RecordsSkipped:  ctx.stats.RecordsSkipped,
+		BlocksSkipped:   ctx.stats.BlocksSkipped,
+		ParallelWorkers: ctx.stats.ParallelWorkers,
+		CompileMicros:   micros(compile),
+		Plan:            explainNode(n),
 	}
 	if !opts.NoCache {
 		e.Plans().Put(n.canon, &store.PlanEntry{Answers: answers, Monotonic: n.mono, Explain: ex})
@@ -346,10 +372,25 @@ func emptySupport(v []float64) bool {
 	return true
 }
 
+// scanTokens bounds the extra goroutines block-parallel scans may run
+// process-wide, so concurrent resolutions cannot multiply their fan-outs
+// into GOMAXPROCS² runnable scanners. A scan that cannot claim tokens
+// shrinks its fan-out (down to serial) instead of queueing — correctness
+// never depends on the width actually won, only the wall-clock does.
+var scanTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// blockRange is one zone block's record range [lo, hi).
+type blockRange struct{ lo, hi int }
+
 // filterScan counts, per item, the records matching the node's predicate —
 // the one algebra operation that touches the transactions. Blocks the zone
 // sketches prove unmatching are skipped wholesale (unless Options.NoSkip);
 // each scan bumps the entry's count_scans and records_skipped observables.
+// Surviving blocks are sharded across a bounded worker fan-out when the
+// remaining work clears Options.MinParallelRecords; each worker scans a
+// disjoint contiguous run of blocks into its own partial vector and the
+// partials merge in shard order. Counts are whole numbers, so the merged
+// vector is byte-identical to the serial pass at any fan-out.
 func (c *evalCtx) filterScan(e *store.Entry, n *node) []float64 {
 	v := c.view(e)
 	db := v.Dataset()
@@ -357,35 +398,184 @@ func (c *evalCtx) filterScan(e *store.Entry, n *node) []float64 {
 	c.stats.FilterScans++
 	e.NoteCountScan()
 
+	// Consult the sketches first: the surviving block list is what both the
+	// serial and the parallel path scan. A sketch-less arena (a legacy image)
+	// synthesizes default-sized blocks so it can still shard.
 	zones := v.Arena().Zones()
-	if zones == nil || c.opts.NoSkip {
-		c.scanRange(db, 0, db.NumRecords(), n, out)
-		return out
-	}
-	skipped := 0
-	for b := 0; b < zones.NumBlocks(); b++ {
-		lo, hi := zones.BlockRange(b)
-		if zones.SkipBlock(b, n.contains, n.minLen, n.maxLen) {
-			c.stats.BlocksSkipped++
-			skipped += hi - lo
-			continue
+	var ranges []blockRange
+	surviving, skipped := 0, 0
+	if zones.NumBlocks() == 0 {
+		total := db.NumRecords()
+		for lo := 0; lo < total; lo += store.DefaultZoneBlock {
+			hi := lo + store.DefaultZoneBlock
+			if hi > total {
+				hi = total
+			}
+			ranges = append(ranges, blockRange{lo, hi})
 		}
-		c.scanRange(db, lo, hi, n, out)
+		surviving = total
+	} else {
+		for b := 0; b < zones.NumBlocks(); b++ {
+			lo, hi := zones.BlockRange(b)
+			if !c.opts.NoSkip && zones.SkipBlock(b, n.contains, n.minLen, n.maxLen) {
+				c.stats.BlocksSkipped++
+				skipped += hi - lo
+				continue
+			}
+			ranges = append(ranges, blockRange{lo, hi})
+			surviving += hi - lo
+		}
 	}
 	c.stats.RecordsSkipped += skipped
 	e.NoteRecordsSkipped(uint64(skipped))
+
+	if workers := c.scanWorkers(surviving, len(ranges)); workers > 1 {
+		if c.parallelScan(db, ranges, surviving, workers, n, out) {
+			return out
+		}
+	}
+	c.noteWorkers(1)
+	for _, r := range ranges {
+		c.scanRange(db, r.lo, r.hi, n, out)
+	}
 	return out
 }
 
-// scanRange scans records [lo, hi), adding each matching record once to the
-// count of every distinct item it contains (the same per-record dedup the
-// registration count uses, via a stamp array).
+// scanWorkers sizes a scan's worker fan-out: capped by Options.Workers
+// (GOMAXPROCS when unset) and the surviving block count, serial below the
+// min-work threshold.
+func (c *evalCtx) scanWorkers(surviving, blocks int) int {
+	w := c.opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > blocks {
+		w = blocks
+	}
+	if w < 1 {
+		return 1
+	}
+	min := c.opts.MinParallelRecords
+	if min == 0 {
+		min = DefaultMinParallelRecords
+	}
+	if min > 0 && surviving < min {
+		return 1
+	}
+	return w
+}
+
+// noteWorkers records the widest fan-out any scan of the resolution used.
+func (c *evalCtx) noteWorkers(w int) {
+	if w > c.stats.ParallelWorkers {
+		c.stats.ParallelWorkers = w
+	}
+}
+
+// parallelScan shards ranges into up to workers contiguous chunks balanced
+// by record count and scans them concurrently, each worker into a private
+// partial vector with private dedup stamps, then folds the partials into out
+// in shard order. Returns false when no process-wide scan token could be
+// claimed — the caller falls back to the serial loop.
+func (c *evalCtx) parallelScan(db recordSource, ranges []blockRange, surviving, workers int, n *node, out []float64) bool {
+	// Claim tokens for the extra goroutines; the fan-out shrinks rather than
+	// waits when other scans hold the budget.
+	extra := 0
+claim:
+	for extra < workers-1 {
+		select {
+		case scanTokens <- struct{}{}:
+			extra++
+		default:
+			break claim
+		}
+	}
+	if extra == 0 {
+		return false
+	}
+	workers = extra + 1
+
+	// Contiguous shards balanced by surviving records, never more than one
+	// shard short of the claimed width.
+	target := (surviving + workers - 1) / workers
+	shards := make([][]blockRange, 0, workers)
+	start, acc := 0, 0
+	for i, r := range ranges {
+		acc += r.hi - r.lo
+		if acc >= target && len(shards) < workers-1 {
+			shards = append(shards, ranges[start:i+1])
+			start, acc = i+1, 0
+		}
+	}
+	if start < len(ranges) {
+		shards = append(shards, ranges[start:])
+	}
+	for extra > len(shards)-1 { // balancing produced fewer shards than tokens
+		<-scanTokens
+		extra--
+	}
+
+	type partial struct {
+		out     []float64
+		scanned int
+	}
+	parts := make([]partial, len(shards))
+	var wg sync.WaitGroup
+	for i := 1; i < len(shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-scanTokens }()
+			parts[i].out, parts[i].scanned = scanShard(db, shards[i], n, len(out))
+		}(i)
+	}
+	parts[0].out, parts[0].scanned = scanShard(db, shards[0], n, len(out))
+	wg.Wait()
+
+	// Deterministic shard-order merge. The partials hold whole-number counts
+	// well below 2^53, so the folded sums are exact and byte-identical to the
+	// serial pass no matter how the balancing split the blocks.
+	for _, p := range parts {
+		c.stats.RecordsScanned += p.scanned
+		for it, x := range p.out {
+			if x != 0 {
+				out[it] += x
+			}
+		}
+	}
+	c.noteWorkers(len(shards))
+	return true
+}
+
+// scanShard scans one worker's run of block ranges into a private vector
+// with private dedup state.
+func scanShard(db recordSource, shard []blockRange, n *node, universe int) ([]float64, int) {
+	out := make([]float64, universe)
+	stamps := make([]int32, universe)
+	var stamp int32
+	scanned := 0
+	for _, r := range shard {
+		scanned += r.hi - r.lo
+		stamp = scanRecords(db, r.lo, r.hi, n, stamps, stamp, out)
+	}
+	return out, scanned
+}
+
+// scanRange scans records [lo, hi) with the resolution-shared dedup stamps
+// (the serial path).
 func (c *evalCtx) scanRange(db recordSource, lo, hi int, n *node, out []float64) {
 	c.stats.RecordsScanned += hi - lo
 	if len(c.stamps) < len(out) {
 		c.stamps = make([]int32, len(out))
 	}
-	stamps := c.stamps
+	c.stamp = scanRecords(db, lo, hi, n, c.stamps, c.stamp, out)
+}
+
+// scanRecords scans records [lo, hi), adding each matching record once to
+// the count of every distinct item it contains (the same per-record dedup
+// the registration count uses, via a stamp array). It returns the advanced
+// stamp generation for the caller to carry into its next range.
+func scanRecords(db recordSource, lo, hi int, n *node, stamps []int32, stamp int32, out []float64) int32 {
 	for r := lo; r < hi; r++ {
 		rec := db.Record(r)
 		if len(rec) < n.minLen || (n.maxLen > 0 && len(rec) > n.maxLen) {
@@ -394,8 +584,7 @@ func (c *evalCtx) scanRange(db recordSource, lo, hi int, n *node, out []float64)
 		if !containsAll(rec, n.contains) {
 			continue
 		}
-		c.stamp++
-		stamp := c.stamp
+		stamp++
 		for _, it := range rec {
 			if stamps[it] != stamp {
 				stamps[it] = stamp
@@ -403,6 +592,7 @@ func (c *evalCtx) scanRange(db recordSource, lo, hi int, n *node, out []float64)
 			}
 		}
 	}
+	return stamp
 }
 
 // recordSource is the slice of the Transactions API the scanner needs.

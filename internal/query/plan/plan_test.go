@@ -235,8 +235,10 @@ func vecEqual(a, b []float64) bool {
 	return true
 }
 
-// checkDifferential resolves spec three ways — skipping on, skipping off
-// (cache bypassed), naive — and requires byte-identical vectors.
+// checkDifferential resolves spec five ways — skipping on, skipping off
+// (cache bypassed), then both again with the parallel scan path forced even
+// on tiny datasets, and naive — and requires byte-identical vectors across
+// the whole matrix.
 func checkDifferential(t *testing.T, w *testWorld, ds string, spec *engine.QuerySpec) {
 	t.Helper()
 	if err := spec.Validate(); err != nil {
@@ -247,19 +249,24 @@ func checkDifferential(t *testing.T, w *testWorld, ds string, spec *engine.Query
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Resolve(w.store, e, spec, Options{})
-	if err != nil {
-		t.Fatal(err)
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"skip", Options{}},
+		{"noskip", Options{NoSkip: true, NoCache: true}},
+		{"skip/parallel", Options{NoCache: true, Workers: 4, MinParallelRecords: -1}},
+		{"noskip/parallel", Options{NoSkip: true, NoCache: true, Workers: 4, MinParallelRecords: -1}},
 	}
-	noskip, err := Resolve(w.store, e, spec, Options{NoSkip: true, NoCache: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !vecEqual(got.Answers, want) {
-		t.Errorf("%s on %s: plan differs from naive\n got: %v\nwant: %v", Canonical(spec), ds, got.Answers, want)
-	}
-	if !vecEqual(noskip.Answers, want) {
-		t.Errorf("%s on %s: NoSkip plan differs from naive", Canonical(spec), ds)
+	for _, v := range variants {
+		got, err := Resolve(w.store, e, spec, v.opts)
+		if err != nil {
+			t.Fatalf("%s on %s (%s): %v", Canonical(spec), ds, v.name, err)
+		}
+		if !vecEqual(got.Answers, want) {
+			t.Errorf("%s on %s: %s plan differs from naive\n got: %v\nwant: %v",
+				Canonical(spec), ds, v.name, got.Answers, want)
+		}
 	}
 }
 

@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"github.com/freegap/freegap/internal/dataset"
@@ -388,4 +390,51 @@ func BenchmarkDatasetAppend(b *testing.B) {
 	if got := entry.CountScans(); got != 1 {
 		b.Fatalf("CountScans = %d after appends, want 1 (append rescanned the dataset)", got)
 	}
+}
+
+// BenchmarkParallelAppendDistinctDatasets measures write-domain scaling:
+// client goroutines append concurrently, each to its own catalogued dataset.
+// Under the old global stream lock this was flat in GOMAXPROCS — every
+// append serialized on one mutex regardless of target; with per-dataset
+// write domains throughput must rise with cores. CI's -cpu=1,2,4 scaling
+// matrix runs this row (deliberately named so the 15% single-setting guard
+// on BenchmarkDatasetAppend does not also average these numbers in). The
+// base datasets are kept small: an append installs a copied generation, so
+// a large resident set would make the benchmark measure allocator/GC
+// bandwidth (BenchmarkDatasetAppend already covers that cost) instead of
+// the write-path coordination this row exists to watch.
+func BenchmarkParallelAppendDistinctDatasets(b *testing.B) {
+	const numDatasets = 8
+	recs := make([][]int32, 256)
+	for i := range recs {
+		recs[i] = []int32{int32(i % 97)}
+	}
+	s := mustServer(b, Config{TenantBudget: benchBudget, Seed: 1, Workers: 1})
+	names := make([]string, numDatasets)
+	for i := range names {
+		names[i] = fmt.Sprintf("grow%d", i)
+		if _, err := s.RegisterDataset(names[i], "bench:parappend", dataset.New(names[i], recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := s.Handler()
+	body := []byte(`{"fimi":"7 11\n13\n"}`)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// Round-robin the target per op (not per goroutine) so every
+			// dataset grows at the same rate whatever the -cpu setting —
+			// otherwise the single-goroutine run piles all growth onto one
+			// dataset and its larger generation copies skew the comparison.
+			name := names[int(next.Add(1)-1)%numDatasets]
+			req := httptest.NewRequest(http.MethodPost, "/v1/datasets/"+name+"/append", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status = %d, body = %s", w.Code, w.Body.String())
+			}
+		}
+	})
 }

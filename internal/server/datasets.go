@@ -66,7 +66,10 @@ func (r storeResolver) Resolve(name string, spec *engine.QuerySpec) ([]float64, 
 // feeding the plan-cache and skipping observables. The spec was validated
 // by ResolveRequest (or the explain handler) before this point.
 func (s *Server) resolvePlan(e *store.Entry, spec *engine.QuerySpec) (*plan.Result, error) {
-	res, err := plan.Resolve(s.datasets, e, spec, plan.Options{NoSkip: s.cfg.DisableQuerySkipping})
+	res, err := plan.Resolve(s.datasets, e, spec, plan.Options{
+		NoSkip:  s.cfg.DisableQuerySkipping,
+		Workers: s.cfg.ScanWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +81,9 @@ func (s *Server) resolvePlan(e *store.Entry, spec *engine.QuerySpec) (*plan.Resu
 	}
 	if res.Stats.RecordsSkipped > 0 {
 		s.datasetCounters(e.Name()).skipped.Add(uint64(res.Stats.RecordsSkipped))
+	}
+	if res.Stats.ParallelWorkers > 0 {
+		s.hot.scanWorkers.Observe(res.Stats.ParallelWorkers)
 	}
 	return res, nil
 }

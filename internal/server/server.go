@@ -58,7 +58,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/freegap/freegap/internal/engine"
@@ -69,7 +71,7 @@ import (
 
 // Version is the served build's version string, exposed as the version
 // label of the freegap_build_info metric.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Defaults applied by Config.withDefaults.
 const (
@@ -162,6 +164,13 @@ type Config struct {
 	// byte-identical either way; the switch exists for benchmarking the
 	// skipping win and for diagnosing suspected sketch issues.
 	DisableQuerySkipping bool
+	// ScanWorkers caps the per-query worker fan-out of block-parallel filter
+	// scans: 0 (the default) lets each scan use up to GOMAXPROCS workers, 1
+	// forces every scan serial. Results are byte-identical at any setting —
+	// the knob trades intra-query latency against cross-query throughput on
+	// loaded servers. Scans over fewer than plan.DefaultMinParallelRecords
+	// surviving records stay serial regardless.
+	ScanWorkers int
 	// Persist, when set, makes the privacy-critical state durable: the
 	// server restores per-tenant spent budgets and the dataset catalog from
 	// the log at construction, journals every admitted charge and dataset
@@ -214,6 +223,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxBatch < 0 {
 		return c, fmt.Errorf("server: max batch %d must be positive", c.MaxBatch)
+	}
+	if c.ScanWorkers < 0 {
+		return c, fmt.Errorf("server: scan workers %d must be non-negative", c.ScanWorkers)
 	}
 	if c.Mechanisms == nil {
 		c.Mechanisms = engine.DefaultRegistry()
@@ -289,16 +301,23 @@ type Server struct {
 	lastCASRetries  uint64
 	planFlushTotal  *telemetry.Counter
 	lastPlanFlushes uint64
-	// Streaming state (see streaming.go). streamMu serializes every catalog
-	// mutation that monitors can observe — monitor registration and dataset
-	// appends, each journalled under the lock before it is applied — so the
-	// WAL event order equals the order monitors saw the world in and a
-	// restart replays their verdict histories bit for bit.
-	streamMu     sync.Mutex
-	monitors     map[string]*monitor
-	monOrder     []*monitor
-	monByDataset map[string][]*monitor
-	monNextID    uint64
+	// Streaming state (see streaming.go). Every dataset hashes to one of the
+	// domains; the owning domain's mutex serializes journal → apply → deliver
+	// for its datasets — monitor registration and dataset appends, each
+	// journalled under the domain lock before it is applied — so each
+	// dataset's WAL subsequence equals the order its monitors saw the world
+	// in and a restart replays their verdict histories bit for bit. Appends
+	// to datasets in different domains never contend.
+	domains [numStreamDomains]streamDomain
+	// monMu guards the cross-domain monitor registry (lookup by id, listing
+	// in registration order); the per-dataset watcher lists live in the
+	// owning domain.
+	monMu    sync.RWMutex
+	monitors map[string]*monitor
+	monOrder []*monitor
+	// monNextID holds the last-minted numeric monitor id (Add(1) mints;
+	// restore CAS-maxes it over the journalled ids).
+	monNextID atomic.Uint64
 	// monClosed is closed at the start of Shutdown/Close so long-lived SSE
 	// handlers hang up before the HTTP server waits on them to drain.
 	monClosed       chan struct{}
@@ -326,6 +345,9 @@ type hotCounters struct {
 	// planCompile tracks spec normalize+canonicalize time per composite
 	// resolution (cache hits included — canonicalization is the lookup key).
 	planCompile *telemetry.Histogram
+	// scanWorkers records the widest worker fan-out per filter-bearing
+	// composite resolution (1 = the scan stayed serial).
+	scanWorkers *telemetry.ValueHistogram
 }
 
 // labelTenants is the metrics label for the tenant budget endpoint.
@@ -357,6 +379,7 @@ func newHotCounters(set *telemetry.CounterSet, mechanisms []string) hotCounters 
 	hot.planHits = set.Counter("freegap_plan_cache_hits_total")
 	hot.planMisses = set.Counter("freegap_plan_cache_misses_total")
 	hot.planCompile = set.Histogram("freegap_plan_compile_seconds")
+	hot.scanWorkers = set.ValueHistogram("freegap_scan_workers")
 	for st := range hot.stages {
 		hot.stages[st] = set.Histogram("freegap_stage_seconds", telemetry.L("stage", stageNames[st]))
 	}
@@ -425,10 +448,21 @@ func New(cfg Config) (*Server, error) {
 		tenantGauges:  make(map[string]*telemetry.FloatGauge),
 		monClosed:     make(chan struct{}),
 	}
+	for i := range s.domains {
+		s.domains[i].watchers = make(map[string][]*monitor)
+		s.domains[i].seqs = make(map[string]uint64)
+	}
+	if cfg.MmapDatasets {
+		// Every HTTP request is bracketed by the root handler's
+		// ReaderEnter/ReaderExit, so superseded mmap generations can be
+		// unmapped as soon as in-flight readers drain instead of parking
+		// until Close.
+		s.datasets.EnableArenaReclaim()
+	}
 	// Built eagerly so Serve (serving goroutine) and Shutdown (signal
 	// goroutine) never race on the field.
 	s.httpSrv = &http.Server{
-		Handler:           s.mux,
+		Handler:           s.rootHandler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.telemetry.Help("freegap_requests_total", "DP query requests by mechanism and outcome code.")
@@ -440,6 +474,8 @@ func New(cfg Config) (*Server, error) {
 	s.telemetry.Help("freegap_plan_cache_misses_total", "Composite query resolutions that compiled and evaluated a plan.")
 	s.telemetry.Help("freegap_plan_compile_seconds", "Query-plan normalize+canonicalize time per composite resolution.")
 	s.telemetry.Help("freegap_records_skipped_total", "Records proven unmatching by zone sketches and skipped by filter scans.")
+	s.telemetry.Help("freegap_scan_workers", "Widest block-parallel worker fan-out per filter-bearing query resolution (1 = serial).")
+	s.telemetry.Help("freegap_retired_arenas", "Superseded mmap arena generations parked awaiting reader drain.")
 	s.telemetry.Help("freegap_request_seconds", "Request latency by endpoint, full pipeline wall time.")
 	s.telemetry.Help("freegap_stage_seconds", "Pipeline stage latency across all endpoints.")
 	s.telemetry.Help("freegap_uptime_seconds", "Seconds since the server was constructed.")
@@ -566,7 +602,27 @@ func (s *Server) routes() {
 
 // Handler returns the server's HTTP handler, for mounting under httptest or a
 // caller-owned http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.rootHandler() }
+
+// rootHandler wraps the mux so every request is bracketed as one catalog
+// reader: a handler may hold slices into a dataset's current mmap arena for
+// its whole lifetime (resolution output, response encoding), so the bracket
+// is what lets superseded arena generations be reclaimed the moment
+// in-flight requests drain (see store.EnableArenaReclaim). Long-lived SSE
+// streams are exempt — they only read per-monitor state, never arena data,
+// and holding the reader count up for the life of a stream would park
+// retired arenas forever.
+func (s *Server) rootHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		s.datasets.ReaderEnter()
+		defer s.datasets.ReaderExit()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Registry exposes the tenant registry (used by the CLI for startup logging
 // and by tests).

@@ -11,14 +11,24 @@ package server
 // query, streaming the verdict (and, above threshold, the free gap) to SSE
 // subscribers on GET /v1/monitors/{id}/stream.
 //
-// Replay invariant: the WAL's event order must equal the order monitors
-// observed the world in. A monitor journalled before an append must take its
-// registration-time verdict against the pre-append counts, and each append's
-// verdicts against exactly the record count the journal says was current.
-// streamMu serializes (journal monitor → register → seq-0 verdict) against
-// (journal append → apply → fan out verdicts) to pin that order; with each
-// monitor's noise stream a pure function of its journalled seed, a restart
-// replays the event stream and reproduces every verdict bit for bit.
+// Replay invariant: each dataset's WAL subsequence must equal the order its
+// monitors observed the world in. A monitor journalled before an append must
+// take its registration-time verdict against the pre-append counts, and each
+// append's verdicts against exactly the record count the journal says was
+// current. The invariant is per-dataset — a monitor watches one dataset, so
+// how appends to *different* datasets interleave in the WAL is immaterial —
+// and it is pinned per-dataset: every dataset hashes to one of
+// numStreamDomains ordering domains, and the owning domain's mutex
+// serializes (journal monitor → register → seq-0 verdict) against (journal
+// append → install → fan out verdicts) for its datasets only. Appends carry
+// a per-dataset sequence number so replay can check the subsequence is
+// contiguous. The derived-state build for an append (count deltas, sketch
+// and zone extension — the expensive part) happens in store.PrepareAppend
+// *before* the domain lock; only journal + install + delivery run under it,
+// so concurrent appends to different datasets overlap their builds and never
+// contend. With each monitor's noise stream a pure function of its
+// journalled seed, a restart replays the event stream and reproduces every
+// verdict bit for bit.
 
 import (
 	"encoding/json"
@@ -47,10 +57,41 @@ const mechMonitors = "monitors"
 // allowed to stall appends; the client reconnects and replays history.
 const monitorSubBuffer = 64
 
+// numStreamDomains is the number of per-dataset write-ordering domains.
+// Power of two so the domain pick is a mask; 32 keeps two datasets' odds of
+// colliding on one domain low without bloating the Server struct.
+const numStreamDomains = 32
+
+// streamDomain is one write-ordering domain: it owns journal → install →
+// deliver order for every dataset that hashes to it. mu is the only lock an
+// append to those datasets serializes on — appends to datasets in other
+// domains proceed concurrently.
+type streamDomain struct {
+	mu sync.Mutex
+	// watchers maps a dataset name to the monitors watching it, in
+	// registration order. Only datasets owned by this domain appear.
+	watchers map[string][]*monitor
+	// seqs maps a dataset name to its last journalled per-dataset append
+	// sequence number (see persist.AppendRecord.Seq).
+	seqs map[string]uint64
+}
+
+// domain returns the write-ordering domain that owns the named dataset
+// (FNV-1a over the name, masked to the domain array).
+func (s *Server) domain(dataset string) *streamDomain {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(dataset); i++ {
+		h ^= uint64(dataset[i])
+		h *= 1099511628211
+	}
+	return &s.domains[h&(numStreamDomains-1)]
+}
+
 // monitor is one registered threshold monitor: the immutable registration
 // parameters plus the resumable SVT run, its verdict history, and the live
 // SSE subscribers. mu guards the mutable tail; the registration fields are
-// written once under streamMu before the monitor is published.
+// written once, under the owning dataset's domain lock, before the monitor
+// is published.
 type monitor struct {
 	id        string
 	tenant    string
@@ -168,9 +209,11 @@ func newMonitorStream(rec persist.MonitorRecord) (*core.SVTStream, error) {
 	return core.NewSVTStream(mech, rng.NewXoshiro(rec.Seed))
 }
 
-// addMonitorLocked constructs, indexes and publishes a monitor from its
-// journalled record. Caller holds streamMu (or is single-threaded startup).
-func (s *Server) addMonitorLocked(rec persist.MonitorRecord) (*monitor, error) {
+// addMonitor constructs, indexes and publishes a monitor from its journalled
+// record: into the cross-domain registry under monMu, and onto the owning
+// domain's watcher list. Caller holds d's lock (d owns rec.Dataset), which
+// is what orders the monitor's first observation against appends.
+func (s *Server) addMonitor(rec persist.MonitorRecord, d *streamDomain) (*monitor, error) {
 	stream, err := newMonitorStream(rec)
 	if err != nil {
 		return nil, fmt.Errorf("server: monitor %q: %w", rec.ID, err)
@@ -187,30 +230,34 @@ func (s *Server) addMonitorLocked(rec persist.MonitorRecord) (*monitor, error) {
 		seed:      rec.Seed,
 		stream:    stream,
 	}
+	s.monMu.Lock()
 	if s.monitors == nil {
 		s.monitors = make(map[string]*monitor)
-		s.monByDataset = make(map[string][]*monitor)
 	}
 	s.monitors[rec.ID] = m
 	s.monOrder = append(s.monOrder, m)
-	s.monByDataset[rec.Dataset] = append(s.monByDataset[rec.Dataset], m)
-	// Keep the id counter above every restored id so new registrations never
-	// collide with journalled ones.
-	if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "m"), 10, 64); err == nil && n >= s.monNextID {
-		s.monNextID = n + 1
+	registered := len(s.monitors)
+	s.monMu.Unlock()
+	d.watchers[rec.Dataset] = append(d.watchers[rec.Dataset], m)
+	// Keep the id counter at or above every restored id so new registrations
+	// never collide with journalled ones (CAS-max: restores from different
+	// domains may race).
+	if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "m"), 10, 64); err == nil {
+		for {
+			cur := s.monNextID.Load()
+			if n <= cur || s.monNextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
 	}
-	s.monitorsGauge.Set(int64(len(s.monitors)))
+	s.monitorsGauge.Set(int64(registered))
 	return m, nil
 }
 
-// nextMonitorIDLocked mints a fresh monitor id. Caller holds streamMu.
-func (s *Server) nextMonitorIDLocked() string {
-	if s.monNextID == 0 {
-		s.monNextID = 1
-	}
-	id := fmt.Sprintf("m%d", s.monNextID)
-	s.monNextID++
-	return id
+// nextMonitorID mints a fresh monitor id. monNextID holds the last-minted
+// number, so a plain atomic increment is collision-free without any lock.
+func (s *Server) nextMonitorID() string {
+	return fmt.Sprintf("m%d", s.monNextID.Add(1))
 }
 
 // evaluateMonitor feeds one monitor the item's current count from the
@@ -229,12 +276,12 @@ func (s *Server) evaluateMonitor(m *monitor, e *store.Entry) *MonitorVerdict {
 	return verdict
 }
 
-// deliverAppendLocked advances every monitor watching the dataset by one
-// query and returns how many verdicts were released. Caller holds streamMu,
-// so the verdicts land in journal order.
-func (s *Server) deliverAppendLocked(e *store.Entry) int {
+// deliverLocked advances every monitor watching the dataset by one query and
+// returns how many verdicts were released. Caller holds d's lock, so the
+// verdicts land in the dataset's journal order.
+func (d *streamDomain) deliverLocked(s *Server, e *store.Entry) int {
 	n := 0
-	for _, m := range s.monByDataset[e.Name()] {
+	for _, m := range d.watchers[e.Name()] {
 		if s.evaluateMonitor(m, e) != nil {
 			n++
 		}
@@ -244,13 +291,27 @@ func (s *Server) deliverAppendLocked(e *store.Entry) int {
 
 // restoreAppend replays one journalled dataset delta at startup, including
 // the verdicts it triggered on monitors restored earlier in the event
-// stream.
+// stream. Replay is single-threaded, but it still runs under the owning
+// domain's lock so the per-dataset sequence check and watcher lists follow
+// one discipline everywhere. A sequence gap means the WAL lost or reordered
+// an append record — fail the restore rather than serve silently diverged
+// counts.
 func (s *Server) restoreAppend(rec persist.AppendRecord) error {
+	d := s.domain(rec.Name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	want := d.seqs[rec.Name] + 1
+	if rec.Seq != 0 && rec.Seq != want {
+		return fmt.Errorf("server: append to %q out of order: journalled seq %d, expected %d", rec.Name, rec.Seq, want)
+	}
+	// Seq 0 marks a record journalled before sequence numbers existed; it
+	// still advances the counter so mixed-age WALs stay contiguous.
+	d.seqs[rec.Name] = want
 	e, err := s.datasets.Append(rec.Name, rec.Records)
 	if err != nil {
 		return fmt.Errorf("server: restoring append to %q: %w", rec.Name, err)
 	}
-	s.deliverAppendLocked(e)
+	d.deliverLocked(s, e)
 	return nil
 }
 
@@ -259,7 +320,10 @@ func (s *Server) restoreAppend(rec persist.AppendRecord) error {
 // dataset state at this point of the event stream, exactly as it did live.
 // Its ε charge replays separately through the tenant spending records.
 func (s *Server) restoreMonitor(rec persist.MonitorRecord) error {
-	m, err := s.addMonitorLocked(rec)
+	d := s.domain(rec.Dataset)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, err := s.addMonitor(rec, d)
 	if err != nil {
 		return err
 	}
@@ -314,33 +378,63 @@ func (s *Server) serveDatasetAppend(w *traceWriter, r *http.Request) string {
 	}
 	w.mark(stageValidate)
 
-	s.streamMu.Lock()
-	// Re-validate under the lock: the grown dataset must stay inside the
-	// catalog limits, and the journal must admit the delta before the apply —
-	// the WAL is the source of truth the next restart replays.
-	if err := s.datasets.CheckAppend(name, delta); err != nil {
-		s.streamMu.Unlock()
+	// Build the whole next generation — count deltas, sketch extension, zone
+	// extension, the expensive part of an append — before taking any lock, so
+	// appends to different datasets overlap their builds. PrepareAppend also
+	// validates the grown dataset against the catalog limits.
+	p, err := s.datasets.PrepareAppend(name, delta)
+	if err != nil {
 		if errors.Is(err, store.ErrUnknownDataset) {
 			writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
 			return CodeUnknownDataset
 		}
 		return badRequest(w, err)
 	}
+
+	d := s.domain(name)
+	d.mu.Lock()
+	if p.Stale() {
+		// Lost a prepare race. Appends to this dataset serialize on d.mu, so
+		// the racer was a direct library append; rebuild against its
+		// generation (re-validating the limits) before journalling.
+		if p, err = s.datasets.PrepareAppend(name, delta); err != nil {
+			d.mu.Unlock()
+			if errors.Is(err, store.ErrUnknownDataset) {
+				writeError(w, http.StatusNotFound, ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+				return CodeUnknownDataset
+			}
+			return badRequest(w, err)
+		}
+	}
+	// Journal before installing — the WAL is the source of truth the next
+	// restart replays — with the dataset's next sequence number, so replay
+	// can prove this dataset's WAL subsequence is contiguous however appends
+	// to other datasets interleave around it.
+	seq := d.seqs[name] + 1
 	if s.persist != nil {
-		if err := s.persist.AppendDelta(persist.AppendRecord{Name: name, Records: delta}); err != nil {
-			s.streamMu.Unlock()
+		if err := s.persist.AppendDelta(persist.AppendRecord{Name: name, Seq: seq, Records: delta}); err != nil {
+			d.mu.Unlock()
 			return internalError(w, fmt.Errorf("server: journalling append to %q: %w", name, err))
 		}
 	}
-	e, err := s.datasets.Append(name, delta)
+	e, err := s.datasets.InstallAppend(p)
+	for errors.Is(err, store.ErrStaleAppend) {
+		// A direct library append raced in after the staleness check. The
+		// delta is already journalled, so rebuild and install it — returning
+		// an error now would leave a journalled-yet-unapplied delta, a
+		// restart-visible fault.
+		if p, err = s.datasets.PrepareAppend(name, delta); err != nil {
+			break
+		}
+		e, err = s.datasets.InstallAppend(p)
+	}
 	if err != nil {
-		// Unreachable after CheckAppend under writeMu-free streamMu, but a
-		// journalled-yet-unapplied delta would be a restart-visible fault.
-		s.streamMu.Unlock()
+		d.mu.Unlock()
 		return internalError(w, err)
 	}
-	verdicts := s.deliverAppendLocked(e)
-	s.streamMu.Unlock()
+	d.seqs[name] = seq
+	verdicts := d.deliverLocked(s, e)
+	d.mu.Unlock()
 	w.mark(stageExecute)
 
 	s.appendsTotal.Inc()
@@ -348,6 +442,7 @@ func (s *Server) serveDatasetAppend(w *traceWriter, r *http.Request) string {
 	writeJSON(w, http.StatusOK, DatasetAppendResponse{
 		Dataset:         name,
 		AppendedRecords: len(delta),
+		Seq:             seq,
 		Records:         info.Records,
 		Items:           info.Items,
 		MonitorVerdicts: verdicts,
@@ -412,9 +507,10 @@ func (s *Server) serveMonitorCreate(w *traceWriter, r *http.Request) string {
 	}
 	w.mark(stageCharge)
 
-	s.streamMu.Lock()
+	d := s.domain(req.Dataset)
+	d.mu.Lock()
 	rec := persist.MonitorRecord{
-		ID:         s.nextMonitorIDLocked(),
+		ID:         s.nextMonitorID(),
 		Tenant:     req.Tenant,
 		Dataset:    req.Dataset,
 		Item:       req.Item,
@@ -427,23 +523,23 @@ func (s *Server) serveMonitorCreate(w *traceWriter, r *http.Request) string {
 	}
 	if s.persist != nil {
 		if err := s.persist.AppendMonitor(rec); err != nil {
-			s.streamMu.Unlock()
+			d.mu.Unlock()
 			// Conservative by design: the ε stays spent (the charge is already
 			// journalled) but no monitor exists. Refunding here could release
 			// budget a crashed journal actually recorded.
 			return internalError(w, fmt.Errorf("server: journalling monitor: %w", err))
 		}
 	}
-	m, err := s.addMonitorLocked(rec)
+	m, err := s.addMonitor(rec, d)
 	if err != nil {
-		s.streamMu.Unlock()
+		d.mu.Unlock()
 		return internalError(w, err)
 	}
 	var verdict *MonitorVerdict
 	if e, err := s.datasets.Get(req.Dataset); err == nil {
 		verdict = s.evaluateMonitor(m, e) // seq 0: the registration-time answer
 	}
-	s.streamMu.Unlock()
+	d.mu.Unlock()
 	w.mark(stageExecute)
 
 	writeJSON(w, http.StatusCreated, MonitorCreateResponse{MonitorInfo: m.info(), Verdict: verdict})
@@ -453,12 +549,13 @@ func (s *Server) serveMonitorCreate(w *traceWriter, r *http.Request) string {
 // handleMonitorList serves GET /v1/monitors.
 func (s *Server) handleMonitorList(w http.ResponseWriter, r *http.Request) {
 	t := s.beginTrace(w, r)
-	s.streamMu.Lock()
-	infos := make([]MonitorInfo, len(s.monOrder))
-	for i, m := range s.monOrder {
+	s.monMu.RLock()
+	order := append([]*monitor(nil), s.monOrder...)
+	s.monMu.RUnlock()
+	infos := make([]MonitorInfo, len(order))
+	for i, m := range order {
 		infos[i] = m.info()
 	}
-	s.streamMu.Unlock()
 	s.countRequest(mechMonitors, "ok")
 	writeJSON(t, http.StatusOK, MonitorListResponse{Monitors: infos})
 	s.finishTrace(t, mechMonitors, "ok")
@@ -481,9 +578,9 @@ func (s *Server) handleMonitorGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) lookupMonitor(id string) (*monitor, bool) {
-	s.streamMu.Lock()
+	s.monMu.RLock()
 	m, ok := s.monitors[id]
-	s.streamMu.Unlock()
+	s.monMu.RUnlock()
 	return m, ok
 }
 

@@ -146,6 +146,10 @@ type DatasetAppendResponse struct {
 	Dataset string `json:"dataset"`
 	// AppendedRecords is how many transactions this request added.
 	AppendedRecords int `json:"appended_records"`
+	// Seq is the dataset's 1-based append sequence number for this delta:
+	// the position of this append in the dataset's own history, independent
+	// of appends to other datasets.
+	Seq uint64 `json:"seq"`
 	// Records and Items are the dataset's totals after the append.
 	Records int `json:"records"`
 	Items   int `json:"items"`

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// mappedStore builds a store whose "sales" entry is backed by a memory-mapped
+// arena, the precondition for generation retirement.
+func mappedStore(t *testing.T) *Store {
+	t.Helper()
+	db := testDB(t)
+	staging := New()
+	e, err := staging.Register("sales", "test", db)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "sales.arena")
+	if err := WriteArena(path, db.NumRecords(), e.Arena()); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	a, err := LoadArena(path, db.NumRecords(), db.NumItems(), true)
+	if err != nil {
+		t.Fatalf("LoadArena: %v", err)
+	}
+	if !a.Mapped() {
+		t.Skip("mmap unsupported on this platform")
+	}
+	s := New()
+	if _, err := s.RegisterArena("sales", "restored", db, a); err != nil {
+		t.Fatalf("RegisterArena: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestArenaReclaimedWhenReadersDrain(t *testing.T) {
+	s := mappedStore(t)
+	s.EnableArenaReclaim()
+
+	// A reader is mid-request when the append supersedes the mapped
+	// generation: the mapping must be parked, not unmapped under the reader.
+	s.ReaderEnter()
+	e, err := s.Get("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := e.View().Arena().Counts()
+	if _, err := s.Append("sales", [][]int32{{0, 1}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := s.RetiredArenas(); got != 1 {
+		t.Fatalf("RetiredArenas with a reader in flight = %d, want 1", got)
+	}
+	// The pinned slice must still read: the mapping is alive until the
+	// bracket closes.
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	_ = sum
+
+	// Last reader out reclaims the superseded mapping.
+	s.ReaderExit()
+	if got := s.RetiredArenas(); got != 0 {
+		t.Errorf("RetiredArenas after readers drained = %d, want 0", got)
+	}
+}
+
+func TestArenaReclaimImmediateWithNoReaders(t *testing.T) {
+	s := mappedStore(t)
+	s.EnableArenaReclaim()
+	if _, err := s.Append("sales", [][]int32{{0, 1}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := s.RetiredArenas(); got != 0 {
+		t.Errorf("RetiredArenas right after an unread append = %d, want 0 (swept at install)", got)
+	}
+}
+
+func TestArenaParkedUntilCloseWithoutOptIn(t *testing.T) {
+	s := mappedStore(t)
+	if _, err := s.Append("sales", [][]int32{{0, 1}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := s.RetiredArenas(); got != 1 {
+		t.Fatalf("RetiredArenas = %d, want 1 (reclamation is opt-in)", got)
+	}
+	// Reader brackets without the opt-in must not sweep: a bare-library
+	// store keeps the park-until-Close contract.
+	s.ReaderEnter()
+	s.ReaderExit()
+	if got := s.RetiredArenas(); got != 1 {
+		t.Errorf("RetiredArenas after bracket without opt-in = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := s.RetiredArenas(); got != 0 {
+		t.Errorf("RetiredArenas after Close = %d, want 0", got)
+	}
+}

@@ -52,6 +52,9 @@ var (
 	ErrUnknownDataset = errors.New("store: unknown dataset")
 	// ErrDatasetExists reports a registration under a taken name.
 	ErrDatasetExists = errors.New("store: dataset already registered")
+	// ErrStaleAppend reports an InstallAppend whose prepared base generation
+	// was superseded by another append; the caller re-prepares and retries.
+	ErrStaleAppend = errors.New("store: append prepared against a superseded generation")
 )
 
 // Limits bounds what a catalog accepts. Zero fields mean the package
@@ -98,8 +101,20 @@ type Store struct {
 	// retired holds superseded mmap-backed arenas. An append replaces an
 	// entry's arena generation while lock-free readers may still hold slices
 	// into the old mapping, so the mapping cannot be unmapped then; it is
-	// parked here (under writeMu) and released in Close.
+	// parked here (under writeMu) and released in Close — or earlier, once
+	// the reader count drains, when reclamation is enabled (see
+	// EnableArenaReclaim).
 	retired []*Arena
+	// retiredN mirrors len(retired) so ReaderExit can skip the write lock
+	// when there is nothing to reclaim.
+	retiredN atomic.Int32
+	// reclaim enables draining-reader reclamation of retired arenas. Opt-in:
+	// it is only sound when every reader of mapped arena data brackets its
+	// access with ReaderEnter/ReaderExit, which the serving layer does for
+	// each request; bare library users keep the park-until-Close behavior.
+	reclaim atomic.Bool
+	// readers counts the in-flight bracketed readers (see ReaderEnter).
+	readers atomic.Int64
 }
 
 // New returns an empty catalog with the default limits.
@@ -341,6 +356,7 @@ func (s *Store) Remove(name string) bool {
 	a := e.gen.Load().arena
 	if a.Mapped() {
 		s.retired = append(s.retired, a)
+		s.retiredN.Store(int32(len(s.retired)))
 	}
 	if p := a.Path(); p != "" {
 		_ = os.Remove(p)
@@ -387,29 +403,40 @@ func (s *Store) validateAppend(g *entryGen, name string, delta [][]int32) (items
 	return items, nil
 }
 
-// Append extends the dataset catalogued under name with delta transactions,
-// delta-maintaining every piece of derived state — count vector, presence
-// bitset, min/max summaries and zone sketches — and installing the result as
-// the entry's next data generation with one atomic swap. Only the delta is
-// ever scanned: the record list shares the previous generation's prefix, the
-// count column is the old column plus the delta's contributions, and the
-// zone sketches are extended block-monotonically. CountScans therefore does
-// not move, which is what pins "append" as incremental rather than a
-// re-registration. The compiled-plan cache is flushed — its vectors describe
-// the superseded generation. An empty delta is a valid no-op append.
-func (s *Store) Append(name string, delta [][]int32) (*Entry, error) {
+// PendingAppend is one fully-built next data generation awaiting install:
+// the output of PrepareAppend, consumed by InstallAppend. Preparing does all
+// the delta-derived work — count deltas, sketch extension, zone extension —
+// without holding any store lock, so concurrent appends to different
+// datasets overlap their builds and only serialize on the (cheap) install.
+type PendingAppend struct {
+	entry *Entry
+	base  *entryGen
+	next  *entryGen
+}
+
+// Entry returns the entry the pending append extends.
+func (p *PendingAppend) Entry() *Entry { return p.entry }
+
+// Stale reports whether another append superseded the generation this one
+// was prepared against; InstallAppend would fail with ErrStaleAppend.
+func (p *PendingAppend) Stale() bool { return p.entry.gen.Load() != p.base }
+
+// PrepareAppend validates delta against the catalog limits and builds the
+// next data generation of the dataset catalogued under name — record list,
+// count arena, presence bitset, min/max summaries and zone sketches, all
+// extended from the delta alone — without taking the store's write lock.
+// The caller publishes the result with InstallAppend; until then nothing is
+// visible to readers and a dropped PendingAppend costs nothing.
+func (s *Store) PrepareAppend(name string, delta [][]int32) (*PendingAppend, error) {
 	e, err := s.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	g := e.gen.Load()
 	items, err := s.validateAppend(g, name, delta)
 	if err != nil {
 		return nil, err
 	}
-
 	db := g.db.AppendRecords(delta)
 	arena := extendArena(g.arena, dataset.DeltaItemCounts(delta, items))
 	arena.zones = ExtendZones(g.arena.Zones(), db, g.db.NumRecords())
@@ -422,14 +449,111 @@ func (s *Store) Append(name string, delta [][]int32) (*Entry, error) {
 	if stats.Records > 0 {
 		stats.MeanLength = float64(lenSum) / float64(stats.Records)
 	}
-	if g.arena.Mapped() {
-		// In-flight readers may hold slices into the old mapping; it is
-		// released with the store, not here.
-		s.retired = append(s.retired, g.arena)
+	return &PendingAppend{
+		entry: e,
+		base:  g,
+		next:  &entryGen{db: db, arena: arena, counts: arena.Counts(), stats: stats, lenSum: lenSum},
+	}, nil
+}
+
+// InstallAppend publishes a prepared append as the entry's current data
+// generation with one atomic swap, flushing the compiled-plan cache (its
+// vectors describe the superseded generation). It fails with ErrStaleAppend
+// when another append won the race since PrepareAppend — the caller
+// re-prepares against the new generation — and with ErrUnknownDataset when
+// the entry was removed in between.
+func (s *Store) InstallAppend(p *PendingAppend) (*Entry, error) {
+	e := p.entry
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if cur, ok := s.snapshot()[e.name]; !ok || cur != e {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, e.name)
 	}
-	e.gen.Store(&entryGen{db: db, arena: arena, counts: arena.Counts(), stats: stats, lenSum: lenSum})
+	if e.gen.Load() != p.base {
+		return nil, fmt.Errorf("%w: %q", ErrStaleAppend, e.name)
+	}
+	if p.base.arena.Mapped() {
+		// In-flight readers may hold slices into the old mapping; park it
+		// until the reader count drains (or the store closes).
+		s.retired = append(s.retired, p.base.arena)
+		s.retiredN.Store(int32(len(s.retired)))
+	}
+	e.gen.Store(p.next)
 	e.plans.Reset()
+	s.sweepRetiredLocked()
 	return e, nil
+}
+
+// Append extends the dataset catalogued under name with delta transactions,
+// delta-maintaining every piece of derived state — count vector, presence
+// bitset, min/max summaries and zone sketches — and installing the result as
+// the entry's next data generation with one atomic swap. Only the delta is
+// ever scanned: the record list shares the previous generation's prefix, the
+// count column is the old column plus the delta's contributions, and the
+// zone sketches are extended block-monotonically. CountScans therefore does
+// not move, which is what pins "append" as incremental rather than a
+// re-registration. An empty delta is a valid no-op append. Append is
+// PrepareAppend + InstallAppend in a retry loop; callers that must order an
+// append against other per-dataset work (journalling, monitor delivery) use
+// the two halves directly and keep only the install inside their lock.
+func (s *Store) Append(name string, delta [][]int32) (*Entry, error) {
+	for {
+		p, err := s.PrepareAppend(name, delta)
+		if err != nil {
+			return nil, err
+		}
+		e, err := s.InstallAppend(p)
+		if errors.Is(err, ErrStaleAppend) {
+			continue // another appender won; rebuild from its generation
+		}
+		return e, err
+	}
+}
+
+// EnableArenaReclaim turns on draining-reader reclamation: a retired mmap
+// arena generation is unmapped as soon as the bracketed reader count is
+// observed at zero after its retirement, instead of being parked until
+// Close. Callers must bracket every access to arena-backed data (count
+// slices, zone sketches, record scans) between ReaderEnter and ReaderExit
+// once reclamation is on — the serving layer brackets each HTTP request.
+func (s *Store) EnableArenaReclaim() { s.reclaim.Store(true) }
+
+// ReaderEnter marks the start of one bracketed reader (see
+// EnableArenaReclaim).
+func (s *Store) ReaderEnter() { s.readers.Add(1) }
+
+// ReaderExit marks the end of one bracketed reader. The last reader out
+// sweeps the retired arenas: observing the count at zero proves every
+// reader that could hold a slice into a previously-retired mapping has
+// finished, and any reader entering afterwards loads the current generation,
+// which never points into a retired arena.
+func (s *Store) ReaderExit() {
+	if s.readers.Add(-1) == 0 && s.reclaim.Load() && s.retiredN.Load() > 0 {
+		s.writeMu.Lock()
+		s.sweepRetiredLocked()
+		s.writeMu.Unlock()
+	}
+}
+
+// RetiredArenas reports how many superseded mmap arena generations are
+// parked awaiting reclamation (or Close), for the freegap_retired_arenas
+// gauge.
+func (s *Store) RetiredArenas() int { return int(s.retiredN.Load()) }
+
+// sweepRetiredLocked unmaps every parked arena when reclamation is enabled
+// and no bracketed reader is in flight. Caller holds writeMu, so every
+// arena in the list was retired before the reader count was sampled; a
+// reader that increments the count after the sample reads the current
+// generation and cannot reach a parked mapping.
+func (s *Store) sweepRetiredLocked() {
+	if !s.reclaim.Load() || len(s.retired) == 0 || s.readers.Load() != 0 {
+		return
+	}
+	for _, a := range s.retired {
+		_ = a.Close()
+	}
+	s.retired = nil
+	s.retiredN.Store(0)
 }
 
 // Get returns the entry catalogued under name. It takes no lock: the lookup
@@ -490,6 +614,7 @@ func (s *Store) Close() error {
 		}
 	}
 	s.retired = nil
+	s.retiredN.Store(0)
 	empty := make(catalog)
 	s.byName.Store(&empty)
 	return first

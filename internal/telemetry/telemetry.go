@@ -169,6 +169,7 @@ type CounterSet struct {
 	gauges      map[string]*Gauge
 	floatGauges map[string]*FloatGauge
 	histograms  map[string]*Histogram
+	valueHists  map[string]*ValueHistogram
 	names       []string // registration order of fully-qualified series keys
 	kinds       map[string]string
 	help        map[string]string // keyed by bare metric name
@@ -181,6 +182,7 @@ func NewCounterSet() *CounterSet {
 		gauges:      make(map[string]*Gauge),
 		floatGauges: make(map[string]*FloatGauge),
 		histograms:  make(map[string]*Histogram),
+		valueHists:  make(map[string]*ValueHistogram),
 		kinds:       make(map[string]string),
 		help:        make(map[string]string),
 	}
@@ -259,6 +261,23 @@ func (s *CounterSet) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// ValueHistogram returns the small-integer value histogram series with the
+// given name and labels, creating it empty on first use. It renders as a
+// histogram with power-of-two value buckets (le 1, 2, 4, …).
+func (s *CounterSet) ValueHistogram(name string, labels ...Label) *ValueHistogram {
+	key := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.valueHists[key]; ok {
+		return h
+	}
+	h := NewValueHistogram()
+	s.valueHists[key] = h
+	s.names = append(s.names, key)
+	s.kinds[key] = "histogram"
+	return h
+}
+
 // Remove deletes the series with the given name and labels from the
 // registry, whatever its kind; later use of the same (name, labels)
 // recreates it at zero. It exists so scrape-time samplers can retire series
@@ -276,6 +295,7 @@ func (s *CounterSet) Remove(name string, labels ...Label) {
 	delete(s.gauges, key)
 	delete(s.floatGauges, key)
 	delete(s.histograms, key)
+	delete(s.valueHists, key)
 	delete(s.kinds, key)
 	for i, k := range s.names {
 		if k == key {
@@ -294,6 +314,7 @@ func (s *CounterSet) WritePrometheus(w io.Writer) error {
 	kinds := make(map[string]string, len(keys))
 	values := make(map[string]string, len(keys))
 	hists := make(map[string]*Histogram)
+	valueHists := make(map[string]*ValueHistogram)
 	for _, k := range keys {
 		kinds[k] = s.kinds[k]
 		if c, ok := s.counters[k]; ok {
@@ -304,6 +325,8 @@ func (s *CounterSet) WritePrometheus(w io.Writer) error {
 			values[k] = formatFloat(g.Value())
 		} else if h, ok := s.histograms[k]; ok {
 			hists[k] = h
+		} else if h, ok := s.valueHists[k]; ok {
+			valueHists[k] = h
 		}
 	}
 	help := make(map[string]string, len(s.help))
@@ -329,6 +352,12 @@ func (s *CounterSet) WritePrometheus(w io.Writer) error {
 		}
 		if h, ok := hists[k]; ok {
 			if err := writeHistogram(w, k, h); err != nil {
+				return err
+			}
+			continue
+		}
+		if h, ok := valueHists[k]; ok {
+			if err := writeValueHistogram(w, k, h); err != nil {
 				return err
 			}
 			continue
